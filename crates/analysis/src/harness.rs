@@ -1,0 +1,268 @@
+//! Experiment harness: repeated trials, parameter sweeps, and table rendering.
+//!
+//! Each experiment binary in the `bench` crate builds a list of [`Trial`]s (one per parameter
+//! point × seed), runs them — optionally in parallel across OS threads with
+//! [`run_trials_parallel`] — and renders the aggregated [`ExperimentRow`]s as a markdown
+//! table (for `EXPERIMENTS.md`) and as JSON lines (for machine post-processing).
+
+use crate::stats::Summary;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// One measurement row of an experiment table: a labelled parameter point with named metrics.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct ExperimentRow {
+    /// Human-readable parameter point, e.g. `"chain, n=15, l=4"`.
+    pub label: String,
+    /// Named metric values, in insertion order (BTreeMap keeps columns stable).
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl ExperimentRow {
+    /// Creates a row with the given label.
+    pub fn new(label: impl Into<String>) -> Self {
+        ExperimentRow { label: label.into(), metrics: BTreeMap::new() }
+    }
+
+    /// Adds (or overwrites) one metric.
+    pub fn with(mut self, key: &str, value: f64) -> Self {
+        self.metrics.insert(key.to_string(), value);
+        self
+    }
+
+    /// Adds the mean of a summary under `key` and its p95 under `key_p95`.
+    pub fn with_summary(mut self, key: &str, summary: &Summary) -> Self {
+        self.metrics.insert(format!("{key}_mean"), summary.mean);
+        self.metrics.insert(format!("{key}_p95"), summary.p95);
+        self.metrics.insert(format!("{key}_max"), summary.max);
+        self
+    }
+}
+
+/// A single trial: a closure producing named metric values, identified by a seed.
+pub struct Trial {
+    /// Seed identifying (and reproducing) the trial.
+    pub seed: u64,
+    /// The work: returns named metric samples.
+    pub run: Box<dyn FnOnce() -> BTreeMap<String, f64> + Send>,
+}
+
+impl Trial {
+    /// Creates a trial.
+    pub fn new(seed: u64, run: impl FnOnce() -> BTreeMap<String, f64> + Send + 'static) -> Self {
+        Trial { seed, run: Box::new(run) }
+    }
+}
+
+/// Runs trials sequentially, returning each trial's metric map.
+pub fn run_trials(trials: Vec<Trial>) -> Vec<BTreeMap<String, f64>> {
+    trials.into_iter().map(|t| (t.run)()).collect()
+}
+
+/// Runs trials in parallel across up to `threads` OS threads (crossbeam scoped threads),
+/// preserving the input order in the output.
+pub fn run_trials_parallel(trials: Vec<Trial>, threads: usize) -> Vec<BTreeMap<String, f64>> {
+    let threads = threads.max(1);
+    if threads == 1 || trials.len() <= 1 {
+        return run_trials(trials);
+    }
+    let n = trials.len();
+    let mut slots: Vec<Option<BTreeMap<String, f64>>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let slots = parking_lot::Mutex::new(slots);
+    let queue = crossbeam::queue::SegQueue::new();
+    for (idx, trial) in trials.into_iter().enumerate() {
+        queue.push((idx, trial));
+    }
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|_| {
+                while let Some((idx, trial)) = queue.pop() {
+                    let result = (trial.run)();
+                    slots.lock()[idx] = Some(result);
+                }
+            });
+        }
+    })
+    .expect("worker threads must not panic");
+    slots.into_inner().into_iter().map(|s| s.expect("every trial ran")).collect()
+}
+
+/// Aggregates per-trial metric maps into one [`Summary`] per metric name.
+pub fn summarize(results: &[BTreeMap<String, f64>]) -> BTreeMap<String, Summary> {
+    let mut grouped: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for result in results {
+        for (key, value) in result {
+            grouped.entry(key.clone()).or_default().push(*value);
+        }
+    }
+    grouped.into_iter().map(|(k, v)| (k, Summary::of(&v))).collect()
+}
+
+/// Renders rows as a GitHub-flavoured markdown table.  Columns are the union of all metric
+/// names, in alphabetical order; missing cells render as `-`.
+pub fn render_markdown_table(title: &str, rows: &[ExperimentRow]) -> String {
+    let mut columns: Vec<String> = Vec::new();
+    for row in rows {
+        for key in row.metrics.keys() {
+            if !columns.contains(key) {
+                columns.push(key.clone());
+            }
+        }
+    }
+    columns.sort();
+    let mut out = String::new();
+    out.push_str(&format!("### {title}\n\n"));
+    out.push_str("| scenario |");
+    for c in &columns {
+        out.push_str(&format!(" {c} |"));
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    for _ in &columns {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!("| {} |", row.label));
+        for c in &columns {
+            match row.metrics.get(c) {
+                Some(v) => out.push_str(&format!(" {} |", format_value(*v))),
+                None => out.push_str(" - |"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders rows as JSON lines for machine consumption.
+pub fn render_jsonl(rows: &[ExperimentRow]) -> String {
+    rows.iter()
+        .map(|r| serde_json::to_string(r).expect("rows are serializable"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Renders rows as CSV (header + one line per row).  Columns are the union of all metric
+/// names in alphabetical order; missing cells are left empty.  Labels containing commas or
+/// quotes are quoted per RFC 4180.
+pub fn render_csv(rows: &[ExperimentRow]) -> String {
+    let mut columns: Vec<String> = Vec::new();
+    for row in rows {
+        for key in row.metrics.keys() {
+            if !columns.contains(key) {
+                columns.push(key.clone());
+            }
+        }
+    }
+    columns.sort();
+    let quote = |s: &str| {
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    };
+    let mut out = String::from("scenario");
+    for c in &columns {
+        out.push(',');
+        out.push_str(&quote(c));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&quote(&row.label));
+        for c in &columns {
+            out.push(',');
+            if let Some(v) = row.metrics.get(c) {
+                out.push_str(&format!("{v}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn format_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_build_and_render() {
+        let rows = vec![
+            ExperimentRow::new("n=5").with("waiting_max", 12.0).with("bound", 35.0),
+            ExperimentRow::new("n=9").with("waiting_max", 55.5),
+        ];
+        let table = render_markdown_table("Waiting time", &rows);
+        assert!(table.contains("### Waiting time"));
+        assert!(table.contains("| n=5 | 35 | 12 |"));
+        assert!(table.contains("| n=9 | - | 55.50 |"));
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let rows = vec![ExperimentRow::new("x").with("m", 1.5)];
+        let line = render_jsonl(&rows);
+        let parsed: serde_json::Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(parsed["label"], "x");
+        assert_eq!(parsed["metrics"]["m"], 1.5);
+    }
+
+    #[test]
+    fn csv_renders_header_missing_cells_and_quoting() {
+        let rows = vec![
+            ExperimentRow::new("chain, n=5").with("waiting_max", 12.0),
+            ExperimentRow::new("star").with("waiting_max", 3.5).with("bound", 35.0),
+        ];
+        let csv = render_csv(&rows);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "scenario,bound,waiting_max");
+        assert_eq!(lines.next().unwrap(), "\"chain, n=5\",,12");
+        assert_eq!(lines.next().unwrap(), "star,35,3.5");
+    }
+
+    #[test]
+    fn with_summary_expands_columns() {
+        let s = Summary::of(&[1.0, 3.0]);
+        let row = ExperimentRow::new("a").with_summary("conv", &s);
+        assert!(row.metrics.contains_key("conv_mean"));
+        assert!(row.metrics.contains_key("conv_p95"));
+        assert!(row.metrics.contains_key("conv_max"));
+    }
+
+    #[test]
+    fn sequential_and_parallel_trials_agree() {
+        let make = || {
+            (0..8u64)
+                .map(|seed| {
+                    Trial::new(seed, move || {
+                        let mut m = BTreeMap::new();
+                        m.insert("value".to_string(), (seed * seed) as f64);
+                        m
+                    })
+                })
+                .collect::<Vec<_>>()
+        };
+        let seq = run_trials(make());
+        let par = run_trials_parallel(make(), 4);
+        assert_eq!(seq, par);
+        let summary = summarize(&par);
+        assert_eq!(summary["value"].count, 8);
+        assert_eq!(summary["value"].max, 49.0);
+    }
+
+    #[test]
+    fn parallel_with_single_thread_falls_back() {
+        let trials = vec![Trial::new(0, || BTreeMap::from([("x".to_string(), 1.0)]))];
+        let out = run_trials_parallel(trials, 1);
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,194 @@
+//! Bucketed distributions for waiting-time and convergence-time samples.
+//!
+//! The [`crate::stats::Summary`] gives point statistics; experiments E5 and E6 additionally
+//! report *distributions* (how waiting times spread relative to the Theorem-2 bound, how
+//! convergence times spread across random faults), which is what [`Histogram`] provides,
+//! together with a terminal-friendly rendering.
+
+use serde::Serialize;
+
+/// A fixed-width-bucket histogram over `u64` samples.
+#[derive(Clone, Debug, Serialize)]
+pub struct Histogram {
+    /// Lower edge of the first bucket (always 0 for these experiments).
+    pub low: u64,
+    /// Exclusive upper edge of the last regular bucket; samples at or above it land in the
+    /// overflow bucket.
+    pub high: u64,
+    /// Width of each regular bucket.
+    pub bucket_width: u64,
+    /// Sample counts per regular bucket.
+    pub counts: Vec<u64>,
+    /// Samples `>= high`.
+    pub overflow: u64,
+    /// Total number of samples.
+    pub total: u64,
+}
+
+impl Histogram {
+    /// Builds a histogram with `buckets` equal-width buckets spanning `[0, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets == 0` or `high == 0`.
+    pub fn with_range(high: u64, buckets: usize) -> Self {
+        assert!(buckets > 0, "a histogram needs at least one bucket");
+        assert!(high > 0, "the histogram range must be non-empty");
+        let bucket_width = high.div_ceil(buckets as u64).max(1);
+        Histogram {
+            low: 0,
+            high: bucket_width * buckets as u64,
+            bucket_width,
+            counts: vec![0; buckets],
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Builds a histogram sized to the samples themselves (range `[0, max + 1)`).
+    pub fn of(samples: &[u64], buckets: usize) -> Self {
+        let max = samples.iter().copied().max().unwrap_or(0);
+        let mut h = Histogram::with_range(max + 1, buckets);
+        for &s in samples {
+            h.record(s);
+        }
+        h
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: u64) {
+        self.total += 1;
+        if sample >= self.high {
+            self.overflow += 1;
+        } else {
+            let idx = (sample / self.bucket_width) as usize;
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Number of samples strictly below `value` (bucket resolution: `value` is rounded down
+    /// to a bucket edge).
+    pub fn count_below(&self, value: u64) -> u64 {
+        let full_buckets = ((value.min(self.high)) / self.bucket_width) as usize;
+        self.counts.iter().take(full_buckets).sum()
+    }
+
+    /// The fraction of samples strictly below `value` (0 when the histogram is empty).
+    pub fn fraction_below(&self, value: u64) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count_below(value) as f64 / self.total as f64
+        }
+    }
+
+    /// Nearest-rank quantile computed from the buckets (bucket upper edge of the bucket in
+    /// which the quantile falls; overflow reports `high`).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return (idx as u64 + 1) * self.bucket_width;
+            }
+        }
+        self.high
+    }
+
+    /// Renders the histogram as aligned ASCII bars, one line per non-empty bucket.
+    pub fn render(&self, width: usize) -> String {
+        let width = width.max(1);
+        let max_count = self.counts.iter().copied().max().unwrap_or(0).max(self.overflow).max(1);
+        let mut out = String::new();
+        for (idx, &count) in self.counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let lo = idx as u64 * self.bucket_width;
+            let hi = lo + self.bucket_width;
+            let bar = "#".repeat(((count as f64 / max_count as f64) * width as f64).ceil() as usize);
+            out.push_str(&format!("[{lo:>8} .. {hi:>8}) {count:>6} {bar}\n"));
+        }
+        if self.overflow > 0 {
+            let bar = "#".repeat(
+                ((self.overflow as f64 / max_count as f64) * width as f64).ceil() as usize,
+            );
+            out.push_str(&format!("[{:>8} ..     +inf) {:>6} {bar}\n", self.high, self.overflow));
+        }
+        if out.is_empty() {
+            out.push_str("(no samples)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_requested_range() {
+        let h = Histogram::with_range(100, 10);
+        assert_eq!(h.bucket_width, 10);
+        assert_eq!(h.high, 100);
+        assert_eq!(h.counts.len(), 10);
+    }
+
+    #[test]
+    fn records_land_in_the_right_buckets() {
+        let mut h = Histogram::with_range(100, 10);
+        h.record(0);
+        h.record(9);
+        h.record(10);
+        h.record(99);
+        h.record(100); // overflow
+        h.record(1_000); // overflow
+        assert_eq!(h.counts[0], 2);
+        assert_eq!(h.counts[1], 1);
+        assert_eq!(h.counts[9], 1);
+        assert_eq!(h.overflow, 2);
+        assert_eq!(h.total, 6);
+    }
+
+    #[test]
+    fn of_sizes_the_range_to_the_samples() {
+        let samples = [3u64, 7, 7, 20];
+        let h = Histogram::of(&samples, 7);
+        assert_eq!(h.total, 4);
+        assert_eq!(h.overflow, 0);
+        assert_eq!(h.counts.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn fraction_below_and_quantile_agree_on_simple_data() {
+        let samples: Vec<u64> = (0..100).collect();
+        let h = Histogram::of(&samples, 10);
+        assert!((h.fraction_below(50) - 0.5).abs() < 0.11, "{}", h.fraction_below(50));
+        let median = h.quantile(0.5);
+        assert!((40..=60).contains(&median), "median bucket edge was {median}");
+        assert!(h.quantile(1.0) >= median);
+        assert_eq!(h.quantile(0.0), h.quantile(0.001));
+    }
+
+    #[test]
+    fn render_draws_bars_and_handles_empty() {
+        let h = Histogram::of(&[1, 1, 1, 50], 5);
+        let drawn = h.render(20);
+        assert!(drawn.contains('#'));
+        assert!(drawn.lines().count() >= 2);
+        let empty = Histogram::with_range(10, 2);
+        assert!(empty.render(10).contains("no samples"));
+    }
+
+    #[test]
+    fn empty_histogram_is_well_behaved() {
+        let h = Histogram::with_range(10, 2);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.fraction_below(10), 0.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! `analysis` — measurement and experiment harness for the k-out-of-ℓ exclusion reproduction.
+//!
+//! This crate turns raw execution traces and network snapshots into the quantities the
+//! paper's claims are about:
+//!
+//! * [`waiting`] — the paper's *waiting time*: how many critical sections other processes
+//!   enter between a request and its satisfaction (Theorem 2 bounds it by ℓ(2n−3)²);
+//! * [`convergence`] — stabilization time from an arbitrary configuration (Theorem 1), using
+//!   sustained legitimacy as the empirical convergence criterion;
+//! * [`invariants`] — continuous safety checking (at most k units per process, at most ℓ in
+//!   use, token conservation) while an execution runs;
+//! * [`fairness`] — per-process service counts, starvation detection and Jain's index;
+//! * [`deadlock`] — quiescence-with-unsatisfied-requests detection (the Figure 2 scenario);
+//! * [`stats`] — summary statistics for repeated trials;
+//! * [`histogram`] — bucketed distributions (waiting-time and convergence-time spreads);
+//! * [`timeline`] — terminal renderings of executions: per-process activity lanes, the
+//!   virtual ring, and token-census sparklines;
+//! * [`scenarios`] — the exact configurations of the paper's figures, shared by tests,
+//!   examples and benchmark binaries;
+//! * [`harness`] — parameter sweeps, repeated trials (optionally in parallel) and
+//!   markdown/JSONL/CSV rendering of result tables for `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convergence;
+pub mod deadlock;
+pub mod fairness;
+pub mod harness;
+pub mod histogram;
+pub mod invariants;
+pub mod scenarios;
+pub mod stats;
+pub mod timeline;
+pub mod waiting;
+
+pub use convergence::{measure_convergence, ConvergenceOutcome};
+pub use deadlock::{detect_deadlock, DeadlockVerdict};
+pub use fairness::{jains_index, FairnessReport};
+pub use harness::{render_csv, render_markdown_table, ExperimentRow, Trial};
+pub use histogram::Histogram;
+pub use invariants::{SafetyMonitor, SafetyViolation};
+pub use stats::Summary;
+pub use timeline::{render_activity_gantt, render_virtual_ring, CensusRecorder};
+pub use waiting::{waiting_times, WaitingRecord};

@@ -1,0 +1,177 @@
+//! The exact scenarios of the paper's figures, shared by tests, examples and experiment
+//! binaries.
+//!
+//! * **Figure 1 / Figure 4** — the 8-node oriented tree and its virtual ring
+//!   (`topology::builders::figure1_tree`).
+//! * **Figure 2** — the deadlock of the naive protocol on that tree with ℓ = 5, k = 3 and
+//!   needs a=3, b=c=d=2.  [`figure2_deadlock_config`] constructs the *right-hand*
+//!   configuration of the figure (all five tokens reserved, every requester short of its
+//!   need), from which the naive protocol can never progress.
+//! * **Figure 3** — 2-out-of-3 exclusion on the 3-node tree with needs r=1, a=2, b=1, where
+//!   the pusher-only protocol can starve process `a`.
+
+use klex_core::{naive, nonstab, pusher, ss, KlConfig};
+use topology::OrientedTree;
+use treenet::app::BoxedDriver;
+use treenet::{CsState, Network, NodeId};
+use workloads::Heterogeneous;
+
+/// The configuration used throughout the Figure-2 scenario: 3-out-of-5 exclusion on the
+/// 8-process tree of Figure 1.
+pub fn figure2_config() -> KlConfig {
+    KlConfig::new(3, 5, 8)
+}
+
+/// Requested units per node in the Figure-2 scenario (`r,a,b,c,d,e,f,g`).
+pub fn figure2_needs() -> [usize; 8] {
+    [0, 3, 2, 2, 2, 0, 0, 0]
+}
+
+/// Per-node drivers implementing the Figure-2 workload (`hold` is the CS duration).
+pub fn figure2_drivers(hold: u64) -> impl FnMut(NodeId) -> BoxedDriver {
+    move |node| {
+        let units = figure2_needs().get(node).copied().unwrap_or(0);
+        Box::new(Heterogeneous { units, hold }) as BoxedDriver
+    }
+}
+
+/// The configuration of the Figure-3 scenario: 2-out-of-3 exclusion on the 3-process tree.
+pub fn figure3_config() -> KlConfig {
+    KlConfig::new(2, 3, 3)
+}
+
+/// Requested units per node in the Figure-3 scenario (`r, a, b`).
+pub fn figure3_needs() -> [usize; 3] {
+    [1, 2, 1]
+}
+
+/// Per-node drivers implementing the Figure-3 workload.
+pub fn figure3_drivers(hold: u64) -> impl FnMut(NodeId) -> BoxedDriver {
+    move |node| {
+        let units = figure3_needs().get(node).copied().unwrap_or(0);
+        Box::new(Heterogeneous { units, hold }) as BoxedDriver
+    }
+}
+
+/// Applies the right-hand (deadlocked) configuration of Figure 2 to a freshly built network:
+///
+/// * `a` has reserved two tokens (both received from its parent channel 0) and needs 3;
+/// * `b`, `c`, `d` have each reserved one token (from channel 0) and need 2;
+/// * nobody else requests; no token is in flight; the root will not create new tokens.
+fn apply_figure2_deadlock<N>(net: &mut Network<N, OrientedTree>, set: impl Fn(&mut N, CsState, usize, Vec<usize>))
+where
+    N: treenet::Process,
+{
+    // a = node 1: Req, Need 3, RSet {0,0}
+    set(net.node_mut(1), CsState::Req, 3, vec![0, 0]);
+    // b = node 2, c = node 3, d = node 4: Req, Need 2, RSet {0}
+    for v in [2usize, 3, 4] {
+        set(net.node_mut(v), CsState::Req, 2, vec![0]);
+    }
+}
+
+/// Builds the naive-protocol network already placed in the deadlocked configuration of
+/// Figure 2 (right-hand side): all five resource tokens are reserved by the four requesters,
+/// none of which can ever be satisfied.
+pub fn figure2_deadlock_config() -> Network<naive::NaiveNode, OrientedTree> {
+    let cfg = figure2_config();
+    let mut net = naive::network(topology::builders::figure1_tree(), cfg, figure2_drivers(5));
+    // The root must not create fresh tokens: the five tokens of the scenario are the reserved
+    // ones below.
+    net.node_mut(0).bootstrapped = true;
+    apply_figure2_deadlock(&mut net, |node, state, need, rset| {
+        node.app.state = state;
+        node.app.need = need;
+        node.app.rset = rset;
+    });
+    net
+}
+
+/// Builds the pusher-protocol network placed in the same Figure-2 configuration (plus the
+/// pusher token in flight towards `a`), to show that the pusher resolves the deadlock.
+pub fn figure2_deadlock_config_with_pusher() -> Network<pusher::PusherNode, OrientedTree> {
+    let cfg = figure2_config();
+    let mut net = pusher::network(topology::builders::figure1_tree(), cfg, figure2_drivers(5));
+    net.node_mut(0).bootstrapped = true;
+    apply_figure2_deadlock(&mut net, |node, state, need, rset| {
+        node.app.state = state;
+        node.app.need = need;
+        node.app.rset = rset;
+    });
+    // The pusher token is in flight from the root towards `a` (root channel 0).
+    net.inject_from(0, 0, klex_core::Message::PushT);
+    net
+}
+
+/// Builds the self-stabilizing network whose *initial* configuration is the Figure-2
+/// deadlock: for Algorithm 1/2 this is just one more arbitrary initial configuration, and the
+/// controller recovers from it.
+pub fn figure2_deadlock_config_ss() -> Network<ss::SsNode, OrientedTree> {
+    let cfg = figure2_config();
+    let mut net = ss::network(topology::builders::figure1_tree(), cfg, figure2_drivers(5));
+    apply_figure2_deadlock(&mut net, |node, state, need, rset| {
+        node.app.state = state;
+        node.app.need = need;
+        node.app.rset = rset;
+    });
+    net
+}
+
+/// Builds the pusher-only (livelock-prone) network for the Figure-3 scenario.
+pub fn figure3_pusher_network(hold: u64) -> Network<pusher::PusherNode, OrientedTree> {
+    pusher::network(topology::builders::figure3_tree(), figure3_config(), figure3_drivers(hold))
+}
+
+/// Builds the full non-stabilizing (pusher + priority) network for the Figure-3 scenario.
+pub fn figure3_nonstab_network(hold: u64) -> Network<nonstab::NonStabNode, OrientedTree> {
+    nonstab::network(topology::builders::figure3_tree(), figure3_config(), figure3_drivers(hold))
+}
+
+/// Builds the self-stabilizing network for the Figure-3 scenario.
+pub fn figure3_ss_network(hold: u64) -> Network<ss::SsNode, OrientedTree> {
+    ss::network(topology::builders::figure3_tree(), figure3_config(), figure3_drivers(hold))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use klex_core::count_tokens;
+
+    #[test]
+    fn figure2_deadlock_config_matches_the_figure() {
+        let net = figure2_deadlock_config();
+        let cfg = figure2_config();
+        // All five tokens are reserved, none in flight.
+        let census = count_tokens(&net);
+        assert_eq!(census.resource, cfg.l);
+        assert_eq!(net.in_flight(), 0);
+        // Node states match the figure.
+        assert_eq!(net.node(1).app.need, 3);
+        assert_eq!(net.node(1).app.reserved(), 2);
+        for v in [2, 3, 4] {
+            assert_eq!(net.node(v).app.need, 2);
+            assert_eq!(net.node(v).app.reserved(), 1);
+        }
+        assert_eq!(net.node(0).app.reserved(), 0);
+    }
+
+    #[test]
+    fn figure2_needs_sum_exceeds_l() {
+        let total: usize = figure2_needs().iter().sum();
+        assert!(total > figure2_config().l, "the figure's requests over-subscribe the pool");
+    }
+
+    #[test]
+    fn figure3_needs_match_paper() {
+        assert_eq!(figure3_needs(), [1, 2, 1]);
+        let cfg = figure3_config();
+        assert_eq!((cfg.k, cfg.l), (2, 3));
+    }
+
+    #[test]
+    fn figure2_pusher_variant_has_pusher_in_flight() {
+        let net = figure2_deadlock_config_with_pusher();
+        let pushers = net.iter_messages().filter(|(_, _, m)| m.is_pusher()).count();
+        assert_eq!(pushers, 1);
+    }
+}

@@ -1,0 +1,106 @@
+//! Summary statistics over repeated trials.
+
+use serde::Serialize;
+
+/// Summary statistics (mean, standard deviation, min/median/p95/max) of a sample.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of `samples`; returns the zero summary for an empty slice.
+    pub fn of(samples: &[f64]) -> Summary {
+        if samples.is_empty() {
+            return Summary::default();
+        }
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / count as f64;
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+        Summary {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            median: percentile(&sorted, 0.50),
+            p95: percentile(&sorted, 0.95),
+            max: sorted[count - 1],
+        }
+    }
+
+    /// Convenience for integer samples.
+    pub fn of_u64(samples: &[u64]) -> Summary {
+        let as_f: Vec<f64> = samples.iter().map(|&x| x as f64).collect();
+        Summary::of(&as_f)
+    }
+}
+
+/// Nearest-rank percentile of an already-sorted sample.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_gives_zeroes() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 7.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.std_dev - std::f64::consts::SQRT_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn u64_helper_matches() {
+        assert_eq!(Summary::of_u64(&[2, 4, 6]).mean, 4.0);
+    }
+
+    #[test]
+    fn percentile_is_monotone() {
+        let s = Summary::of(&(0..100).map(|x| x as f64).collect::<Vec<_>>());
+        assert!(s.median <= s.p95);
+        assert!(s.p95 <= s.max);
+        assert_eq!(s.p95, 94.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! `baselines` — comparator protocols for the k-out-of-ℓ exclusion experiments.
+//!
+//! The paper positions its contribution against two families of prior work (Section 1,
+//! Related Work):
+//!
+//! * **ℓ-token circulation on rings** — the two existing self-stabilizing k-out-of-ℓ
+//!   exclusion protocols (Datta–Hadid–Villain 2003) circulate ℓ tokens on an oriented ring
+//!   with a controller.  [`ring`] implements that approach on the [`topology::Ring`]
+//!   topology, with the same pusher/priority/controller machinery as the tree protocol, so
+//!   the tree-vs-ring comparison (experiment E8) isolates the effect of the topology.
+//! * **Permission-based protocols** — non-self-stabilizing protocols in which a requester
+//!   obtains permissions from other processes or from per-unit arbiters (Raynal 1991,
+//!   Manabe et al.).  [`permission`] implements a static per-unit arbiter scheme in that
+//!   spirit, and [`centralized`] implements the degenerate single-arbiter (coordinator)
+//!   version, which serves as an upper bound on achievable throughput and a lower bound on
+//!   messages per critical section.
+//!
+//! All baselines implement [`klex_core::KlInspect`] so the same analysis code measures them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod centralized;
+pub mod permission;
+pub mod ring;
+
+pub use centralized::{CentralizedNode, CoordMessage};
+pub use permission::{ArbiterMessage, PermissionNode};
+pub use ring::{RingMessage, RingSsNode};

@@ -1,0 +1,62 @@
+//! Criterion bench for E5: convergence (bootstrap and post-fault) of the self-stabilizing
+//! protocol.
+
+use bench::support::TreeShape;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use klex_core::{ss, KlConfig};
+use treenet::app::{BoxedDriver, Idle};
+use treenet::{FaultInjector, FaultPlan, RoundRobin};
+
+fn bench_bootstrap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bootstrap_to_legitimacy");
+    group.sample_size(10);
+    for &n in &[6usize, 12] {
+        for shape in [TreeShape::Chain, TreeShape::Star] {
+            let tree = shape.build(n, 1);
+            let cfg = KlConfig::new(1, 2, n);
+            group.bench_with_input(BenchmarkId::new(shape.label(), n), &tree, |b, tree| {
+                b.iter(|| {
+                    let mut net =
+                        ss::network(tree.clone(), cfg, |_| Box::new(Idle) as BoxedDriver);
+                    let mut sched = RoundRobin::new();
+                    let out = treenet::run_until(&mut net, &mut sched, 2_000_000, |n| {
+                        klex_core::is_legitimate(n, &cfg)
+                    });
+                    assert!(out.is_satisfied());
+                    out.time().unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery_after_catastrophic_fault");
+    group.sample_size(10);
+    for &n in &[6usize, 12] {
+        let tree = topology::builders::binary(n);
+        let cfg = KlConfig::new(1, 2, n);
+        group.bench_with_input(BenchmarkId::new("binary", n), &tree, |b, tree| {
+            b.iter(|| {
+                let mut net = ss::network(tree.clone(), cfg, |_| Box::new(Idle) as BoxedDriver);
+                let mut sched = RoundRobin::new();
+                let out = treenet::run_until(&mut net, &mut sched, 2_000_000, |n| {
+                    klex_core::is_legitimate(n, &cfg)
+                });
+                assert!(out.is_satisfied());
+                let mut injector = FaultInjector::new(7);
+                injector.inject(&mut net, &FaultPlan::catastrophic(cfg.cmax));
+                let out = treenet::run_until(&mut net, &mut sched, 4_000_000, |n| {
+                    klex_core::is_legitimate(n, &cfg)
+                });
+                assert!(out.is_satisfied());
+                out.time().unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bootstrap, bench_recovery);
+criterion_main!(benches);

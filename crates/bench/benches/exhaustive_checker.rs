@@ -1,0 +1,70 @@
+//! Criterion bench for E12: throughput of the bounded-exhaustive checker (configurations
+//! explored per second) on the instances the experiment enumerates.
+
+use checker::{drivers, Explorer, Limits};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use klex_core::KlConfig;
+
+fn explore_limits() -> Limits {
+    Limits { max_configurations: 2_000_000, max_depth: usize::MAX }
+}
+
+fn bench_exploration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exhaustive_exploration");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("naive_chain3_l2", "full-space"), |b| {
+        b.iter(|| {
+            let tree = topology::builders::chain(3);
+            let cfg = KlConfig::new(2, 2, 3);
+            let needs = [0usize, 2, 2];
+            let mut net = klex_core::naive::network(tree, cfg, drivers::from_needs(&needs));
+            let report = Explorer::new(&mut net).with_limits(explore_limits()).run();
+            assert!(report.exhaustive());
+            report.configurations
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("pusher_figure3", "full-space+graph"), |b| {
+        b.iter(|| {
+            let tree = topology::builders::figure3_tree();
+            let cfg = KlConfig::new(2, 3, 3);
+            let needs = [1usize, 2, 1];
+            let mut net =
+                klex_core::pusher::network(tree, cfg, drivers::from_needs_holding(&needs));
+            let mut explorer =
+                Explorer::new(&mut net).with_limits(explore_limits()).record_graph(true);
+            let report = explorer.run();
+            assert!(report.exhaustive());
+            (report.configurations, explorer.graph().transition_count())
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_cycle_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("starvation_cycle_search");
+    group.sample_size(10);
+    // Explore the priority-augmented Figure-3 instance once; the bench then measures only the
+    // SCC decomposition + cycle search over the recorded graph (the negative case, which has
+    // to look at the whole graph).
+    let tree = topology::builders::figure3_tree();
+    let cfg = KlConfig::new(2, 3, 3);
+    let needs = [1usize, 2, 1];
+    let mut net = klex_core::nonstab::network(tree, cfg, drivers::from_needs_holding(&needs));
+    let mut explorer = Explorer::new(&mut net).with_limits(explore_limits()).record_graph(true);
+    let report = explorer.run();
+    assert!(report.exhaustive());
+    let graph = explorer.into_graph();
+    group.bench_function(BenchmarkId::new("nonstab_figure3", graph.len()), |b| {
+        b.iter(|| {
+            let cycle = checker::cycles::find_progress_cycle(&graph, 1);
+            assert!(cycle.is_none());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exploration, bench_cycle_search);
+criterion_main!(benches);

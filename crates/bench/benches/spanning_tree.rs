@@ -1,0 +1,63 @@
+//! Criterion bench for E11: stabilization of the distributed spanning-tree construction and
+//! of the full composition (spanning tree + k-out-of-ℓ exclusion) on general rooted networks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use klex_core::KlConfig;
+use stree::composed::compose_with_defaults;
+use topology::RootedGraph;
+use treenet::app::{BoxedDriver, Idle};
+use treenet::{RandomFair, RoundRobin};
+
+fn bench_spanning_tree_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spanning_tree_convergence");
+    group.sample_size(10);
+    for &n in &[8usize, 16, 32] {
+        for (label, extra) in [("sparse", n / 2), ("dense", 2 * n)] {
+            let graph = RootedGraph::random_connected(n, extra, 11);
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &graph,
+                |b, graph| {
+                    b.iter(|| {
+                        let mut net = stree::network_with_defaults(graph.clone());
+                        let mut sched = RoundRobin::new();
+                        let mut steps = 0u64;
+                        while !stree::distances_are_exact(&net) {
+                            net.step(&mut sched);
+                            steps += 1;
+                            assert!(steps < 5_000_000, "spanning tree must converge");
+                        }
+                        steps
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_full_composition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("composition_until_legitimate");
+    group.sample_size(10);
+    for &n in &[8usize, 16] {
+        let graph = RootedGraph::random_connected(n, n, 3);
+        let kl = KlConfig::new(1, 2, n);
+        group.bench_with_input(BenchmarkId::new("mesh", n), &graph, |b, graph| {
+            b.iter(|| {
+                let mut sched = RandomFair::new(9);
+                let composition = compose_with_defaults(
+                    graph.clone(),
+                    kl,
+                    |_| Box::new(Idle) as BoxedDriver,
+                    &mut sched,
+                )
+                .expect("composition stabilizes");
+                composition.total_activations()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spanning_tree_convergence, bench_full_composition);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench for E8: the same saturated workload on the tree protocol and on the ring
+//! baseline, measuring critical-section entries produced per fixed step budget.
+
+use baselines::ring;
+use bench::support::{measure_throughput, scheduler, stabilized_ss_network};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use klex_core::KlConfig;
+use workloads::all_saturated;
+
+fn bench_tree_vs_ring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_vs_ring_30k_steps");
+    group.sample_size(10);
+    const STEPS: u64 = 30_000;
+    for &n in &[8usize, 16] {
+        let cfg = KlConfig::new(1, 3, n);
+        group.bench_with_input(BenchmarkId::new("tree", n), &n, |b, &n| {
+            b.iter(|| {
+                let tree = topology::builders::random_tree(n, 4);
+                let mut boot = scheduler(6);
+                let mut net =
+                    stabilized_ss_network(tree, cfg, all_saturated(1, 3), &mut boot, 4_000_000)
+                        .expect("stabilizes");
+                let mut sched = scheduler(12);
+                measure_throughput(&mut net, &mut sched, STEPS).0
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ring", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut net = ring::network(n, cfg, all_saturated(1, 3));
+                let mut boot = scheduler(6);
+                bench::support::run_until_stable(
+                    &mut net,
+                    &mut boot,
+                    &cfg,
+                    4_000_000,
+                    analysis::convergence::default_window(n),
+                )
+                .expect("ring stabilizes");
+                net.trace_mut().clear();
+                net.metrics_mut().reset();
+                let mut sched = scheduler(12);
+                measure_throughput(&mut net, &mut sched, STEPS).0
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_vs_ring);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench for the wire format: encode/decode throughput of the protocol's messages.
+//!
+//! A deployed process forwards every token it does not reserve, so codec cost sits on the
+//! forwarding fast path; these benches record how many messages per second the encoding
+//! sustains (single-byte token frames versus 19-byte controller frames), plus the lossy
+//! decoder's cost on corrupted input.
+
+use bytes::BytesMut;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use klex_core::{wire, Message};
+
+fn messages() -> Vec<(&'static str, Message)> {
+    vec![
+        ("resource", Message::ResT),
+        ("ctrl", Message::Ctrl { c: 123_456, r: false, pt: 7, ppr: 1 }),
+        ("garbage", Message::Garbage(0xBEEF)),
+    ]
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_encode");
+    for (label, msg) in messages() {
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &msg, |b, msg| {
+            let mut buf = BytesMut::with_capacity(64);
+            b.iter(|| {
+                buf.clear();
+                wire::encode_into(msg, &mut buf);
+                buf.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_decode");
+    for (label, msg) in messages() {
+        let frame = wire::encode(&msg);
+        group.throughput(Throughput::Bytes(frame.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &frame, |b, frame| {
+            b.iter(|| wire::decode(frame).expect("well-formed frame"))
+        });
+    }
+    // Lossy decoding of a corrupted frame (the worst case: checksum over the whole buffer).
+    let junk: Vec<u8> = (0..19u8).map(|x| x.wrapping_mul(37).wrapping_add(1)).collect();
+    group.bench_function("lossy_corrupted_19_bytes", |b| {
+        b.iter(|| wire::decode_lossy(&junk))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Runs every experiment (E1-E15) and prints the full markdown report used to refresh
+//! EXPERIMENTS.md.  Honours KLEX_SCALE=quick|full.
+use bench::experiments as ex;
+use bench::Scale;
+
+fn main() {
+    let scale = match std::env::var("KLEX_SCALE").as_deref() {
+        Ok("quick") => Scale::quick(),
+        _ => Scale::full(),
+    };
+    let reports = vec![
+        ex::figures::e1_dfs_circulation(scale.clone()),
+        ex::figures::e2_deadlock(scale.clone()),
+        ex::figures::e3_livelock(scale.clone()),
+        ex::figures::e4_virtual_ring(scale.clone()),
+        ex::theorem1::e5_convergence(scale.clone()),
+        ex::theorem2::e6_waiting_time(scale.clone()),
+        ex::liveness::e7_kl_liveness(scale.clone()),
+        ex::comparison::e8_tree_vs_ring(scale.clone()),
+        ex::comparison::e9_throughput(scale.clone()),
+        ex::ablation::e10_ablation(scale.clone()),
+        ex::general::e11_general_networks(scale.clone()),
+        ex::exhaustive::e12_exhaustive(scale.clone()),
+        ex::timeout::e13_timeout_sweep(scale.clone()),
+        ex::unbounded::e14_unbounded_counter(scale.clone()),
+        ex::crash::e15_crash_recovery(scale),
+    ];
+    for report in reports {
+        println!("{}\n", report.to_markdown());
+    }
+}

@@ -1,0 +1,4 @@
+//! E10 — ablation of the token ladder and the paper-literal guards.
+fn main() {
+    bench::run_binary(bench::experiments::ablation::e10_ablation);
+}

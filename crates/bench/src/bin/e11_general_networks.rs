@@ -1,0 +1,4 @@
+//! E11 — general rooted networks: spanning-tree composition cost and service.
+fn main() {
+    bench::run_binary(bench::experiments::general::e11_general_networks);
+}

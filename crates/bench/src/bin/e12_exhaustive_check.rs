@@ -1,0 +1,4 @@
+//! E12 — bounded-exhaustive verification of the figure-level claims.
+fn main() {
+    bench::run_binary(bench::experiments::exhaustive::e12_exhaustive);
+}

@@ -1,0 +1,4 @@
+//! E13 — controller-timeout ablation.
+fn main() {
+    bench::run_binary(bench::experiments::timeout::e13_timeout_sweep);
+}

@@ -1,0 +1,4 @@
+//! E14 — bounded vs unbounded counter-flushing domain under garbage ≫ CMAX.
+fn main() {
+    bench::run_binary(bench::experiments::unbounded::e14_unbounded_counter);
+}

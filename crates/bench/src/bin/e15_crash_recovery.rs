@@ -1,0 +1,4 @@
+//! E15 — crash-restart failures: recovery of the self-stabilizing protocol.
+fn main() {
+    bench::run_binary(bench::experiments::crash::e15_crash_recovery);
+}

@@ -1,0 +1,4 @@
+//! E7 — (k,l)-liveness / efficiency property.
+fn main() {
+    bench::run_binary(bench::experiments::liveness::e7_kl_liveness);
+}

@@ -1,0 +1,4 @@
+//! E8 — tree vs ring vs permission-based baselines.
+fn main() {
+    bench::run_binary(bench::experiments::comparison::e8_tree_vs_ring);
+}

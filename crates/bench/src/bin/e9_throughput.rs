@@ -1,0 +1,4 @@
+//! E9 — throughput, message overhead and fairness sweeps.
+fn main() {
+    bench::run_binary(bench::experiments::comparison::e9_throughput);
+}

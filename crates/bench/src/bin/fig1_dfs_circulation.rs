@@ -1,0 +1,4 @@
+//! E1 — Figure 1: depth-first token circulation on oriented trees.
+fn main() {
+    bench::run_binary(bench::experiments::figures::e1_dfs_circulation);
+}

@@ -1,0 +1,4 @@
+//! E2 — Figure 2: deadlock of the naive protocol and its resolution.
+fn main() {
+    bench::run_binary(bench::experiments::figures::e2_deadlock);
+}

@@ -1,0 +1,4 @@
+//! E3 — Figure 3: starvation under the pusher-only protocol.
+fn main() {
+    bench::run_binary(bench::experiments::figures::e3_livelock);
+}

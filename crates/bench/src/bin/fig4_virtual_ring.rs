@@ -1,0 +1,4 @@
+//! E4 — Figure 4: the virtual ring of an oriented tree.
+fn main() {
+    bench::run_binary(bench::experiments::figures::e4_virtual_ring);
+}

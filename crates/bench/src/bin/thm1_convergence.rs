@@ -1,0 +1,4 @@
+//! E5 — Theorem 1: convergence time after transient faults.
+fn main() {
+    bench::run_binary(bench::experiments::theorem1::e5_convergence);
+}

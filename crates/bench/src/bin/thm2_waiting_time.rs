@@ -1,0 +1,4 @@
+//! E6 — Theorem 2: waiting time vs the l(2n-3)^2 bound.
+fn main() {
+    bench::run_binary(bench::experiments::theorem2::e6_waiting_time);
+}

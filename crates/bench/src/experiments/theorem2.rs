@@ -1,0 +1,85 @@
+//! Experiment E6 — Theorem 2: waiting time versus the ℓ(2n−3)² bound.
+
+use crate::support::{scheduler, stabilized_ss_network, Scale, TreeShape};
+use crate::ExperimentReport;
+use analysis::waiting::{max_waiting, waiting_times};
+use analysis::{ExperimentRow, Summary};
+use klex_core::KlConfig;
+use topology::euler::theorem2_waiting_bound;
+use treenet::Adversarial;
+use workloads::all_saturated;
+
+/// E6 — measured waiting time under saturation versus the analytical worst-case bound.
+///
+/// Every process permanently requests one unit (the situation the proof of Theorem 2
+/// considers: every other process may be served while the observed one waits).  After the
+/// protocol stabilizes, the waiting time of each satisfied request is measured as the number
+/// of critical sections entered by other processes in between (the paper's definition).  The
+/// table compares the worst observed value with the bound ℓ(2n−3)², under both a fair random
+/// scheduler and an adversarial scheduler that starves the deepest node.
+pub fn e6_waiting_time(scale: Scale) -> ExperimentReport {
+    let mut rows = Vec::new();
+    for shape in TreeShape::all() {
+        for &n in &scale.sizes {
+            let l = (n / 3).clamp(2, 5);
+            let k = 1usize;
+            let cfg = KlConfig::new(k, l, n);
+            let bound = theorem2_waiting_bound(l, n) as f64;
+
+            for (sched_label, adversarial) in [("fair", false), ("adversarial", true)] {
+                let mut worst = Vec::new();
+                let mut means = Vec::new();
+                for seed in 0..scale.trials {
+                    let tree = shape.build(n, seed);
+                    // The victim of the adversarial scheduler: the node deepest in the tree.
+                    let victim =
+                        (0..n).max_by_key(|&v| tree.depth(v)).unwrap_or(n - 1);
+                    let mut boot_sched = scheduler(300 + seed);
+                    let Some(mut net) = stabilized_ss_network(
+                        tree,
+                        cfg,
+                        all_saturated(1, 3),
+                        &mut boot_sched,
+                        scale.max_steps,
+                    ) else {
+                        continue;
+                    };
+                    if adversarial {
+                        let mut sched = Adversarial::new(vec![victim], 8);
+                        treenet::run_for(&mut net, &mut sched, scale.measure_steps);
+                    } else {
+                        let mut sched = scheduler(700 + seed);
+                        treenet::run_for(&mut net, &mut sched, scale.measure_steps);
+                    }
+                    let records = waiting_times(net.trace());
+                    if records.is_empty() {
+                        continue;
+                    }
+                    worst.push(max_waiting(&records) as f64);
+                    means.push(
+                        records.iter().map(|r| r.cs_entries_waited as f64).sum::<f64>()
+                            / records.len() as f64,
+                    );
+                }
+                let worst_summary = Summary::of(&worst);
+                let mean_summary = Summary::of(&means);
+                rows.push(
+                    ExperimentRow::new(format!(
+                        "{} n={n} l={l} ({sched_label} scheduler)",
+                        shape.label()
+                    ))
+                    .with("bound_l(2n-3)^2", bound)
+                    .with("waiting_worst_observed", worst_summary.max)
+                    .with("waiting_mean", mean_summary.mean)
+                    .with("bound_ratio", if bound > 0.0 { worst_summary.max / bound } else { 0.0 }),
+                );
+            }
+        }
+    }
+    ExperimentReport {
+        title:
+            "E6 — Theorem 2: waiting time (CS entries by others per satisfied request) vs bound"
+                .to_string(),
+        rows,
+    }
+}

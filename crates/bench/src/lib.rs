@@ -1,0 +1,55 @@
+//! `bench` — the experiment library behind every figure/theorem reproduction.
+//!
+//! Each experiment of `DESIGN.md` §4 is a function in [`experiments`] returning a titled list
+//! of [`analysis::ExperimentRow`]s; the binaries in `src/bin/` are thin wrappers that run one
+//! experiment and print its markdown table (plus JSON lines when `--json` is passed), and the
+//! Criterion benches in `benches/` time the underlying simulation kernels.
+//!
+//! Scale knobs: every experiment accepts a [`Scale`] so the same code serves quick smoke runs
+//! (`Scale::quick()`, used in tests and CI) and the fuller runs recorded in `EXPERIMENTS.md`
+//! (`Scale::full()`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod support;
+
+pub use support::Scale;
+
+use analysis::ExperimentRow;
+
+/// A titled experiment result, ready to render.
+pub struct ExperimentReport {
+    /// Experiment identifier and description (e.g. `"E2 — Figure 2: deadlock of the naive protocol"`).
+    pub title: String,
+    /// One row per scenario/parameter point.
+    pub rows: Vec<ExperimentRow>,
+}
+
+impl ExperimentReport {
+    /// Renders the report as a markdown table.
+    pub fn to_markdown(&self) -> String {
+        analysis::render_markdown_table(&self.title, &self.rows)
+    }
+
+    /// Renders the report as JSON lines.
+    pub fn to_jsonl(&self) -> String {
+        analysis::harness::render_jsonl(&self.rows)
+    }
+}
+
+/// Standard `main` body for the experiment binaries: runs the report produced by `f` at the
+/// scale selected by the `KLEX_SCALE` environment variable (`quick` or `full`, default full)
+/// and prints markdown (and JSON lines when `--json` is among the arguments).
+pub fn run_binary(f: impl FnOnce(Scale) -> ExperimentReport) {
+    let scale = match std::env::var("KLEX_SCALE").as_deref() {
+        Ok("quick") => Scale::quick(),
+        _ => Scale::full(),
+    };
+    let report = f(scale);
+    println!("{}", report.to_markdown());
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", report.to_jsonl());
+    }
+}

@@ -1,0 +1,557 @@
+//! Breadth-first exploration of the reachable configuration space.
+//!
+//! [`Explorer`] starts from the current configuration of a live [`Network`], and repeatedly:
+//! restores a frontier configuration into the network, executes **one** activation (every
+//! possible message delivery and every process tick is tried in turn), captures the successor
+//! configuration, and checks the registered [`Property`]s on every configuration seen for the
+//! first time.  Exploration is breadth-first, so any counterexample trace it reports is a
+//! shortest one (in number of activations).
+//!
+//! The exploration is exhaustive with respect to scheduling: every interleaving the paper's
+//! asynchronous model allows is covered, because at each configuration *every* enabled
+//! activation is expanded.  It is bounded by [`Limits`]; if a limit is hit the report's
+//! `truncated` flag is set and absence of violations is only meaningful up to that bound.
+
+use crate::properties::Property;
+use crate::snapshot::{capture, restore, CheckableNode, Configuration};
+use std::collections::{HashMap, VecDeque};
+use topology::Topology;
+use treenet::{Activation, Network, NodeId};
+
+/// Exploration bounds.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Maximum number of distinct configurations to visit.
+    pub max_configurations: usize,
+    /// Maximum exploration depth (number of activations from the initial configuration).
+    pub max_depth: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits { max_configurations: 100_000, max_depth: usize::MAX }
+    }
+}
+
+/// A property violation, with the shortest activation sequence that reaches it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Name of the violated property.
+    pub property: String,
+    /// Human-readable description of what went wrong.
+    pub detail: String,
+    /// Depth (number of activations) of the violating configuration.
+    pub depth: usize,
+    /// The activation sequence leading from the initial configuration to the violation.
+    pub trace: Vec<Activation>,
+    /// The violating configuration itself.
+    pub config: Configuration,
+}
+
+/// A reachable configuration in which requesters are blocked forever: no message is in flight
+/// and no process activation changes the configuration.
+#[derive(Clone, Debug)]
+pub struct DeadlockWitness {
+    /// Processes whose requests can never be satisfied from this configuration.
+    pub blocked: Vec<NodeId>,
+    /// Depth of the deadlocked configuration.
+    pub depth: usize,
+    /// The activation sequence leading to it.
+    pub trace: Vec<Activation>,
+    /// The deadlocked configuration.
+    pub config: Configuration,
+}
+
+/// One outgoing transition of the explored state graph.
+#[derive(Clone, Debug)]
+pub struct Edge {
+    /// The activation labelling the transition.
+    pub action: Activation,
+    /// Index of the successor configuration.
+    pub target: usize,
+    /// Processes that entered their critical section during this transition.
+    pub cs_entries: Vec<NodeId>,
+}
+
+/// The explored fragment of the configuration graph (kept only when
+/// [`Explorer::record_graph`] is enabled); used by the starvation-cycle analysis.
+#[derive(Clone, Debug, Default)]
+pub struct StateGraph {
+    pub(crate) configs: Vec<Configuration>,
+    pub(crate) edges: Vec<Vec<Edge>>,
+}
+
+impl StateGraph {
+    /// Number of configurations in the graph.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// True when the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// The configuration with index `id`.
+    pub fn config(&self, id: usize) -> &Configuration {
+        &self.configs[id]
+    }
+
+    /// Outgoing transitions of configuration `id`.
+    pub fn edges(&self, id: usize) -> &[Edge] {
+        &self.edges[id]
+    }
+
+    /// Index of the initial configuration (always 0).
+    pub fn initial(&self) -> usize {
+        0
+    }
+
+    /// Total number of recorded transitions.
+    pub fn transition_count(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+}
+
+/// The result of one exploration run.
+#[derive(Clone, Debug, Default)]
+pub struct ExplorationReport {
+    /// Number of distinct configurations visited.
+    pub configurations: usize,
+    /// Number of transitions executed.
+    pub transitions: usize,
+    /// Largest depth reached.
+    pub max_depth: usize,
+    /// True when a limit was hit before the reachable space was exhausted.
+    pub truncated: bool,
+    /// Property violations (at most one per property, with shortest traces).
+    pub violations: Vec<Violation>,
+    /// Deadlocked configurations discovered.
+    pub deadlocks: Vec<DeadlockWitness>,
+}
+
+impl ExplorationReport {
+    /// True when no registered property was violated.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// True when no deadlocked configuration was found.
+    pub fn deadlock_free(&self) -> bool {
+        self.deadlocks.is_empty()
+    }
+
+    /// True when the whole reachable space (within the abstraction) was covered.
+    pub fn exhaustive(&self) -> bool {
+        !self.truncated
+    }
+}
+
+/// Bounded-exhaustive explorer over the reachable configurations of a protocol network.
+pub struct Explorer<'a, P: CheckableNode, T: Topology> {
+    net: &'a mut Network<P, T>,
+    limits: Limits,
+    properties: Vec<Box<dyn Property>>,
+    record_graph: bool,
+    stop_on_violation: bool,
+    graph: StateGraph,
+}
+
+impl<'a, P: CheckableNode, T: Topology> Explorer<'a, P, T> {
+    /// Creates an explorer rooted at the network's current configuration.
+    pub fn new(net: &'a mut Network<P, T>) -> Self {
+        Explorer {
+            net,
+            limits: Limits::default(),
+            properties: Vec::new(),
+            record_graph: false,
+            stop_on_violation: true,
+            graph: StateGraph::default(),
+        }
+    }
+
+    /// Overrides the exploration bounds.
+    pub fn with_limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Registers a property to check on every visited configuration.
+    pub fn with_property(mut self, property: Box<dyn Property>) -> Self {
+        self.properties.push(property);
+        self
+    }
+
+    /// Keeps the explored state graph in memory for later cycle analysis
+    /// (see [`crate::cycles::find_progress_cycle`]).
+    pub fn record_graph(mut self, record: bool) -> Self {
+        self.record_graph = record;
+        self
+    }
+
+    /// Continue exploring after the first property violation (default: stop).
+    pub fn continue_on_violation(mut self) -> Self {
+        self.stop_on_violation = false;
+        self
+    }
+
+    /// The state graph recorded by the last [`Explorer::run`], if recording was enabled.
+    pub fn graph(&self) -> &StateGraph {
+        &self.graph
+    }
+
+    /// Consumes the explorer and returns the recorded state graph.
+    pub fn into_graph(self) -> StateGraph {
+        self.graph
+    }
+
+    /// Runs the exploration and returns its report.
+    pub fn run(&mut self) -> ExplorationReport {
+        let n = self.net.len();
+        let degrees: Vec<usize> = (0..n).map(|v| self.net.topology().degree(v)).collect();
+
+        let initial = capture(self.net);
+        let mut ids: HashMap<Configuration, usize> = HashMap::new();
+        let mut configs: Vec<Configuration> = Vec::new();
+        let mut parents: Vec<Option<(usize, Activation)>> = Vec::new();
+        let mut depths: Vec<usize> = Vec::new();
+        let mut report = ExplorationReport::default();
+        let mut violated: Vec<String> = Vec::new();
+
+        ids.insert(initial.clone(), 0);
+        configs.push(initial.clone());
+        parents.push(None);
+        depths.push(0);
+        if self.record_graph {
+            self.graph = StateGraph { configs: vec![initial.clone()], edges: vec![Vec::new()] };
+        }
+        self.check_properties(&initial, 0, &parents, &mut report, &mut violated);
+
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        queue.push_back(0);
+
+        'outer: while let Some(id) = queue.pop_front() {
+            let depth = depths[id];
+            report.max_depth = report.max_depth.max(depth);
+            if depth >= self.limits.max_depth {
+                report.truncated = true;
+                continue;
+            }
+            let config = configs[id].clone();
+
+            // Enumerate every enabled activation: one delivery per non-empty channel plus one
+            // tick per process.
+            let mut activations: Vec<Activation> = Vec::new();
+            for v in 0..n {
+                for l in 0..degrees[v] {
+                    if !config.channels[v][l].is_empty() {
+                        activations.push(Activation::Deliver { node: v, channel: l });
+                    }
+                }
+            }
+            let first_tick = activations.len();
+            for v in 0..n {
+                activations.push(Activation::Tick { node: v });
+            }
+
+            let mut every_tick_is_self_loop = true;
+            for (idx, act) in activations.iter().enumerate() {
+                restore(self.net, &config);
+                self.net.trace_mut().clear();
+                self.net.execute(*act);
+                let succ = capture(self.net);
+                report.transitions += 1;
+
+                let cs_entries: Vec<NodeId> = self
+                    .net
+                    .trace()
+                    .events()
+                    .iter()
+                    .filter(|e| matches!(e.event, treenet::Event::EnterCs { .. }))
+                    .map(|e| e.node)
+                    .collect();
+
+                if idx >= first_tick && succ != config {
+                    every_tick_is_self_loop = false;
+                }
+
+                let succ_id = match ids.get(&succ) {
+                    Some(&existing) => Some(existing),
+                    None => {
+                        if configs.len() >= self.limits.max_configurations {
+                            report.truncated = true;
+                            None
+                        } else {
+                            let new_id = configs.len();
+                            ids.insert(succ.clone(), new_id);
+                            configs.push(succ.clone());
+                            parents.push(Some((id, *act)));
+                            depths.push(depth + 1);
+                            if self.record_graph {
+                                self.graph.configs.push(succ.clone());
+                                self.graph.edges.push(Vec::new());
+                            }
+                            queue.push_back(new_id);
+                            self.check_properties(
+                                &succ,
+                                new_id,
+                                &parents,
+                                &mut report,
+                                &mut violated,
+                            );
+                            if self.stop_on_violation && !report.violations.is_empty() {
+                                report.configurations = configs.len();
+                                break 'outer;
+                            }
+                            Some(new_id)
+                        }
+                    }
+                };
+
+                if self.record_graph {
+                    if let Some(target) = succ_id {
+                        self.graph.edges[id].push(Edge { action: *act, target, cs_entries });
+                    }
+                }
+            }
+
+            // Quiescent deadlock: nothing in flight, every tick is a self-loop, and some
+            // request can therefore never be satisfied.
+            if first_tick == 0 && every_tick_is_self_loop {
+                let blocked = config.unsatisfied_requesters();
+                if !blocked.is_empty() {
+                    report.deadlocks.push(DeadlockWitness {
+                        blocked,
+                        depth,
+                        trace: trace_to(id, &parents),
+                        config: config.clone(),
+                    });
+                }
+            }
+        }
+
+        report.configurations = configs.len();
+        report
+    }
+
+    fn check_properties(
+        &self,
+        config: &Configuration,
+        id: usize,
+        parents: &[Option<(usize, Activation)>],
+        report: &mut ExplorationReport,
+        violated: &mut Vec<String>,
+    ) {
+        for property in &self.properties {
+            if violated.iter().any(|name| name == property.name()) {
+                continue;
+            }
+            if let Err(detail) = property.check(config) {
+                violated.push(property.name().to_string());
+                report.violations.push(Violation {
+                    property: property.name().to_string(),
+                    detail,
+                    depth: trace_to(id, parents).len(),
+                    trace: trace_to(id, parents),
+                    config: config.clone(),
+                });
+            }
+        }
+    }
+}
+
+/// Reconstructs the activation sequence from the initial configuration to configuration `id`.
+fn trace_to(mut id: usize, parents: &[Option<(usize, Activation)>]) -> Vec<Activation> {
+    let mut trace = Vec::new();
+    while let Some((parent, act)) = parents[id] {
+        trace.push(act);
+        id = parent;
+    }
+    trace.reverse();
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drivers;
+    use crate::properties;
+    use klex_core::KlConfig;
+    use klex_core::Message;
+    use treenet::CsState;
+
+    /// A 2-node chain running the naive protocol with a single resource token, both processes
+    /// perpetually requesting one unit: a minimal live instance whose state space is tiny.
+    fn tiny_naive() -> Network<klex_core::naive::NaiveNode, topology::OrientedTree> {
+        let tree = topology::builders::chain(2);
+        let cfg = KlConfig::new(1, 1, 2);
+        klex_core::naive::network(tree, cfg, |_| drivers::AlwaysRequest::boxed(1))
+    }
+
+    #[test]
+    fn exploration_of_a_tiny_instance_terminates_and_is_exhaustive() {
+        let mut net = tiny_naive();
+        let cfg = KlConfig::new(1, 1, 2);
+        let mut explorer = Explorer::new(&mut net)
+            .with_limits(Limits { max_configurations: 50_000, max_depth: usize::MAX })
+            .with_property(properties::safety(cfg));
+        let report = explorer.run();
+        assert!(report.exhaustive(), "2-node 1-token space must fit the limits");
+        assert!(report.ok(), "safety must hold everywhere: {:?}", report.violations);
+        assert!(report.configurations > 1);
+        assert!(report.transitions >= report.configurations - 1);
+    }
+
+    #[test]
+    fn single_requester_never_deadlocks_with_one_token() {
+        let mut net = tiny_naive();
+        let report = Explorer::new(&mut net)
+            .with_limits(Limits { max_configurations: 50_000, max_depth: usize::MAX })
+            .run();
+        assert!(report.exhaustive());
+        assert!(report.deadlock_free(), "deadlocks: {:?}", report.deadlocks);
+    }
+
+    #[test]
+    fn violations_carry_shortest_traces() {
+        // A property that is violated as soon as any process enters its critical section.
+        // Instantaneous critical sections (AlwaysRequest) are invisible in captured
+        // configurations (entry and exit happen within one activation), so use drivers that
+        // hold the critical section across an activation.
+        let make = || {
+            let tree = topology::builders::chain(2);
+            let cfg = KlConfig::new(1, 1, 2);
+            klex_core::naive::network(tree, cfg, |_| drivers::HoldOneActivation::boxed(1))
+        };
+        let mut net = make();
+        let report = Explorer::new(&mut net)
+            .with_limits(Limits { max_configurations: 50_000, max_depth: usize::MAX })
+            .with_property(properties::property("never-enter", |c| {
+                if c.nodes.iter().any(|s| s.cs == CsState::In) {
+                    Err("a process entered its critical section".into())
+                } else {
+                    Ok(())
+                }
+            }))
+            .run();
+        assert_eq!(report.violations.len(), 1);
+        let violation = &report.violations[0];
+        assert!(!violation.trace.is_empty());
+        assert_eq!(violation.trace.len(), violation.depth);
+        assert!(violation.config.nodes.iter().any(|s| s.cs == CsState::In));
+
+        // Replay the trace on a fresh network and confirm it reaches the reported config.
+        let mut fresh = make();
+        for act in &violation.trace {
+            fresh.execute(*act);
+        }
+        assert_eq!(capture(&fresh), violation.config);
+    }
+
+    #[test]
+    fn limits_truncate_and_are_reported() {
+        let mut net = tiny_naive();
+        let report = Explorer::new(&mut net)
+            .with_limits(Limits { max_configurations: 3, max_depth: usize::MAX })
+            .run();
+        assert!(report.truncated);
+        assert!(report.configurations <= 3);
+    }
+
+    #[test]
+    fn recorded_graph_matches_report_counts() {
+        let mut net = tiny_naive();
+        let mut explorer = Explorer::new(&mut net)
+            .with_limits(Limits { max_configurations: 50_000, max_depth: usize::MAX })
+            .record_graph(true);
+        let report = explorer.run();
+        let graph = explorer.graph();
+        assert_eq!(graph.len(), report.configurations);
+        assert!(graph.transition_count() > 0);
+        // Every edge target is a valid configuration index.
+        for id in 0..graph.len() {
+            for edge in graph.edges(id) {
+                assert!(edge.target < graph.len());
+            }
+        }
+    }
+
+    #[test]
+    fn depth_limit_bounds_the_frontier() {
+        let mut net = tiny_naive();
+        let report = Explorer::new(&mut net)
+            .with_limits(Limits { max_configurations: 50_000, max_depth: 2 })
+            .run();
+        assert!(report.max_depth <= 2);
+        assert!(report.truncated, "a live protocol has configurations beyond depth 2");
+    }
+
+    #[test]
+    fn naive_deadlock_is_reachable_on_a_minimal_figure2_instance() {
+        // A minimal instance of the Figure-2 phenomenon: ℓ = 2 tokens, two requesters that
+        // each need both.  Exploration from the *clean* initial state must find the reachable
+        // deadlock in which each requester hoards one token and neither can ever proceed.
+        let tree = topology::builders::chain(3);
+        let cfg = KlConfig::new(2, 2, 3);
+        let needs = [0usize, 2, 2];
+        let mut net = klex_core::naive::network(tree, cfg, drivers::from_needs(&needs));
+        let report = Explorer::new(&mut net)
+            .with_limits(Limits { max_configurations: 200_000, max_depth: usize::MAX })
+            .run();
+        assert!(report.exhaustive(), "the 3-node 2-token space must fit the limits");
+        assert!(
+            !report.deadlock_free(),
+            "the naive protocol must reach a Figure-2-style deadlock (explored {} configurations)",
+            report.configurations,
+        );
+        let witness = &report.deadlocks[0];
+        assert_eq!(witness.blocked.len(), 2, "both requesters are blocked");
+        // In the deadlock every resource token is reserved by a blocked requester.
+        assert_eq!(witness.config.messages_in_flight(), 0);
+        assert_eq!(witness.config.resource_tokens(), 2);
+    }
+
+    #[test]
+    fn closure_holds_for_the_self_stabilizing_protocol_on_figure3() {
+        // Closure (Definition 1): from a legitimate configuration, every reachable
+        // configuration is legitimate.  Explore the full protocol from a stabilized
+        // configuration of the Figure-3 instance and check the legitimacy predicate
+        // everywhere.
+        let tree = topology::builders::figure3_tree();
+        let cfg = KlConfig::new(2, 2, 3).with_cmax(0);
+        let mut net = crate::scenarios::stabilized_ss(
+            tree,
+            cfg,
+            |_| drivers::AlwaysRequest::boxed(1),
+            500_000,
+        );
+        let report = Explorer::new(&mut net)
+            .with_limits(Limits { max_configurations: 150_000, max_depth: usize::MAX })
+            .with_property(properties::legitimate(cfg))
+            .with_property(properties::safety(cfg))
+            .run();
+        assert!(report.ok(), "closure violated: {:?}", report.violations);
+        assert!(report.deadlock_free());
+        assert!(
+            report.configurations > 100,
+            "the exploration should cover a non-trivial reachable set, got {}",
+            report.configurations
+        );
+    }
+
+    #[test]
+    fn garbage_message_is_consumed_not_forwarded() {
+        let mut net = tiny_naive();
+        net.inject_into(1, 0, Message::Garbage(7));
+        let report = Explorer::new(&mut net)
+            .with_limits(Limits { max_configurations: 50_000, max_depth: usize::MAX })
+            .continue_on_violation()
+            .with_property(properties::no_garbage())
+            .run();
+        // The initial configuration violates no-garbage, but the violation is at depth 0 and
+        // the garbage disappears after delivery (it is never retransmitted).
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].depth, 0);
+        assert!(report.exhaustive());
+    }
+}

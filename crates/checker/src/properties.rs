@@ -1,0 +1,231 @@
+//! Configuration predicates checked on every explored configuration.
+//!
+//! Properties are pure functions of a [`Configuration`]; they correspond to the global
+//! predicates the paper's proofs reason about:
+//!
+//! * [`safety`] — the safety clause of the k-out-of-ℓ exclusion specification (each process
+//!   uses at most `k` units, at most `ℓ` units are in use, no process hoards more than `k`
+//!   reservations);
+//! * [`exact_census`] — the token population is exactly (ℓ resource, 1 pusher, 1 priority),
+//!   the invariant Lemmas 6–8 establish;
+//! * [`legitimate`] — the conjunction used as the empirical legitimate set: exact census,
+//!   no garbage messages, and safety — checking it on every configuration reachable from a
+//!   legitimate one is exactly the *closure* half of Definition 1;
+//! * [`no_garbage`] — no corrupted message survives;
+//! * [`bounded_channels`] — no channel ever holds more than a given number of messages
+//!   (a sanity property of the token-circulation design: legitimate executions never
+//!   accumulate unbounded traffic).
+
+use crate::snapshot::Configuration;
+use klex_core::KlConfig;
+
+/// A predicate over configurations, named for reporting.
+pub trait Property {
+    /// Short name used in reports (e.g. `"safety"`).
+    fn name(&self) -> &str;
+
+    /// Returns `Err(description)` when the property is violated in `config`.
+    fn check(&self, config: &Configuration) -> Result<(), String>;
+}
+
+struct Named<F> {
+    name: &'static str,
+    check: F,
+}
+
+impl<F> Property for Named<F>
+where
+    F: Fn(&Configuration) -> Result<(), String>,
+{
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn check(&self, config: &Configuration) -> Result<(), String> {
+        (self.check)(config)
+    }
+}
+
+/// Builds a property from a name and a closure.
+pub fn property(
+    name: &'static str,
+    check: impl Fn(&Configuration) -> Result<(), String> + 'static,
+) -> Box<dyn Property> {
+    Box::new(Named { name, check })
+}
+
+/// The safety clause of the k-out-of-ℓ exclusion specification.
+pub fn safety(cfg: KlConfig) -> Box<dyn Property> {
+    property("safety", move |c| {
+        for (v, s) in c.nodes.iter().enumerate() {
+            if s.rset.len() > cfg.k {
+                return Err(format!(
+                    "process {v} reserves {} tokens but k = {}",
+                    s.rset.len(),
+                    cfg.k
+                ));
+            }
+        }
+        let in_use = c.units_in_use();
+        if in_use > cfg.l {
+            return Err(format!("{in_use} units in use but l = {}", cfg.l));
+        }
+        Ok(())
+    })
+}
+
+/// The token population is exactly (ℓ, 1, 1).
+pub fn exact_census(cfg: KlConfig) -> Box<dyn Property> {
+    property("exact-census", move |c| {
+        let (res, push, prio) = (c.resource_tokens(), c.pusher_tokens(), c.priority_tokens());
+        if res == cfg.l && push == 1 && prio == 1 {
+            Ok(())
+        } else {
+            Err(format!(
+                "census is ({res} resource, {push} pusher, {prio} priority), expected ({}, 1, 1)",
+                cfg.l
+            ))
+        }
+    })
+}
+
+/// No garbage (non-protocol) message is in flight.
+pub fn no_garbage() -> Box<dyn Property> {
+    property("no-garbage", |c| {
+        let g = c.garbage_messages();
+        if g == 0 {
+            Ok(())
+        } else {
+            Err(format!("{g} garbage messages in flight"))
+        }
+    })
+}
+
+/// The legitimacy predicate: exact census, no garbage, and safety.  Checking this on every
+/// reachable configuration from a legitimate start is the closure property of Definition 1.
+pub fn legitimate(cfg: KlConfig) -> Box<dyn Property> {
+    let census = exact_census(cfg);
+    let garbage = no_garbage();
+    let safe = safety(cfg);
+    property("legitimate", move |c| {
+        census.check(c)?;
+        garbage.check(c)?;
+        safe.check(c)
+    })
+}
+
+/// No channel ever holds more than `bound` in-flight messages.
+pub fn bounded_channels(bound: usize) -> Box<dyn Property> {
+    property("bounded-channels", move |c| {
+        for (v, per_node) in c.channels.iter().enumerate() {
+            for (l, ch) in per_node.iter().enumerate() {
+                if ch.len() > bound {
+                    return Err(format!(
+                        "channel ({v}, {l}) holds {} messages, bound is {bound}",
+                        ch.len()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::NodeState;
+    use klex_core::Message;
+    use treenet::CsState;
+
+    fn node(cs: CsState, need: usize, rset: Vec<usize>, prio: Option<usize>) -> NodeState {
+        NodeState { cs, need, rset, prio, bootstrapped: true, ctrl: None }
+    }
+
+    fn config(nodes: Vec<NodeState>, channels: Vec<Vec<Vec<Message>>>) -> Configuration {
+        Configuration { nodes, channels }
+    }
+
+    fn kl(k: usize, l: usize) -> KlConfig {
+        KlConfig::new(k, l, 3)
+    }
+
+    #[test]
+    fn safety_accepts_bounded_use_and_rejects_hoarding() {
+        let ok = config(
+            vec![node(CsState::In, 2, vec![0, 1], None), node(CsState::Out, 0, vec![], None)],
+            vec![vec![vec![]], vec![vec![]]],
+        );
+        assert!(safety(kl(2, 3)).check(&ok).is_ok());
+
+        let hoarder = config(
+            vec![node(CsState::Req, 2, vec![0, 0, 1], None)],
+            vec![vec![vec![]]],
+        );
+        let err = safety(kl(2, 3)).check(&hoarder).unwrap_err();
+        assert!(err.contains("reserves 3"));
+    }
+
+    #[test]
+    fn safety_rejects_global_overuse() {
+        let too_many = config(
+            vec![
+                node(CsState::In, 2, vec![0, 0], None),
+                node(CsState::In, 2, vec![0, 0], None),
+            ],
+            vec![vec![vec![]], vec![vec![]]],
+        );
+        assert!(safety(kl(2, 3)).check(&too_many).is_err());
+    }
+
+    #[test]
+    fn exact_census_counts_held_and_in_flight_tokens() {
+        let c = config(
+            vec![node(CsState::Req, 2, vec![0], Some(0)), node(CsState::Out, 0, vec![], None)],
+            vec![
+                vec![vec![Message::ResT, Message::PushT]],
+                vec![vec![Message::ResT]],
+            ],
+        );
+        // 1 reserved + 2 in flight = 3 resource tokens; 1 pusher; 1 held priority.
+        assert!(exact_census(kl(2, 3)).check(&c).is_ok());
+        assert!(exact_census(kl(2, 4)).check(&c).is_err());
+    }
+
+    #[test]
+    fn no_garbage_flags_corrupted_messages() {
+        let clean = config(vec![node(CsState::Out, 0, vec![], None)], vec![vec![vec![]]]);
+        assert!(no_garbage().check(&clean).is_ok());
+        let dirty = config(
+            vec![node(CsState::Out, 0, vec![], None)],
+            vec![vec![vec![Message::Garbage(3)]]],
+        );
+        assert!(no_garbage().check(&dirty).is_err());
+    }
+
+    #[test]
+    fn legitimate_is_the_conjunction() {
+        let c = config(
+            vec![node(CsState::Out, 0, vec![], None), node(CsState::Out, 0, vec![], None)],
+            vec![
+                vec![vec![Message::ResT, Message::ResT, Message::ResT, Message::PushT, Message::PrioT]],
+                vec![vec![]],
+            ],
+        );
+        assert!(legitimate(kl(2, 3)).check(&c).is_ok());
+        let mut wrong = c.clone();
+        wrong.channels[1][0].push(Message::PrioT);
+        assert!(legitimate(kl(2, 3)).check(&wrong).is_err());
+    }
+
+    #[test]
+    fn bounded_channels_reports_the_offending_link() {
+        let c = config(
+            vec![node(CsState::Out, 0, vec![], None)],
+            vec![vec![vec![Message::ResT, Message::ResT, Message::ResT]]],
+        );
+        assert!(bounded_channels(3).check(&c).is_ok());
+        let err = bounded_channels(2).check(&c).unwrap_err();
+        assert!(err.contains("(0, 0)"));
+    }
+}

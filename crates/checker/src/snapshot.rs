@@ -1,0 +1,407 @@
+//! Capturing and restoring protocol configurations.
+//!
+//! A *configuration* in the paper's sense is the product of all process states and channel
+//! contents.  [`Configuration`] is the explorer's concrete representation of that: one
+//! [`NodeState`] per process plus the full FIFO content of every incoming channel.  It is
+//! `Eq + Hash`, so the explorer can recognise configurations it has already visited, and it
+//! can be written back into a live [`Network`] so that the *actual* protocol code computes the
+//! successors.
+//!
+//! # The state abstraction
+//!
+//! Two pieces of run-time state are deliberately **excluded** from the abstraction:
+//!
+//! * the logical clock (`now`) and the root's timeout counter — the paper treats the timeout
+//!   interval as "sufficiently large"; checked networks are built with an effectively
+//!   infinite interval (see [`crate::scenarios::ss_for_checking`]) so the timer can never
+//!   fire during a bounded exploration and its value is behaviourally irrelevant;
+//! * application-driver internals — the drivers of [`crate::drivers`] are stateless, so their
+//!   behaviour is a function of the captured `State`/`Need` alone.
+//!
+//! Everything the protocol itself reads — `State`, `Need`, `RSet`, `Prio`, the counter-flushing
+//! variables `myC`/`Succ`, the root's census counters and `Reset` flag, and every in-flight
+//! message — is part of the abstraction.
+
+use klex_core::ss::SsRole;
+use klex_core::{Message, SsNode};
+use topology::Topology;
+use treenet::{ChannelLabel, CsState, Network, Process};
+
+/// The controller-related (self-stabilization) part of a process state.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum CtrlState {
+    /// The root's Algorithm-1 variables.
+    Root {
+        /// Counter-flushing value `myC`.
+        my_c: u64,
+        /// Successor pointer `Succ`.
+        succ: ChannelLabel,
+        /// The `Reset` flag.
+        reset: bool,
+        /// `SToken`.
+        s_token: u64,
+        /// `SPush`.
+        s_push: u8,
+        /// `SPrio`.
+        s_prio: u8,
+    },
+    /// A non-root process's Algorithm-2 variables.
+    NonRoot {
+        /// Counter-flushing value `myC`.
+        my_c: u64,
+        /// Successor pointer `Succ`.
+        succ: ChannelLabel,
+    },
+}
+
+/// The protocol-relevant local state of one process.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct NodeState {
+    /// The paper's `State ∈ {Req, In, Out}`.
+    pub cs: CsState,
+    /// The paper's `Need`.
+    pub need: usize,
+    /// The paper's `RSet`, as a sorted multiset of channel labels.  Sorting is safe because
+    /// `RSet` is a multiset: the retransmission target of a reserved token depends only on
+    /// its own label, never on its position in the collection.
+    pub rset: Vec<ChannelLabel>,
+    /// The paper's `Prio` (`None` for protocol rungs without the priority token).
+    pub prio: Option<ChannelLabel>,
+    /// Whether the root has already created its initial tokens (naive / pusher / non-stabilizing
+    /// rungs only; the self-stabilizing protocol has no such flag).
+    pub bootstrapped: bool,
+    /// Counter-flushing state (self-stabilizing protocol only).
+    pub ctrl: Option<CtrlState>,
+}
+
+/// A global configuration: all process states plus all channel contents.
+///
+/// `channels[v][l]` is the FIFO content (head first) of node `v`'s incoming channel `l`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Configuration {
+    /// Per-process protocol state.
+    pub nodes: Vec<NodeState>,
+    /// Per-channel in-flight messages, head first.
+    pub channels: Vec<Vec<Vec<Message>>>,
+}
+
+impl Configuration {
+    /// Total number of in-flight messages.
+    pub fn messages_in_flight(&self) -> usize {
+        self.channels.iter().flat_map(|per_node| per_node.iter().map(Vec::len)).sum()
+    }
+
+    /// Indices of processes that are unsatisfied requesters (`State = Req ∧ |RSet| < Need`).
+    pub fn unsatisfied_requesters(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.cs == CsState::Req && s.rset.len() < s.need)
+            .map(|(v, _)| v)
+            .collect()
+    }
+
+    /// Number of resource tokens in the configuration (in flight plus reserved).
+    pub fn resource_tokens(&self) -> usize {
+        self.in_flight_matching(Message::is_resource)
+            + self.nodes.iter().map(|s| s.rset.len()).sum::<usize>()
+    }
+
+    /// Number of pusher tokens (always in flight: no process ever holds the pusher).
+    pub fn pusher_tokens(&self) -> usize {
+        self.in_flight_matching(Message::is_pusher)
+    }
+
+    /// Number of priority tokens, in flight plus held (`Prio ≠ ⊥`).
+    pub fn priority_tokens(&self) -> usize {
+        self.in_flight_matching(Message::is_priority)
+            + self.nodes.iter().filter(|s| s.prio.is_some()).count()
+    }
+
+    /// Number of garbage (non-protocol) messages in flight.
+    pub fn garbage_messages(&self) -> usize {
+        self.in_flight_matching(|m| matches!(m, Message::Garbage(_)))
+    }
+
+    /// Resource units currently *in use* in the sense of the safety property: tokens reserved
+    /// by processes executing their critical section.
+    pub fn units_in_use(&self) -> usize {
+        self.nodes.iter().filter(|s| s.cs == CsState::In).map(|s| s.rset.len()).sum()
+    }
+
+    fn in_flight_matching(&self, pred: impl Fn(&Message) -> bool) -> usize {
+        self.channels
+            .iter()
+            .flat_map(|per_node| per_node.iter())
+            .flat_map(|ch| ch.iter())
+            .filter(|&m| pred(m))
+            .count()
+    }
+}
+
+/// A protocol process whose state can be captured into a [`NodeState`] and written back.
+///
+/// Implemented for every rung of the protocol ladder.  The contract is that
+/// `restore(&capture())` is an identity on the behaviourally relevant state, and that two
+/// processes with equal captures behave identically on every input (given stateless drivers).
+pub trait CheckableNode: Process<Msg = Message> + klex_core::KlInspect {
+    /// Captures the protocol-relevant local state.
+    fn capture_state(&self) -> NodeState;
+
+    /// Restores a previously captured state.
+    fn restore_state(&mut self, state: &NodeState);
+}
+
+fn sorted(mut labels: Vec<ChannelLabel>) -> Vec<ChannelLabel> {
+    labels.sort_unstable();
+    labels
+}
+
+impl CheckableNode for klex_core::naive::NaiveNode {
+    fn capture_state(&self) -> NodeState {
+        NodeState {
+            cs: self.app.state,
+            need: self.app.need,
+            rset: sorted(self.app.rset.clone()),
+            prio: None,
+            bootstrapped: self.bootstrapped,
+            ctrl: None,
+        }
+    }
+
+    fn restore_state(&mut self, state: &NodeState) {
+        self.app.state = state.cs;
+        self.app.need = state.need;
+        self.app.rset = state.rset.clone();
+        self.app.entered_at = 0;
+        self.bootstrapped = state.bootstrapped;
+    }
+}
+
+impl CheckableNode for klex_core::pusher::PusherNode {
+    fn capture_state(&self) -> NodeState {
+        NodeState {
+            cs: self.app.state,
+            need: self.app.need,
+            rset: sorted(self.app.rset.clone()),
+            prio: None,
+            bootstrapped: self.bootstrapped,
+            ctrl: None,
+        }
+    }
+
+    fn restore_state(&mut self, state: &NodeState) {
+        self.app.state = state.cs;
+        self.app.need = state.need;
+        self.app.rset = state.rset.clone();
+        self.app.entered_at = 0;
+        self.bootstrapped = state.bootstrapped;
+    }
+}
+
+impl CheckableNode for klex_core::nonstab::NonStabNode {
+    fn capture_state(&self) -> NodeState {
+        NodeState {
+            cs: self.app.state,
+            need: self.app.need,
+            rset: sorted(self.app.rset.clone()),
+            prio: self.prio,
+            bootstrapped: self.bootstrapped,
+            ctrl: None,
+        }
+    }
+
+    fn restore_state(&mut self, state: &NodeState) {
+        self.app.state = state.cs;
+        self.app.need = state.need;
+        self.app.rset = state.rset.clone();
+        self.app.entered_at = 0;
+        self.prio = state.prio;
+        self.bootstrapped = state.bootstrapped;
+    }
+}
+
+impl CheckableNode for SsNode {
+    fn capture_state(&self) -> NodeState {
+        let ctrl = Some(match &self.role {
+            SsRole::Root(r) => CtrlState::Root {
+                my_c: r.my_c,
+                succ: r.succ,
+                reset: r.reset,
+                s_token: r.s_token,
+                s_push: r.s_push,
+                s_prio: r.s_prio,
+            },
+            SsRole::NonRoot(st) => CtrlState::NonRoot { my_c: st.my_c, succ: st.succ },
+        });
+        NodeState {
+            cs: self.app.state,
+            need: self.app.need,
+            rset: sorted(self.app.rset.clone()),
+            prio: self.prio,
+            bootstrapped: true,
+            ctrl,
+        }
+    }
+
+    fn restore_state(&mut self, state: &NodeState) {
+        self.app.state = state.cs;
+        self.app.need = state.need;
+        self.app.rset = state.rset.clone();
+        self.app.entered_at = 0;
+        self.prio = state.prio;
+        match (&mut self.role, &state.ctrl) {
+            (SsRole::Root(r), Some(CtrlState::Root { my_c, succ, reset, s_token, s_push, s_prio })) => {
+                r.my_c = *my_c;
+                r.succ = *succ;
+                r.reset = *reset;
+                r.s_token = *s_token;
+                r.s_push = *s_push;
+                r.s_prio = *s_prio;
+            }
+            (SsRole::NonRoot(st), Some(CtrlState::NonRoot { my_c, succ })) => {
+                st.my_c = *my_c;
+                st.succ = *succ;
+            }
+            (role, ctrl) => {
+                panic!("mismatched controller state for role {role:?}: {ctrl:?}");
+            }
+        }
+    }
+}
+
+/// Captures the full configuration of `net`.
+pub fn capture<P, T>(net: &Network<P, T>) -> Configuration
+where
+    P: CheckableNode,
+    T: Topology,
+{
+    let n = net.len();
+    let nodes = (0..n).map(|v| net.node(v).capture_state()).collect();
+    let channels = (0..n)
+        .map(|v| {
+            (0..net.topology().degree(v))
+                .map(|l| net.channel(v, l).iter().cloned().collect())
+                .collect()
+        })
+        .collect();
+    Configuration { nodes, channels }
+}
+
+/// Writes `config` back into `net`: process states are restored and every channel is cleared
+/// and refilled.  The logical clock and metrics are left untouched (they are not part of the
+/// abstraction).
+///
+/// # Panics
+///
+/// Panics if the configuration's shape (node count or channel degrees) does not match the
+/// network.
+pub fn restore<P, T>(net: &mut Network<P, T>, config: &Configuration)
+where
+    P: CheckableNode,
+    T: Topology,
+{
+    assert_eq!(config.nodes.len(), net.len(), "configuration has the wrong number of processes");
+    for (v, state) in config.nodes.iter().enumerate() {
+        net.node_mut(v).restore_state(state);
+    }
+    for (v, per_node) in config.channels.iter().enumerate() {
+        assert_eq!(
+            per_node.len(),
+            net.topology().degree(v),
+            "configuration has the wrong degree for node {v}"
+        );
+        for (l, msgs) in per_node.iter().enumerate() {
+            let ch = net.channel_mut(v, l);
+            ch.clear();
+            for m in msgs {
+                ch.push(*m);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drivers::AlwaysRequest;
+    use klex_core::KlConfig;
+    use treenet::RoundRobin;
+
+    fn ss_net() -> Network<SsNode, topology::OrientedTree> {
+        let tree = topology::builders::figure3_tree();
+        let cfg = KlConfig::new(2, 3, 3).with_timeout(u64::MAX / 4);
+        klex_core::ss::network(tree, cfg, |_| AlwaysRequest::boxed(1))
+    }
+
+    #[test]
+    fn capture_restore_roundtrip_is_identity() {
+        let mut net = ss_net();
+        // Put the network in a non-trivial state first.
+        net.inject_from(0, 0, Message::Ctrl { c: 0, r: false, pt: 0, ppr: 0 });
+        let mut sched = RoundRobin::new();
+        for _ in 0..500 {
+            net.step(&mut sched);
+        }
+        let snap = capture(&net);
+        // Keep running, then restore and recapture: the captures must agree.
+        for _ in 0..200 {
+            net.step(&mut sched);
+        }
+        assert_ne!(capture(&net), snap, "the network should have moved on");
+        restore(&mut net, &snap);
+        assert_eq!(capture(&net), snap);
+    }
+
+    #[test]
+    fn equal_captures_compare_and_hash_equal() {
+        use std::collections::HashSet;
+        let net = ss_net();
+        let a = capture(&net);
+        let b = capture(&net);
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn rset_order_does_not_distinguish_configurations() {
+        let tree = topology::builders::figure1_tree();
+        let cfg = KlConfig::new(3, 5, 8);
+        let mut net1 = klex_core::naive::network(tree.clone(), cfg, |_| AlwaysRequest::boxed(3));
+        let mut net2 = klex_core::naive::network(tree, cfg, |_| AlwaysRequest::boxed(3));
+        net1.node_mut(1).app.state = CsState::Req;
+        net1.node_mut(1).app.need = 3;
+        net1.node_mut(1).app.rset = vec![2, 0, 1];
+        net2.node_mut(1).app.state = CsState::Req;
+        net2.node_mut(1).app.need = 3;
+        net2.node_mut(1).app.rset = vec![0, 1, 2];
+        assert_eq!(capture(&net1), capture(&net2));
+    }
+
+    #[test]
+    fn configuration_helpers_report_tokens_and_requesters() {
+        let tree = topology::builders::figure3_tree();
+        let cfg = KlConfig::new(2, 3, 3);
+        let mut net = klex_core::naive::network(tree, cfg, |_| AlwaysRequest::boxed(2));
+        net.node_mut(1).app.state = CsState::Req;
+        net.node_mut(1).app.need = 2;
+        net.node_mut(1).app.rset = vec![0];
+        net.inject_into(2, 0, Message::ResT);
+        net.inject_into(2, 0, Message::PushT);
+        let c = capture(&net);
+        assert_eq!(c.messages_in_flight(), 2);
+        assert_eq!(c.resource_tokens(), 2);
+        assert_eq!(c.unsatisfied_requesters(), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong number of processes")]
+    fn restore_rejects_mismatched_shapes() {
+        let mut net = ss_net();
+        let mut config = capture(&net);
+        config.nodes.pop();
+        restore(&mut net, &config);
+    }
+}

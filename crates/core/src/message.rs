@@ -1,0 +1,136 @@
+//! The protocol's message vocabulary.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use treenet::{ArbitraryMessage, MessageKind};
+
+/// A message of the k-out-of-ℓ exclusion protocol, `⟨type, value…⟩` in the paper's notation.
+///
+/// * [`Message::ResT`] — a resource token; one per resource unit, ℓ in a legitimate
+///   configuration.
+/// * [`Message::PushT`] — the pusher token; exactly one in a legitimate configuration.  It
+///   forces processes that are neither in nor about to enter their critical section to
+///   release reserved resource tokens, preventing the deadlock of Figure 2.
+/// * [`Message::PrioT`] — the priority token; exactly one in a legitimate configuration.  Its
+///   holder is immune to the pusher, preventing the livelock of Figure 3.
+/// * [`Message::Ctrl`] — the controller, `⟨ctrl, C, R, PT, PPr⟩`: a counter-flushing DFS
+///   token that counts the other tokens during one circulation so the root can repair their
+///   number (create the missing ones, or reset the network when there are too many).
+/// * [`Message::Garbage`] — an arbitrary corrupted message, as may populate channels after a
+///   transient fault.  Legitimate protocol code never sends it; it exists so fault injection
+///   can produce genuinely foreign channel content that the protocol must flush out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Message {
+    /// A resource token (one unit of the shared resource).
+    ResT,
+    /// The pusher token.
+    PushT,
+    /// The priority token.
+    PrioT,
+    /// The controller token `⟨ctrl, C, R, PT, PPr⟩`.
+    Ctrl {
+        /// The counter-flushing flag value `C` (the sender's `myC`).
+        c: u64,
+        /// The reset flag `R`: when true, every visited process erases its reserved tokens.
+        r: bool,
+        /// Number of resource tokens *passed* by the controller so far in this circulation.
+        pt: u64,
+        /// Number of priority tokens passed by the controller so far in this circulation.
+        ppr: u8,
+    },
+    /// An arbitrary corrupted message (never produced by correct protocol code).
+    Garbage(u16),
+}
+
+impl Message {
+    /// True for resource tokens.
+    pub fn is_resource(&self) -> bool {
+        matches!(self, Message::ResT)
+    }
+
+    /// True for the pusher token.
+    pub fn is_pusher(&self) -> bool {
+        matches!(self, Message::PushT)
+    }
+
+    /// True for the priority token.
+    pub fn is_priority(&self) -> bool {
+        matches!(self, Message::PrioT)
+    }
+
+    /// True for controller messages.
+    pub fn is_ctrl(&self) -> bool {
+        matches!(self, Message::Ctrl { .. })
+    }
+}
+
+impl MessageKind for Message {
+    fn kind(&self) -> &'static str {
+        match self {
+            Message::ResT => "ResT",
+            Message::PushT => "PushT",
+            Message::PrioT => "PrioT",
+            Message::Ctrl { .. } => "ctrl",
+            Message::Garbage(_) => "garbage",
+        }
+    }
+}
+
+impl ArbitraryMessage for Message {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        // Faults can forge any message type, including plausible-looking tokens and
+        // controllers with arbitrary field values.
+        match rng.gen_range(0..5) {
+            0 => Message::ResT,
+            1 => Message::PushT,
+            2 => Message::PrioT,
+            3 => Message::Ctrl {
+                c: rng.gen_range(0..1_000),
+                r: rng.gen_bool(0.3),
+                pt: rng.gen_range(0..16),
+                ppr: rng.gen_range(0..3),
+            },
+            _ => Message::Garbage(rng.gen()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kinds_are_distinct() {
+        let msgs = [
+            Message::ResT,
+            Message::PushT,
+            Message::PrioT,
+            Message::Ctrl { c: 0, r: false, pt: 0, ppr: 0 },
+            Message::Garbage(9),
+        ];
+        let kinds: std::collections::BTreeSet<&str> = msgs.iter().map(|m| m.kind()).collect();
+        assert_eq!(kinds.len(), msgs.len());
+    }
+
+    #[test]
+    fn predicates_match_variants() {
+        assert!(Message::ResT.is_resource());
+        assert!(Message::PushT.is_pusher());
+        assert!(Message::PrioT.is_priority());
+        assert!(Message::Ctrl { c: 1, r: true, pt: 2, ppr: 1 }.is_ctrl());
+        assert!(!Message::Garbage(0).is_ctrl());
+        assert!(!Message::ResT.is_pusher());
+    }
+
+    #[test]
+    fn arbitrary_covers_all_variants() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut kinds = std::collections::BTreeSet::new();
+        for _ in 0..500 {
+            kinds.insert(Message::arbitrary(&mut rng).kind());
+        }
+        assert_eq!(kinds.len(), 5, "fault injection should be able to forge every message kind");
+    }
+}

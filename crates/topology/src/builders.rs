@@ -1,0 +1,284 @@
+//! Tree builders: canonical shapes, random trees, and the exact trees of the paper's figures.
+
+use crate::tree::OrientedTree;
+use crate::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A chain (path) of `n` nodes rooted at one end: `0 - 1 - 2 - ... - n-1`.
+///
+/// Chains maximise the virtual-ring distance between the root and the deepest node and are
+/// the worst case for the waiting-time experiments (Theorem 2).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn chain(n: usize) -> OrientedTree {
+    assert!(n > 0);
+    let mut children = vec![Vec::new(); n];
+    for v in 0..n - 1 {
+        children[v].push(v + 1);
+    }
+    OrientedTree::from_children(children)
+}
+
+/// A star: the root has `n - 1` leaf children.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn star(n: usize) -> OrientedTree {
+    assert!(n > 0);
+    let mut children = vec![Vec::new(); n];
+    children[0] = (1..n).collect();
+    OrientedTree::from_children(children)
+}
+
+/// A balanced `arity`-ary tree with `n` nodes, filled level by level.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `arity == 0`.
+pub fn balanced(n: usize, arity: usize) -> OrientedTree {
+    assert!(n > 0 && arity > 0);
+    let mut children = vec![Vec::new(); n];
+    for v in 1..n {
+        let parent = (v - 1) / arity;
+        children[parent].push(v);
+    }
+    OrientedTree::from_children(children)
+}
+
+/// A balanced binary tree with `n` nodes.
+pub fn binary(n: usize) -> OrientedTree {
+    balanced(n, 2)
+}
+
+/// A caterpillar: a spine of `spine` nodes, each spine node carrying `legs` leaf children.
+///
+/// Total node count is `spine * (legs + 1)`.
+///
+/// # Panics
+///
+/// Panics if `spine == 0`.
+pub fn caterpillar(spine: usize, legs: usize) -> OrientedTree {
+    assert!(spine > 0);
+    let n = spine * (legs + 1);
+    let mut children = vec![Vec::new(); n];
+    // Spine nodes are 0..spine.
+    for s in 0..spine {
+        if s + 1 < spine {
+            children[s].push(s + 1);
+        }
+        for l in 0..legs {
+            children[s].push(spine + s * legs + l);
+        }
+    }
+    OrientedTree::from_children(children)
+}
+
+/// A broom: a handle (chain) of `handle` nodes whose last node has `bristles` leaf children.
+///
+/// Total node count is `handle + bristles`.
+///
+/// # Panics
+///
+/// Panics if `handle == 0`.
+pub fn broom(handle: usize, bristles: usize) -> OrientedTree {
+    assert!(handle > 0);
+    let n = handle + bristles;
+    let mut children = vec![Vec::new(); n];
+    for v in 0..handle - 1 {
+        children[v].push(v + 1);
+    }
+    for b in 0..bristles {
+        children[handle - 1].push(handle + b);
+    }
+    OrientedTree::from_children(children)
+}
+
+/// A uniformly random recursive tree with `n` nodes: node `v > 0` attaches to a uniformly
+/// random earlier node. Deterministic for a given `seed`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn random_tree(n: usize, seed: u64) -> OrientedTree {
+    assert!(n > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut parents: Vec<Option<NodeId>> = vec![None; n];
+    for v in 1..n {
+        parents[v] = Some(rng.gen_range(0..v));
+    }
+    OrientedTree::from_parents(&parents)
+}
+
+/// A random tree with bounded maximum number of children per node, useful to sweep over
+/// "bushiness" while keeping `n` fixed. Deterministic for a given `seed`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `max_children == 0`.
+pub fn random_bounded_degree(n: usize, max_children: usize, seed: u64) -> OrientedTree {
+    assert!(n > 0 && max_children > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut open: Vec<NodeId> = vec![0];
+    for v in 1..n {
+        let idx = rng.gen_range(0..open.len());
+        let parent = open[idx];
+        children[parent].push(v);
+        if children[parent].len() >= max_children {
+            open.swap_remove(idx);
+        }
+        open.push(v);
+    }
+    OrientedTree::from_children(children)
+}
+
+/// The 8-node tree of **Figures 1, 2 and 4** of the paper.
+///
+/// Nodes (paper → id): `r=0, a=1, b=2, c=3, d=4, e=5, f=6, g=7`;
+/// `r` has children `a, d`; `a` has children `b, c`; `d` has children `e, f, g`.
+pub fn figure1_tree() -> OrientedTree {
+    OrientedTree::from_children(vec![
+        vec![1, 4],    // r -> a, d
+        vec![2, 3],    // a -> b, c
+        vec![],        // b
+        vec![],        // c
+        vec![5, 6, 7], // d -> e, f, g
+        vec![],        // e
+        vec![],        // f
+        vec![],        // g
+    ])
+}
+
+/// Paper-name lookup for [`figure1_tree`] nodes: returns the id of `"r"`, `"a"`, ... `"g"`.
+///
+/// # Panics
+///
+/// Panics on an unknown name.
+pub fn figure1_node(name: &str) -> NodeId {
+    match name {
+        "r" => 0,
+        "a" => 1,
+        "b" => 2,
+        "c" => 3,
+        "d" => 4,
+        "e" => 5,
+        "f" => 6,
+        "g" => 7,
+        other => panic!("unknown figure-1 node name {other:?}"),
+    }
+}
+
+/// The 3-node tree of **Figure 3** of the paper: root `r = 0` with children `a = 1`, `b = 2`.
+pub fn figure3_tree() -> OrientedTree {
+    OrientedTree::from_children(vec![vec![1, 2], vec![], vec![]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Topology;
+
+    #[test]
+    fn chain_shape() {
+        let t = chain(6);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.height(), 5);
+        assert_eq!(t.leaf_count(), 1);
+        assert_eq!(t.degree(0), 1);
+        assert_eq!(t.degree(3), 2);
+        assert_eq!(t.degree(5), 1);
+    }
+
+    #[test]
+    fn star_shape() {
+        let t = star(7);
+        assert_eq!(t.degree(0), 6);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.leaf_count(), 6);
+    }
+
+    #[test]
+    fn balanced_binary_shape() {
+        let t = binary(7);
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.children(0), &[1, 2]);
+        assert_eq!(t.children(1), &[3, 4]);
+        assert_eq!(t.children(2), &[5, 6]);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let t = caterpillar(3, 2);
+        assert_eq!(t.len(), 9);
+        // Only the 6 legs are leaves; every spine node has at least its legs as children.
+        assert_eq!(t.leaf_count(), 6);
+    }
+
+    #[test]
+    fn caterpillar_spine_is_connected() {
+        let t = caterpillar(4, 1);
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.depth(3), 3);
+    }
+
+    #[test]
+    fn broom_shape() {
+        let t = broom(3, 4);
+        assert_eq!(t.len(), 7);
+        assert_eq!(t.height(), 3);
+        assert_eq!(t.leaf_count(), 4);
+        assert_eq!(t.degree(2), 5); // parent + 4 bristles
+    }
+
+    #[test]
+    fn random_tree_is_deterministic() {
+        let a = random_tree(40, 123);
+        let b = random_tree(40, 123);
+        assert_eq!(a, b);
+        let c = random_tree(40, 124);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_bounded_degree_respects_bound() {
+        for seed in 0..5 {
+            let t = random_bounded_degree(50, 3, seed);
+            for v in 0..t.len() {
+                assert!(t.children(v).len() <= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_tree_matches_paper() {
+        let t = figure1_tree();
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.children(figure1_node("r")), &[1, 4]);
+        assert_eq!(t.children(figure1_node("a")), &[2, 3]);
+        assert_eq!(t.children(figure1_node("d")), &[5, 6, 7]);
+        assert_eq!(t.degree(figure1_node("d")), 4);
+        assert!(t.is_leaf(figure1_node("g")));
+    }
+
+    #[test]
+    fn figure3_tree_matches_paper() {
+        let t = figure3_tree();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.degree(0), 2);
+        assert!(t.is_leaf(1));
+        assert!(t.is_leaf(2));
+    }
+
+    #[test]
+    fn builders_accept_minimal_sizes() {
+        assert_eq!(chain(1).len(), 1);
+        assert_eq!(star(1).len(), 1);
+        assert_eq!(balanced(1, 3).len(), 1);
+        assert_eq!(broom(1, 0).len(), 1);
+        assert_eq!(random_tree(1, 0).len(), 1);
+    }
+}

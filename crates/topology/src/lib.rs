@@ -1,0 +1,100 @@
+//! Network topologies for the k-out-of-ℓ exclusion reproduction.
+//!
+//! The paper (Datta, Devismes, Horn, Larmore, IPPS 2009) assumes an *oriented tree*: a rooted
+//! tree in which every non-root process knows which incident channel leads to its parent, and
+//! channels incident to a process `p` are locally labelled `0..Δp`.  The depth-first token
+//! circulation rule ("a token received on channel `i` leaves on channel `(i+1) mod Δp`")
+//! turns the tree into a *virtual ring* (the Euler tour of the tree), which is what all token
+//! types travel along.
+//!
+//! This crate provides:
+//!
+//! * [`OrientedTree`] — the tree model with the paper's channel-labelling convention
+//!   (the parent channel of every non-root process is labelled `0`);
+//! * [`builders`] — chains, stars, balanced binary trees, caterpillars, brooms, random trees,
+//!   and the exact trees drawn in Figures 1–4 of the paper;
+//! * [`euler`] — the virtual ring (Euler tour) induced by the DFS retransmission rule;
+//! * [`Ring`] and [`Complete`] — auxiliary topologies used by the baseline protocols;
+//! * [`graph`] — general rooted graphs plus spanning-tree construction, realising the
+//!   extension sketched in the paper's conclusion (composing the protocol with a spanning
+//!   tree makes it run on arbitrary rooted networks).
+//!
+//! Everything implements the [`Topology`] trait consumed by the `treenet` simulator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builders;
+pub mod euler;
+pub mod graph;
+pub mod ring;
+pub mod tree;
+
+pub use euler::{VirtualRing, VirtualRingSlot};
+pub use graph::{RootedGraph, SpanningTreeMethod};
+pub use ring::{Complete, Ring};
+pub use tree::OrientedTree;
+
+/// Identifier of a process (node) in a network. Nodes are numbered `0..n`.
+pub type NodeId = usize;
+
+/// A locally-scoped channel label, in `0..degree(node)`.
+///
+/// Following the paper, every non-root process labels the channel towards its parent `0`;
+/// the remaining channels (towards children) are labelled `1, 2, ...` in child order.  The
+/// root labels its channels `0..Δr` in child order.
+pub type ChannelLabel = usize;
+
+/// A communication topology as seen by the simulator.
+///
+/// A topology is a set of `n` nodes, each with `degree(node)` bidirectional links.  Each link
+/// endpoint is identified by a local [`ChannelLabel`].  `endpoint(p, i)` answers: "if `p`
+/// sends on its channel `i`, which node receives the message, and on which of *its* local
+/// labels does it arrive?".
+pub trait Topology {
+    /// Number of nodes in the network.
+    fn len(&self) -> usize;
+
+    /// True when the network has no nodes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of channels incident to `node` (Δ_node in the paper).
+    fn degree(&self, node: NodeId) -> usize;
+
+    /// Resolves the remote endpoint of `node`'s channel `label`.
+    ///
+    /// Returns `(peer, peer_label)`: the neighbouring node and the label under which the
+    /// *peer* knows the same link.  Sending on `(node, label)` enqueues onto the peer's
+    /// incoming channel `peer_label`.
+    fn endpoint(&self, node: NodeId, label: ChannelLabel) -> (NodeId, ChannelLabel);
+
+    /// The distinguished root process (the paper's `r`). Defaults to node `0`.
+    fn root(&self) -> NodeId {
+        0
+    }
+
+    /// Total number of directed channels in the network (`Σ degree`).
+    fn directed_channels(&self) -> usize {
+        (0..self.len()).map(|v| self.degree(v)).sum()
+    }
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    #[test]
+    fn directed_channels_counts_both_directions() {
+        let t = builders::chain(4);
+        // A chain of 4 nodes has 3 edges, i.e. 6 directed channels.
+        assert_eq!(t.directed_channels(), 6);
+    }
+
+    #[test]
+    fn default_root_is_zero() {
+        let t = builders::star(5);
+        assert_eq!(t.root(), 0);
+    }
+}

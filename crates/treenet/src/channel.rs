@@ -1,0 +1,127 @@
+//! Reliable FIFO channels.
+
+use std::collections::VecDeque;
+
+/// A reliable FIFO channel: the incoming message queue of one directed link.
+///
+/// Channels never lose or reorder messages once the system is past its (possibly faulty)
+/// initial configuration, matching the paper's link assumptions.  The channel keeps simple
+/// counters so the metrics layer can report link utilisation.
+#[derive(Clone, Debug, Default)]
+pub struct Channel<M> {
+    queue: VecDeque<M>,
+    delivered: u64,
+    enqueued: u64,
+}
+
+impl<M> Channel<M> {
+    /// Creates an empty channel.
+    pub fn new() -> Self {
+        Channel { queue: VecDeque::new(), delivered: 0, enqueued: 0 }
+    }
+
+    /// Appends a message at the tail of the channel.
+    pub fn push(&mut self, msg: M) {
+        self.enqueued += 1;
+        self.queue.push_back(msg);
+    }
+
+    /// Removes and returns the head message, if any.
+    pub fn pop(&mut self) -> Option<M> {
+        let m = self.queue.pop_front();
+        if m.is_some() {
+            self.delivered += 1;
+        }
+        m
+    }
+
+    /// Number of messages currently in flight on this channel.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when no message is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Iterates over the in-flight messages from head to tail without removing them.
+    pub fn iter(&self) -> impl Iterator<Item = &M> {
+        self.queue.iter()
+    }
+
+    /// Removes every in-flight message (used by fault injection).
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+
+    /// Removes the message at `index` (0 = head), returning it. Used by fault injection to
+    /// model message loss in the faulty initial configuration.
+    pub fn remove(&mut self, index: usize) -> Option<M> {
+        self.queue.remove(index)
+    }
+
+    /// Inserts a message at `index` (0 = head). Used by fault injection to model arbitrary
+    /// initial channel contents and duplications.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > len()`.
+    pub fn insert(&mut self, index: usize, msg: M) {
+        self.enqueued += 1;
+        self.queue.insert(index, msg);
+    }
+
+    /// Total number of messages ever delivered (popped) from this channel.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Total number of messages ever enqueued on this channel.
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut ch = Channel::new();
+        ch.push(1);
+        ch.push(2);
+        ch.push(3);
+        assert_eq!(ch.pop(), Some(1));
+        assert_eq!(ch.pop(), Some(2));
+        assert_eq!(ch.pop(), Some(3));
+        assert_eq!(ch.pop(), None);
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let mut ch = Channel::new();
+        assert!(ch.is_empty());
+        ch.push("a");
+        ch.push("b");
+        assert_eq!(ch.len(), 2);
+        assert_eq!(ch.enqueued(), 2);
+        ch.pop();
+        assert_eq!(ch.delivered(), 1);
+        assert_eq!(ch.len(), 1);
+    }
+
+    #[test]
+    fn insert_and_remove_for_fault_injection() {
+        let mut ch = Channel::new();
+        ch.push(10);
+        ch.push(30);
+        ch.insert(1, 20);
+        assert_eq!(ch.iter().copied().collect::<Vec<_>>(), vec![10, 20, 30]);
+        assert_eq!(ch.remove(0), Some(10));
+        assert_eq!(ch.remove(5), None);
+        ch.clear();
+        assert!(ch.is_empty());
+    }
+}

@@ -1,0 +1,60 @@
+//! `treenet` — a discrete-event simulator for asynchronous message-passing protocols on
+//! oriented trees (and other topologies).
+//!
+//! The paper's computation model (Section 2) is reproduced faithfully:
+//!
+//! * every process runs an infinite loop; in a *step* it receives at most one message from one
+//!   of its incident channels and then updates local variables and possibly sends messages;
+//! * links are **reliable** and **FIFO**, and may initially contain up to `CMAX` arbitrary
+//!   messages (the bounded-garbage assumption required by Gouda–Multari for deterministic
+//!   self-stabilization with bounded memory);
+//! * executions are **asynchronous but fair**: every process takes infinitely many steps but
+//!   there is no bound on the delay between two steps of a process.
+//!
+//! The simulator realises a step as an [`Activation`] chosen by a pluggable [`Scheduler`]:
+//! either *deliver* the head message of one incoming channel to its process, or give the
+//! process a *tick* (one pass over the bottom-of-loop actions: request issuing, critical
+//! section entry/exit, timeouts).  Fair schedulers ([`scheduler::RoundRobin`],
+//! [`scheduler::RandomFair`]) guarantee the paper's fairness assumption; the
+//! [`scheduler::Adversarial`] scheduler exercises bounded unfairness to stress waiting times.
+//!
+//! Transient faults are modelled by [`fault::FaultInjector`], which corrupts local process
+//! state (through the [`fault::Corruptible`] trait), injects bounded channel garbage
+//! (through [`fault::ArbitraryMessage`]), and deletes or duplicates in-flight messages —
+//! exactly the "arbitrary configuration" from which a self-stabilizing protocol must recover.
+//! Crash-restart failures (the paper conclusion's "other failure patterns") are modelled by
+//! [`fault::Restartable`] and [`fault::FaultInjector::crash`]: the victim's local state
+//! returns to its boot-time value and, optionally, its incoming messages are lost.
+//!
+//! Execution produces a [`trace::Trace`] of application-level events (requests, critical
+//! section entries and exits) and [`metrics::Metrics`] (messages sent per kind, activations),
+//! from which the `analysis` crate derives waiting times, throughput, fairness and
+//! convergence measurements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod channel;
+pub mod fault;
+pub mod metrics;
+pub mod network;
+pub mod process;
+pub mod runner;
+pub mod scheduler;
+pub mod trace;
+
+pub use app::{AppDriver, CsState};
+pub use channel::Channel;
+pub use fault::{ArbitraryMessage, Corruptible, FaultInjector, FaultPlan, FaultReport, Restartable};
+pub use metrics::Metrics;
+pub use network::{Network, NetworkView};
+pub use process::{Context, Event, MessageKind, Process};
+pub use runner::{run_for, run_until, run_until_quiescent, RunOutcome};
+pub use scheduler::{Activation, Adversarial, RandomFair, RoundRobin, Scheduler};
+pub use trace::{Trace, TracedEvent};
+
+/// Re-export of the node identifier type used throughout.
+pub type NodeId = topology::NodeId;
+/// Re-export of the channel label type used throughout.
+pub type ChannelLabel = topology::ChannelLabel;

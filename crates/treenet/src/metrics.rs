@@ -1,0 +1,87 @@
+//! Execution metrics: message counts per kind, activations, per-node traffic.
+
+use crate::NodeId;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Counters accumulated by the simulator during a run.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct Metrics {
+    /// Total number of activations executed (message deliveries + ticks).
+    pub activations: u64,
+    /// Number of activations that delivered a message.
+    pub deliveries: u64,
+    /// Number of tick-only activations.
+    pub ticks: u64,
+    /// Total number of messages sent by processes.
+    pub messages_sent: u64,
+    /// Messages sent, broken down by [`crate::MessageKind::kind`].
+    pub messages_by_kind: BTreeMap<&'static str, u64>,
+    /// Messages sent per node.
+    pub sent_by_node: Vec<u64>,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics for a network of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Metrics { sent_by_node: vec![0; n], ..Metrics::default() }
+    }
+
+    /// Records one sent message of the given kind by `node`.
+    pub fn record_send(&mut self, node: NodeId, kind: &'static str) {
+        self.messages_sent += 1;
+        *self.messages_by_kind.entry(kind).or_insert(0) += 1;
+        if let Some(slot) = self.sent_by_node.get_mut(node) {
+            *slot += 1;
+        }
+    }
+
+    /// Number of messages of `kind` sent so far.
+    pub fn sent_of_kind(&self, kind: &str) -> u64 {
+        self.messages_by_kind.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Resets every counter to zero (e.g. to measure only the post-stabilization phase),
+    /// keeping the per-node vector length.
+    pub fn reset(&mut self) {
+        let n = self.sent_by_node.len();
+        *self = Metrics::new(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_send_updates_all_counters() {
+        let mut m = Metrics::new(3);
+        m.record_send(1, "ResT");
+        m.record_send(1, "ResT");
+        m.record_send(2, "ctrl");
+        assert_eq!(m.messages_sent, 3);
+        assert_eq!(m.sent_of_kind("ResT"), 2);
+        assert_eq!(m.sent_of_kind("ctrl"), 1);
+        assert_eq!(m.sent_of_kind("PushT"), 0);
+        assert_eq!(m.sent_by_node, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn out_of_range_node_is_ignored_gracefully() {
+        let mut m = Metrics::new(1);
+        m.record_send(5, "ResT");
+        assert_eq!(m.messages_sent, 1);
+        assert_eq!(m.sent_by_node, vec![0]);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_size() {
+        let mut m = Metrics::new(4);
+        m.activations = 10;
+        m.record_send(0, "x");
+        m.reset();
+        assert_eq!(m.activations, 0);
+        assert_eq!(m.messages_sent, 0);
+        assert_eq!(m.sent_by_node.len(), 4);
+    }
+}

@@ -1,0 +1,183 @@
+//! The process abstraction: local algorithms, their execution context, and emitted events.
+
+use crate::{ChannelLabel, NodeId};
+use serde::Serialize;
+
+/// Classification of a message for metrics purposes.
+///
+/// The simulator is generic over the protocol's message type; implementing this trait lets
+/// the metrics layer count messages per kind (resource token, pusher, control, ...) without
+/// knowing the concrete type.
+pub trait MessageKind {
+    /// A short static name of the message kind, e.g. `"ResT"` or `"ctrl"`.
+    fn kind(&self) -> &'static str;
+}
+
+/// A local algorithm executed by one process of the network.
+///
+/// A process reacts to two stimuli, mirroring the structure of the paper's
+/// `repeat forever` loop:
+///
+/// * [`Process::on_message`] — one message has been received from one incident channel
+///   (the body of the per-channel `if receive ⟨...⟩ from q` blocks);
+/// * [`Process::on_tick`] — the bottom-of-loop actions (critical-section entry/exit, release
+///   of a held priority token, the root's timeout), plus interaction with the application
+///   (issuing new requests).
+///
+/// The simulator calls `on_tick` after every `on_message` and also on dedicated tick
+/// activations, so the bottom-of-loop actions are evaluated at least as often as in the
+/// paper's loop structure.
+pub trait Process {
+    /// The protocol's message type.
+    type Msg: Clone + std::fmt::Debug + MessageKind;
+
+    /// Handles one message received on channel `from`.
+    fn on_message(&mut self, from: ChannelLabel, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>);
+
+    /// Executes the bottom-of-loop actions.
+    fn on_tick(&mut self, ctx: &mut Context<'_, Self::Msg>);
+}
+
+/// An application-level event emitted by a process, recorded in the execution trace.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub enum Event {
+    /// The application switched `State` from `Out` to `Req`, asking for `units` resource units.
+    RequestIssued {
+        /// Number of resource units requested (1 ≤ units ≤ k).
+        units: usize,
+    },
+    /// The protocol granted the request: `State` switched from `Req` to `In` (`EnterCS()`).
+    EnterCs {
+        /// Number of resource units held during this critical section.
+        units: usize,
+    },
+    /// The application finished its critical section: `State` switched from `In` to `Out`.
+    ExitCs {
+        /// Number of resource units released.
+        units: usize,
+    },
+    /// The protocol detected (or decided) something noteworthy, e.g. `"reset"` when the root
+    /// starts a reset traversal, or `"circulation"` when the controller completes a traversal.
+    Note(&'static str),
+}
+
+/// The execution context handed to a process during one activation.
+///
+/// It exposes the process identity and the only side effects a process may perform: sending
+/// messages on its channels and emitting trace events.  Messages are buffered and delivered
+/// by the network after the activation returns (send is non-blocking, as in the model).
+pub struct Context<'a, M> {
+    /// The identifier of the activated process.
+    pub node: NodeId,
+    /// Number of channels incident to the process (Δp).
+    pub degree: usize,
+    /// The global activation counter (logical time).
+    pub now: u64,
+    pub(crate) outbox: &'a mut Vec<(ChannelLabel, M)>,
+    pub(crate) events: &'a mut Vec<Event>,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// Creates a context that is not attached to a network: sends land in `outbox`, events in
+    /// `events`.  Useful for unit-testing process logic in isolation.
+    pub fn detached(
+        node: NodeId,
+        degree: usize,
+        now: u64,
+        outbox: &'a mut Vec<(ChannelLabel, M)>,
+        events: &'a mut Vec<Event>,
+    ) -> Self {
+        Context { node, degree, now, outbox, events }
+    }
+
+    /// Sends `msg` on the process's channel `label` (`0 ≤ label < degree`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is out of range — a protocol bug, not a runtime condition.
+    pub fn send(&mut self, label: ChannelLabel, msg: M) {
+        assert!(
+            label < self.degree,
+            "process {} tried to send on channel {} but has degree {}",
+            self.node,
+            label,
+            self.degree
+        );
+        self.outbox.push((label, msg));
+    }
+
+    /// Sends `msg` on channel `(label + 1) mod degree` — the DFS retransmission rule used by
+    /// every token type in the paper.
+    pub fn send_next(&mut self, label: ChannelLabel, msg: M) {
+        let next = (label + 1) % self.degree.max(1);
+        self.send(next, msg);
+    }
+
+    /// Records an application-level event in the execution trace.
+    pub fn emit(&mut self, event: Event) {
+        self.events.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug)]
+    struct Dummy;
+    impl MessageKind for Dummy {
+        fn kind(&self) -> &'static str {
+            "dummy"
+        }
+    }
+
+    fn ctx<'a>(
+        outbox: &'a mut Vec<(ChannelLabel, Dummy)>,
+        events: &'a mut Vec<Event>,
+    ) -> Context<'a, Dummy> {
+        Context { node: 3, degree: 4, now: 17, outbox, events }
+    }
+
+    #[test]
+    fn send_buffers_messages_in_order() {
+        let mut outbox = Vec::new();
+        let mut events = Vec::new();
+        let mut c = ctx(&mut outbox, &mut events);
+        c.send(0, Dummy);
+        c.send(3, Dummy);
+        assert_eq!(outbox.len(), 2);
+        assert_eq!(outbox[0].0, 0);
+        assert_eq!(outbox[1].0, 3);
+    }
+
+    #[test]
+    fn send_next_wraps_around_degree() {
+        let mut outbox = Vec::new();
+        let mut events = Vec::new();
+        let mut c = ctx(&mut outbox, &mut events);
+        c.send_next(3, Dummy); // (3+1) % 4 == 0
+        c.send_next(1, Dummy); // 2
+        assert_eq!(outbox[0].0, 0);
+        assert_eq!(outbox[1].0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "tried to send on channel")]
+    fn send_rejects_out_of_range_label() {
+        let mut outbox = Vec::new();
+        let mut events = Vec::new();
+        let mut c = ctx(&mut outbox, &mut events);
+        c.send(4, Dummy);
+    }
+
+    #[test]
+    fn emit_records_events() {
+        let mut outbox = Vec::new();
+        let mut events = Vec::new();
+        let mut c = ctx(&mut outbox, &mut events);
+        c.emit(Event::RequestIssued { units: 2 });
+        c.emit(Event::EnterCs { units: 2 });
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0], Event::RequestIssued { units: 2 });
+    }
+}

@@ -1,0 +1,190 @@
+//! Convenience run loops: run for a fixed horizon, until a predicate holds, or to quiescence.
+
+use crate::network::Network;
+use crate::process::Process;
+use crate::scheduler::Scheduler;
+use topology::Topology;
+
+/// Why a bounded run stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The stop predicate became true at the reported logical time.
+    Satisfied(u64),
+    /// The step budget was exhausted before the predicate held.
+    Exhausted,
+    /// The network became quiescent (no message in flight) at the reported logical time.
+    Quiescent(u64),
+}
+
+impl RunOutcome {
+    /// The logical time at which the run stopped, if it stopped for a definite reason.
+    pub fn time(&self) -> Option<u64> {
+        match self {
+            RunOutcome::Satisfied(t) | RunOutcome::Quiescent(t) => Some(*t),
+            RunOutcome::Exhausted => None,
+        }
+    }
+
+    /// True when the predicate was satisfied.
+    pub fn is_satisfied(&self) -> bool {
+        matches!(self, RunOutcome::Satisfied(_))
+    }
+}
+
+/// Runs exactly `steps` activations.
+pub fn run_for<P: Process, T: Topology>(
+    net: &mut Network<P, T>,
+    scheduler: &mut impl Scheduler,
+    steps: u64,
+) {
+    for _ in 0..steps {
+        net.step(scheduler);
+    }
+}
+
+/// Runs until `pred(net)` holds (checked after every activation) or `max_steps` activations
+/// have been executed.
+pub fn run_until<P: Process, T: Topology>(
+    net: &mut Network<P, T>,
+    scheduler: &mut impl Scheduler,
+    max_steps: u64,
+    mut pred: impl FnMut(&Network<P, T>) -> bool,
+) -> RunOutcome {
+    if pred(net) {
+        return RunOutcome::Satisfied(net.now());
+    }
+    for _ in 0..max_steps {
+        net.step(scheduler);
+        if pred(net) {
+            return RunOutcome::Satisfied(net.now());
+        }
+    }
+    RunOutcome::Exhausted
+}
+
+/// Runs until no message is in flight for a full sweep of `grace` consecutive activations
+/// (i.e. the network is quiescent: nothing will ever change again unless a process
+/// spontaneously sends), or until `max_steps` is exhausted.
+///
+/// A protocol with a root timeout is never truly quiescent; this helper is meant for the
+/// *non*-self-stabilizing protocol variants, where quiescence with unsatisfied requests is
+/// exactly the deadlock illustrated in Figure 2 of the paper.
+pub fn run_until_quiescent<P: Process, T: Topology>(
+    net: &mut Network<P, T>,
+    scheduler: &mut impl Scheduler,
+    max_steps: u64,
+    grace: u64,
+) -> RunOutcome {
+    let mut quiet_for = 0u64;
+    for _ in 0..max_steps {
+        if net.in_flight() == 0 {
+            quiet_for += 1;
+            if quiet_for >= grace {
+                return RunOutcome::Quiescent(net.now());
+            }
+        } else {
+            quiet_for = 0;
+        }
+        net.step(scheduler);
+    }
+    if net.in_flight() == 0 {
+        RunOutcome::Quiescent(net.now())
+    } else {
+        RunOutcome::Exhausted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::{Context, MessageKind};
+    use crate::scheduler::RoundRobin;
+    use crate::ChannelLabel;
+    use topology::builders;
+
+    #[derive(Clone, Debug)]
+    struct Ping;
+    impl MessageKind for Ping {
+        fn kind(&self) -> &'static str {
+            "ping"
+        }
+    }
+
+    /// Root sends a bounded number of pings down; everyone forwards until they die out at
+    /// leaves (leaf swallows them), so the network eventually becomes quiescent.
+    struct Limited {
+        is_root: bool,
+        to_send: u32,
+        seen: u32,
+    }
+    impl Process for Limited {
+        type Msg = Ping;
+        fn on_message(&mut self, from: ChannelLabel, _m: Ping, ctx: &mut Context<'_, Ping>) {
+            self.seen += 1;
+            // Forward towards children only (never back to channel 0 unless root).
+            if ctx.degree > 1 || self.is_root {
+                let next = (from + 1) % ctx.degree;
+                if !(next == 0 && !self.is_root) {
+                    ctx.send(next, Ping);
+                }
+            }
+        }
+        fn on_tick(&mut self, ctx: &mut Context<'_, Ping>) {
+            if self.is_root && self.to_send > 0 {
+                self.to_send -= 1;
+                ctx.send(0, Ping);
+            }
+        }
+    }
+
+    fn net() -> crate::network::Network<Limited, topology::OrientedTree> {
+        crate::network::Network::new(builders::chain(5), |id| Limited {
+            is_root: id == 0,
+            to_send: 3,
+            seen: 0,
+        })
+    }
+
+    #[test]
+    fn run_for_advances_the_clock() {
+        let mut n = net();
+        let mut s = RoundRobin::new();
+        run_for(&mut n, &mut s, 42);
+        assert_eq!(n.now(), 42);
+    }
+
+    #[test]
+    fn run_until_detects_predicate() {
+        let mut n = net();
+        let mut s = RoundRobin::new();
+        let out = run_until(&mut n, &mut s, 10_000, |net| net.node(1).seen >= 3);
+        assert!(out.is_satisfied());
+        assert!(out.time().unwrap() > 0);
+    }
+
+    #[test]
+    fn run_until_gives_up_after_budget() {
+        let mut n = net();
+        let mut s = RoundRobin::new();
+        let out = run_until(&mut n, &mut s, 50, |net| net.node(4).seen >= 100);
+        assert_eq!(out, RunOutcome::Exhausted);
+        assert_eq!(out.time(), None);
+    }
+
+    #[test]
+    fn run_until_quiescent_terminates_on_dead_network() {
+        let mut n = net();
+        let mut s = RoundRobin::new();
+        let out = run_until_quiescent(&mut n, &mut s, 100_000, 20);
+        assert!(matches!(out, RunOutcome::Quiescent(_)));
+        assert_eq!(n.in_flight(), 0);
+    }
+
+    #[test]
+    fn predicate_checked_before_first_step() {
+        let mut n = net();
+        let mut s = RoundRobin::new();
+        let out = run_until(&mut n, &mut s, 10, |_| true);
+        assert_eq!(out, RunOutcome::Satisfied(0));
+    }
+}

@@ -1,0 +1,305 @@
+//! Schedulers: fair and adversarial activation orders.
+//!
+//! The paper assumes executions that are *asynchronous but fair*: every process takes
+//! infinitely many steps, with unbounded (finite) delays between them.  A [`Scheduler`]
+//! chooses, at each simulation step, which process is activated and whether it consumes a
+//! message or only runs its bottom-of-loop actions.
+//!
+//! * [`RoundRobin`] — a deterministic fair scheduler; each node is activated in turn and
+//!   serves its channels cyclically.  Closest to a synchronous daemon; useful for
+//!   reproducible unit tests.
+//! * [`RandomFair`] — a seeded random scheduler; activations are drawn uniformly among all
+//!   nodes, delivering from a uniformly chosen non-empty channel when one exists.  Fair with
+//!   probability 1, and a good model of an arbitrary asynchronous execution.
+//! * [`Adversarial`] — delays a designated set of *victim* nodes as long as the fairness
+//!   bound allows (they are only activated once every `patience` steps); used to stress
+//!   worst-case waiting times (Theorem 2).
+
+use crate::network::NetworkView;
+use crate::{ChannelLabel, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One scheduling decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// Deliver the head message of `node`'s incoming channel `channel` (if the channel is
+    /// empty, the activation degrades to a tick).
+    Deliver {
+        /// The destination process.
+        node: NodeId,
+        /// The incoming channel to read.
+        channel: ChannelLabel,
+    },
+    /// Activate `node` without delivering a message (bottom-of-loop actions only).
+    Tick {
+        /// The activated process.
+        node: NodeId,
+    },
+}
+
+/// Chooses the next activation based on the observable network shape.
+pub trait Scheduler {
+    /// Returns the next activation to execute.
+    fn next_activation(&mut self, view: &dyn NetworkView) -> Activation;
+}
+
+/// Deterministic fair scheduler: nodes are activated cyclically; each node serves its incoming
+/// channels in round-robin order, interleaved with ticks.
+#[derive(Clone, Debug, Default)]
+pub struct RoundRobin {
+    cursor: usize,
+    channel_cursor: Vec<usize>,
+}
+
+impl RoundRobin {
+    /// Creates a round-robin scheduler.
+    pub fn new() -> Self {
+        RoundRobin::default()
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn next_activation(&mut self, view: &dyn NetworkView) -> Activation {
+        let n = view.num_nodes();
+        if self.channel_cursor.len() != n {
+            self.channel_cursor = vec![0; n];
+        }
+        let node = self.cursor % n;
+        self.cursor = (self.cursor + 1) % n;
+        let degree = view.degree(node);
+        if degree == 0 {
+            return Activation::Tick { node };
+        }
+        // Serve the next non-empty channel after the cursor, if any; otherwise tick.
+        let start = self.channel_cursor[node];
+        for off in 0..degree {
+            let ch = (start + off) % degree;
+            if view.channel_len(node, ch) > 0 {
+                self.channel_cursor[node] = (ch + 1) % degree;
+                return Activation::Deliver { node, channel: ch };
+            }
+        }
+        Activation::Tick { node }
+    }
+}
+
+/// Seeded random fair scheduler.
+///
+/// Each step activates a uniformly random node.  With probability `deliver_bias` (default
+/// 0.75) it delivers from a uniformly chosen non-empty incoming channel of that node (if any);
+/// otherwise the node just ticks.  Every node is activated infinitely often with probability
+/// 1, satisfying the paper's fairness assumption.
+#[derive(Clone, Debug)]
+pub struct RandomFair {
+    rng: StdRng,
+    deliver_bias: f64,
+}
+
+impl RandomFair {
+    /// Creates a random scheduler from a seed.
+    pub fn new(seed: u64) -> Self {
+        RandomFair { rng: StdRng::seed_from_u64(seed), deliver_bias: 0.75 }
+    }
+
+    /// Overrides the probability of preferring a delivery over a tick when messages are
+    /// available (clamped to `[0, 1]`).
+    pub fn with_deliver_bias(mut self, bias: f64) -> Self {
+        self.deliver_bias = bias.clamp(0.0, 1.0);
+        self
+    }
+}
+
+impl Scheduler for RandomFair {
+    fn next_activation(&mut self, view: &dyn NetworkView) -> Activation {
+        let n = view.num_nodes();
+        let node = self.rng.gen_range(0..n);
+        let degree = view.degree(node);
+        let non_empty: Vec<ChannelLabel> =
+            (0..degree).filter(|&c| view.channel_len(node, c) > 0).collect();
+        if !non_empty.is_empty() && self.rng.gen_bool(self.deliver_bias) {
+            let channel = non_empty[self.rng.gen_range(0..non_empty.len())];
+            Activation::Deliver { node, channel }
+        } else {
+            Activation::Tick { node }
+        }
+    }
+}
+
+/// A bounded-unfairness scheduler used to stress waiting times.
+///
+/// The designated `victims` are starved of activations: they are only activated once every
+/// `patience` scheduler decisions; all other decisions go (round-robin) to the non-victims.
+/// Because victims are still activated infinitely often, the execution remains fair in the
+/// paper's sense, but it approximates the worst case used in the waiting-time analysis, where
+/// all other processes move as often as possible between two steps of the victim.
+#[derive(Clone, Debug)]
+pub struct Adversarial {
+    victims: Vec<NodeId>,
+    patience: u64,
+    counter: u64,
+    inner: RoundRobin,
+    victim_cursor: usize,
+    victim_channel_cursor: usize,
+}
+
+impl Adversarial {
+    /// Creates an adversarial scheduler that activates each of `victims` only once every
+    /// `patience` steps (`patience >= 1`).
+    pub fn new(victims: Vec<NodeId>, patience: u64) -> Self {
+        Adversarial {
+            victims,
+            patience: patience.max(1),
+            counter: 0,
+            inner: RoundRobin::new(),
+            victim_cursor: 0,
+            victim_channel_cursor: 0,
+        }
+    }
+}
+
+impl Scheduler for Adversarial {
+    fn next_activation(&mut self, view: &dyn NetworkView) -> Activation {
+        self.counter += 1;
+        if !self.victims.is_empty() && self.counter % self.patience == 0 {
+            let node = self.victims[self.victim_cursor % self.victims.len()];
+            self.victim_cursor += 1;
+            let degree = view.degree(node);
+            if degree == 0 {
+                return Activation::Tick { node };
+            }
+            let start = self.victim_channel_cursor;
+            for off in 0..degree {
+                let ch = (start + off) % degree;
+                if view.channel_len(node, ch) > 0 {
+                    self.victim_channel_cursor = (ch + 1) % degree;
+                    return Activation::Deliver { node, channel: ch };
+                }
+            }
+            return Activation::Tick { node };
+        }
+        // Otherwise schedule a non-victim (fall back to any node if everyone is a victim).
+        loop {
+            let act = self.inner.next_activation(view);
+            let node = match act {
+                Activation::Deliver { node, .. } | Activation::Tick { node } => node,
+            };
+            if !self.victims.contains(&node) || self.victims.len() == view.num_nodes() {
+                return act;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fake network view with controllable channel contents.
+    struct FakeView {
+        degrees: Vec<usize>,
+        lens: Vec<Vec<usize>>,
+        now: u64,
+    }
+
+    impl NetworkView for FakeView {
+        fn num_nodes(&self) -> usize {
+            self.degrees.len()
+        }
+        fn degree(&self, node: NodeId) -> usize {
+            self.degrees[node]
+        }
+        fn channel_len(&self, node: NodeId, label: ChannelLabel) -> usize {
+            self.lens[node][label]
+        }
+        fn now(&self) -> u64 {
+            self.now
+        }
+    }
+
+    fn view() -> FakeView {
+        FakeView {
+            degrees: vec![2, 3, 1],
+            lens: vec![vec![0, 2], vec![0, 0, 0], vec![5]],
+            now: 0,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_all_nodes() {
+        let v = view();
+        let mut s = RoundRobin::new();
+        let mut nodes_seen = vec![0u32; 3];
+        for _ in 0..9 {
+            let act = s.next_activation(&v);
+            let node = match act {
+                Activation::Deliver { node, .. } | Activation::Tick { node } => node,
+            };
+            nodes_seen[node] += 1;
+        }
+        assert_eq!(nodes_seen, vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn round_robin_prefers_non_empty_channels() {
+        let v = view();
+        let mut s = RoundRobin::new();
+        let a0 = s.next_activation(&v);
+        assert_eq!(a0, Activation::Deliver { node: 0, channel: 1 });
+        let a1 = s.next_activation(&v);
+        assert_eq!(a1, Activation::Tick { node: 1 });
+        let a2 = s.next_activation(&v);
+        assert_eq!(a2, Activation::Deliver { node: 2, channel: 0 });
+    }
+
+    #[test]
+    fn random_fair_touches_every_node() {
+        let v = view();
+        let mut s = RandomFair::new(42);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let act = s.next_activation(&v);
+            let node = match act {
+                Activation::Deliver { node, .. } | Activation::Tick { node } => node,
+            };
+            seen[node] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn random_fair_is_deterministic_per_seed() {
+        let v = view();
+        let mut a = RandomFair::new(7);
+        let mut b = RandomFair::new(7);
+        for _ in 0..50 {
+            assert_eq!(a.next_activation(&v), b.next_activation(&v));
+        }
+    }
+
+    #[test]
+    fn adversarial_starves_victims_but_not_forever() {
+        let v = view();
+        let mut s = Adversarial::new(vec![2], 10);
+        let mut victim_activations = 0;
+        for _ in 0..100 {
+            let act = s.next_activation(&v);
+            let node = match act {
+                Activation::Deliver { node, .. } | Activation::Tick { node } => node,
+            };
+            if node == 2 {
+                victim_activations += 1;
+            }
+        }
+        assert_eq!(victim_activations, 10, "victim activated exactly once per patience window");
+    }
+
+    #[test]
+    fn adversarial_with_all_victims_still_schedules() {
+        let v = view();
+        let mut s = Adversarial::new(vec![0, 1, 2], 3);
+        for _ in 0..30 {
+            let _ = s.next_activation(&v);
+        }
+    }
+}

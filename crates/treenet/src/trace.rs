@@ -1,0 +1,124 @@
+//! Execution traces: time-stamped application events used by the analysis crate.
+
+use crate::process::Event;
+use crate::NodeId;
+use serde::Serialize;
+
+/// One trace entry: an [`Event`] emitted by `node` at logical time `at`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct TracedEvent {
+    /// The global activation counter when the event was emitted.
+    pub at: u64,
+    /// The process that emitted the event.
+    pub node: NodeId,
+    /// The event itself.
+    pub event: Event,
+}
+
+/// An append-only log of application events for one execution.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct Trace {
+    events: Vec<TracedEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace { events: Vec::new() }
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, at: u64, node: NodeId, event: Event) {
+        self.events.push(TracedEvent { at, node, event });
+    }
+
+    /// All events in emission order.
+    pub fn events(&self) -> &[TracedEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no event has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Forgets all events recorded so far (e.g. to measure only the post-stabilization phase).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Number of critical-section entries recorded, optionally restricted to one node.
+    pub fn cs_entries(&self, node: Option<NodeId>) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.event, Event::EnterCs { .. }))
+            .filter(|e| node.map_or(true, |n| e.node == n))
+            .count()
+    }
+
+    /// Number of requests issued, optionally restricted to one node.
+    pub fn requests(&self, node: Option<NodeId>) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.event, Event::RequestIssued { .. }))
+            .filter(|e| node.map_or(true, |n| e.node == n))
+            .count()
+    }
+
+    /// Events emitted by `node`, in order.
+    pub fn of_node(&self, node: NodeId) -> impl Iterator<Item = &TracedEvent> {
+        self.events.iter().filter(move |e| e.node == node)
+    }
+
+    /// Events within the half-open logical-time window `[from, to)`.
+    pub fn in_window(&self, from: u64, to: u64) -> impl Iterator<Item = &TracedEvent> {
+        self.events.iter().filter(move |e| e.at >= from && e.at < to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        t.push(1, 0, Event::RequestIssued { units: 2 });
+        t.push(5, 0, Event::EnterCs { units: 2 });
+        t.push(9, 0, Event::ExitCs { units: 2 });
+        t.push(3, 1, Event::RequestIssued { units: 1 });
+        t.push(12, 1, Event::EnterCs { units: 1 });
+        t
+    }
+
+    #[test]
+    fn counts_entries_and_requests() {
+        let t = sample();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.cs_entries(None), 2);
+        assert_eq!(t.cs_entries(Some(0)), 1);
+        assert_eq!(t.requests(None), 2);
+        assert_eq!(t.requests(Some(1)), 1);
+    }
+
+    #[test]
+    fn node_and_window_filters() {
+        let t = sample();
+        assert_eq!(t.of_node(1).count(), 2);
+        assert_eq!(t.in_window(0, 6).count(), 3);
+        assert_eq!(t.in_window(9, 13).count(), 2);
+    }
+
+    #[test]
+    fn clear_empties_the_trace() {
+        let mut t = sample();
+        assert!(!t.is_empty());
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.cs_entries(None), 0);
+    }
+}

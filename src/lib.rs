@@ -1,0 +1,64 @@
+//! `kl-exclusion` — self-stabilizing k-out-of-ℓ exclusion on tree networks.
+//!
+//! This is the facade crate of the workspace: it re-exports every public component so that a
+//! downstream user (and the examples and integration tests in this repository) can depend on
+//! a single crate.
+//!
+//! * [`topology`] — oriented trees, virtual rings, rings, complete graphs, rooted graphs.
+//! * [`treenet`] — the asynchronous message-passing simulator (schedulers, fault injection,
+//!   traces, metrics).
+//! * [`protocol`] (`klex-core`) — the paper's protocol ladder, culminating in the
+//!   self-stabilizing Algorithms 1 & 2, plus the binary wire format.
+//! * [`workloads`] — application drivers.
+//! * [`baselines`] — ring-based, centralized and permission-based comparators.
+//! * [`analysis`] — waiting time, convergence, fairness, deadlock detection, histograms,
+//!   timelines, experiment harness.
+//! * [`checker`] — bounded-exhaustive state-space exploration (safety, closure, deadlock and
+//!   livelock checking on small instances).
+//! * [`stree`] — self-stabilizing spanning-tree construction and the composition that runs
+//!   the protocol on arbitrary rooted networks.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use kl_exclusion::prelude::*;
+//!
+//! // 3-out-of-5 exclusion on the paper's Figure-1 tree, every process requesting.
+//! let tree = topology::builders::figure1_tree();
+//! let cfg = KlConfig::new(3, 5, tree.len());
+//! let mut net = protocol::ss::network(tree, cfg, workloads::all_saturated(2, 10));
+//! let mut sched = RandomFair::new(42);
+//!
+//! // Run until the protocol has bootstrapped and serves requests.
+//! let outcome = run_until(&mut net, &mut sched, 2_000_000, |n| n.trace().cs_entries(None) >= 20);
+//! assert!(outcome.is_satisfied());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use analysis;
+pub use baselines;
+pub use checker;
+pub use klex_core as protocol;
+pub use stree;
+pub use topology;
+pub use treenet;
+pub use workloads;
+
+/// The most common imports, bundled for examples and downstream users.
+pub mod prelude {
+    pub use crate::{analysis, baselines, checker, protocol, stree, topology, treenet, workloads};
+    pub use analysis::{
+        measure_convergence, render_markdown_table, waiting_times, CensusRecorder, ExperimentRow,
+        FairnessReport, Histogram, SafetyMonitor, Summary,
+    };
+    pub use klex_core::{
+        count_tokens, is_legitimate, KlConfig, KlInspect, Message, SsNode, TokenCensus,
+    };
+    pub use topology::{OrientedTree, Ring, Topology, VirtualRing};
+    pub use treenet::{
+        run_for, run_until, run_until_quiescent, Adversarial, AppDriver, CsState, Event,
+        FaultInjector, FaultPlan, Network, RandomFair, Restartable, RoundRobin, Scheduler,
+    };
+}

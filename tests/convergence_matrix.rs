@@ -1,0 +1,113 @@
+//! Integration tests for Theorem 1: convergence from arbitrary configurations across a
+//! matrix of topologies, fault severities and protocol parameters.
+
+use kl_exclusion::prelude::*;
+
+fn convergence_after(
+    tree: OrientedTree,
+    cfg: KlConfig,
+    plan: FaultPlan,
+    seed: u64,
+) -> Option<u64> {
+    let mut net = protocol::ss::network(tree, cfg, workloads::all_uniform(seed, 0.01, cfg.k, 10));
+    let mut sched = RandomFair::new(seed);
+    let boot = measure_convergence(&mut net, &mut sched, &cfg, 4_000_000, 2_000);
+    assert!(boot.converged(), "bootstrap failed");
+    let fault_at = net.now();
+    let mut injector = FaultInjector::new(seed.wrapping_add(1));
+    injector.inject(&mut net, &plan);
+    let out = measure_convergence(&mut net, &mut sched, &cfg, 6_000_000, 2_000);
+    out.stabilization_time().map(|t| t - fault_at)
+}
+
+#[test]
+fn recovers_from_catastrophic_faults_on_all_shapes() {
+    let shapes: Vec<(&str, OrientedTree)> = vec![
+        ("chain", topology::builders::chain(7)),
+        ("star", topology::builders::star(7)),
+        ("binary", topology::builders::binary(7)),
+        ("random", topology::builders::random_tree(10, 9)),
+    ];
+    for (name, tree) in shapes {
+        let n = tree.len();
+        let cfg = KlConfig::new(2, 3, n);
+        let time = convergence_after(tree, cfg, FaultPlan::catastrophic(cfg.cmax), 100);
+        assert!(time.is_some(), "{name}: did not recover from a catastrophic fault");
+    }
+}
+
+#[test]
+fn recovers_from_moderate_and_message_only_faults() {
+    let tree = topology::builders::figure1_tree();
+    let cfg = KlConfig::new(3, 5, 8);
+    for (label, plan) in
+        [("moderate", FaultPlan::moderate(cfg.cmax)), ("message-only", FaultPlan::message_only())]
+    {
+        let time = convergence_after(tree.clone(), cfg, plan, 7);
+        assert!(time.is_some(), "{label}: did not recover");
+    }
+}
+
+#[test]
+fn recovers_across_seeds_and_reports_finite_times() {
+    let cfg = KlConfig::new(1, 2, 6);
+    let mut times = Vec::new();
+    for seed in 0..4u64 {
+        let tree = topology::builders::random_tree(6, seed);
+        let time = convergence_after(tree, cfg, FaultPlan::catastrophic(cfg.cmax), seed);
+        times.push(time.expect("must converge") as f64);
+    }
+    let summary = Summary::of(&times);
+    assert!(summary.min > 0.0);
+    assert!(summary.max < 6_000_000.0);
+}
+
+#[test]
+fn recovers_from_forged_token_surplus_and_total_loss() {
+    let tree = topology::builders::binary(9);
+    let n = tree.len();
+    let cfg = KlConfig::new(2, 4, n);
+    let mut net = protocol::ss::network(tree, cfg, workloads::all_saturated(1, 5));
+    let mut sched = RandomFair::new(55);
+    let boot = measure_convergence(&mut net, &mut sched, &cfg, 4_000_000, 2_000);
+    assert!(boot.converged());
+
+    // Surplus: forge extra tokens of every kind.
+    for i in 0..5usize {
+        net.inject_into(i % n, 0, Message::ResT);
+    }
+    net.inject_into(1, 0, Message::PushT);
+    net.inject_into(2, 0, Message::PrioT);
+    assert!(!is_legitimate(&net, &cfg));
+    let out = measure_convergence(&mut net, &mut sched, &cfg, 6_000_000, 2_000);
+    assert!(out.converged(), "must recover from forged surplus tokens");
+
+    // Loss: wipe every channel clean (all in-flight tokens disappear).
+    for v in 0..n {
+        for label in 0..net.topology().degree(v) {
+            net.channel_mut(v, label).clear();
+        }
+    }
+    let out = measure_convergence(&mut net, &mut sched, &cfg, 6_000_000, 2_000);
+    assert!(out.converged(), "must recover from total in-flight token loss");
+    assert_eq!(count_tokens(&net).resource, cfg.l);
+}
+
+#[test]
+fn ring_baseline_also_recovers_but_is_a_different_protocol() {
+    // Sanity cross-check used by experiment E8: the ring baseline stabilizes too, so the
+    // tree-vs-ring comparison is between two working self-stabilizing protocols.
+    let cfg = KlConfig::new(1, 2, 8);
+    let mut net = baselines::ring::network(8, cfg, workloads::all_saturated(1, 4));
+    let mut sched = RandomFair::new(4);
+    let stable = run_until(&mut net, &mut sched, 3_000_000, |n| {
+        baselines::ring::is_legitimate(n, &cfg)
+    });
+    assert!(stable.is_satisfied());
+    let mut injector = FaultInjector::new(6);
+    injector.inject(&mut net, &FaultPlan::catastrophic(cfg.cmax));
+    let stable = run_until(&mut net, &mut sched, 4_000_000, |n| {
+        baselines::ring::is_legitimate(n, &cfg)
+    });
+    assert!(stable.is_satisfied());
+}

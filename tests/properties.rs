@@ -1,0 +1,273 @@
+//! Property-based tests (proptest) over the core data structures and protocol invariants.
+//!
+//! The expensive properties (whole-protocol runs) use a reduced number of cases; the cheap
+//! structural ones use proptest's default.
+
+use kl_exclusion::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random parent vector describing a tree of 2..=20 nodes (node 0 is the root and
+/// node v > 0 attaches to a random earlier node).
+fn tree_strategy() -> impl Strategy<Value = OrientedTree> {
+    (2usize..=20, any::<u64>()).prop_map(|(n, seed)| topology::builders::random_tree(n, seed))
+}
+
+proptest! {
+    // ------------------------------------------------------------------ structural properties
+
+    #[test]
+    fn virtual_ring_has_length_2n_minus_2(tree in tree_strategy()) {
+        let ring = VirtualRing::of(&tree);
+        prop_assert_eq!(ring.len(), 2 * (tree.len() - 1));
+    }
+
+    #[test]
+    fn virtual_ring_first_visits_are_dfs_preorder(tree in tree_strategy()) {
+        let ring = VirtualRing::of(&tree);
+        prop_assert_eq!(ring.first_visit_order(), tree.dfs_preorder());
+    }
+
+    #[test]
+    fn virtual_ring_visits_each_node_degree_times(tree in tree_strategy()) {
+        let ring = VirtualRing::of(&tree);
+        for v in 0..tree.len() {
+            prop_assert_eq!(ring.visits(v), tree.degree(v));
+        }
+    }
+
+    #[test]
+    fn tree_channel_labels_are_involutive(tree in tree_strategy()) {
+        for v in 0..tree.len() {
+            for label in 0..tree.degree(v) {
+                let (peer, peer_label) = tree.endpoint(v, label);
+                let (back, back_label) = tree.endpoint(peer, peer_label);
+                prop_assert_eq!((back, back_label), (v, label));
+            }
+        }
+    }
+
+    #[test]
+    fn depths_are_consistent_with_parents(tree in tree_strategy()) {
+        for v in 1..tree.len() {
+            let p = tree.parent(v).unwrap();
+            prop_assert_eq!(tree.depth(v), tree.depth(p) + 1);
+        }
+    }
+
+    #[test]
+    fn spanning_tree_preserves_node_count(
+        n in 2usize..=16,
+        extra in 0usize..=10,
+        seed in any::<u64>(),
+    ) {
+        let graph = topology::RootedGraph::random_connected(n, extra, seed);
+        let (tree, mapping) = graph.spanning_tree(topology::SpanningTreeMethod::Bfs);
+        prop_assert_eq!(tree.len(), n);
+        let mut seen = vec![false; n];
+        for &m in &mapping {
+            prop_assert!(!seen[m]);
+            seen[m] = true;
+        }
+    }
+
+    #[test]
+    fn summary_is_order_invariant(mut xs in proptest::collection::vec(0.0f64..1e6, 1..50)) {
+        let a = Summary::of(&xs);
+        xs.reverse();
+        let b = Summary::of(&xs);
+        prop_assert!((a.mean - b.mean).abs() < 1e-6);
+        prop_assert_eq!(a.min, b.min);
+        prop_assert_eq!(a.max, b.max);
+        prop_assert_eq!(a.median, b.median);
+    }
+
+    #[test]
+    fn theorem2_bound_is_monotone_in_n_and_l(l in 1usize..8, n in 2usize..60) {
+        let b = topology::euler::theorem2_waiting_bound(l, n);
+        prop_assert!(topology::euler::theorem2_waiting_bound(l + 1, n) >= b);
+        prop_assert!(topology::euler::theorem2_waiting_bound(l, n + 1) >= b);
+    }
+}
+
+// --------------------------------------------------------------- wire-format and graph properties
+
+/// Strategy: any protocol message, including controller messages with extreme field values.
+fn message_strategy() -> impl Strategy<Value = protocol::Message> {
+    prop_oneof![
+        Just(protocol::Message::ResT),
+        Just(protocol::Message::PushT),
+        Just(protocol::Message::PrioT),
+        (any::<u64>(), any::<bool>(), any::<u64>(), 0u8..=2)
+            .prop_map(|(c, r, pt, ppr)| protocol::Message::Ctrl { c, r, pt, ppr }),
+        any::<u16>().prop_map(protocol::Message::Garbage),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn wire_roundtrip_is_identity(msg in message_strategy()) {
+        let frame = protocol::wire::encode(&msg);
+        prop_assert_eq!(frame.len(), protocol::wire::encoded_len(&msg));
+        prop_assert_eq!(protocol::wire::decode(&frame), Ok(msg));
+        prop_assert_eq!(protocol::wire::decode_lossy(&frame), msg);
+    }
+
+    #[test]
+    fn lossy_decode_never_panics_and_is_deterministic(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let a = protocol::wire::decode_lossy(&bytes);
+        let b = protocol::wire::decode_lossy(&bytes);
+        prop_assert_eq!(a, b);
+        // Strict decoding either agrees with the lossy result or reports an error.
+        match protocol::wire::decode(&bytes) {
+            Ok(msg) => prop_assert_eq!(msg, a),
+            Err(_) => prop_assert!(matches!(a, protocol::Message::Garbage(_))),
+        }
+    }
+
+    #[test]
+    fn rooted_graph_channel_labels_are_involutive(
+        n in 2usize..=24,
+        extra in 0usize..=20,
+        seed in any::<u64>(),
+    ) {
+        let graph = topology::RootedGraph::random_connected(n, extra, seed);
+        for v in 0..graph.len() {
+            for label in 0..graph.degree(v) {
+                let (peer, peer_label) = graph.endpoint(v, label);
+                prop_assert_eq!(graph.endpoint(peer, peer_label), (v, label));
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_preserves_sample_counts(
+        samples in proptest::collection::vec(0u64..5_000, 1..200),
+        buckets in 1usize..40,
+    ) {
+        let h = analysis::Histogram::of(&samples, buckets);
+        prop_assert_eq!(h.total as usize, samples.len());
+        prop_assert_eq!(h.counts.iter().sum::<u64>() + h.overflow, h.total);
+        let max = *samples.iter().max().unwrap();
+        prop_assert!(h.quantile(1.0) >= max.min(h.high));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    /// The distributed spanning-tree protocol converges to the exact BFS distances on random
+    /// connected graphs under the deterministic fair scheduler.
+    #[test]
+    fn spanning_tree_protocol_converges_to_bfs_distances(
+        n in 3usize..=14,
+        extra in 0usize..=10,
+        seed in any::<u64>(),
+    ) {
+        let graph = topology::RootedGraph::random_connected(n, extra, seed);
+        let expected = graph.bfs_distances();
+        let mut net = stree::network_with_defaults(graph);
+        let mut sched = RoundRobin::new();
+        let mut converged = false;
+        for _ in 0..200_000u64 {
+            net.step(&mut sched);
+            if stree::distances_are_exact(&net) && stree::parents_form_tree(&net) {
+                converged = true;
+                break;
+            }
+        }
+        prop_assert!(converged, "no convergence for n={n}, extra={extra}, seed={seed}");
+        let extracted = stree::extract_tree(&net).expect("stabilized network yields a tree");
+        for v in 0..expected.len() {
+            prop_assert_eq!(extracted.depths[v], expected[v]);
+        }
+    }
+}
+
+// ------------------------------------------------------------------- protocol-level properties
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, .. ProptestConfig::default() })]
+
+    /// Safety invariant: however the (clean-start) protocol is scheduled and loaded, no more
+    /// than ℓ units are in use and no process exceeds k.
+    #[test]
+    fn ss_protocol_is_always_safe_after_stabilization(
+        seed in any::<u64>(),
+        n in 4usize..=10,
+        hold in 2u64..12,
+    ) {
+        let l = (n / 2).clamp(2, 5);
+        let k = (l / 2).max(1);
+        let cfg = KlConfig::new(k, l, n);
+        let tree = topology::builders::random_tree(n, seed);
+        let mut net = protocol::ss::network(tree, cfg, workloads::all_saturated(k, hold));
+        let mut sched = RandomFair::new(seed ^ 0xABCD);
+        let boot = measure_convergence(&mut net, &mut sched, &cfg, 3_000_000, 2_000);
+        prop_assert!(boot.converged());
+        for _ in 0..30_000u64 {
+            net.step(&mut sched);
+            let used: usize = net.nodes().map(|nd| nd.units_in_use()).sum();
+            prop_assert!(used <= cfg.l);
+            for nd in net.nodes() {
+                prop_assert!(nd.units_in_use() <= cfg.k);
+            }
+        }
+    }
+
+    /// Convergence invariant (Theorem 1): from an arbitrary fault-injected configuration the
+    /// protocol returns to a legitimate configuration.
+    #[test]
+    fn ss_protocol_recovers_from_random_faults(
+        seed in any::<u64>(),
+        n in 4usize..=9,
+        corrupt in 0.0f64..=1.0,
+        garbage in 0usize..=2,
+    ) {
+        let cfg = KlConfig::new(1, 2, n);
+        let tree = topology::builders::random_tree(n, seed);
+        let mut net = protocol::ss::network(tree, cfg, workloads::all_uniform(seed, 0.01, 1, 8));
+        let mut sched = RandomFair::new(seed ^ 0x1234);
+        let boot = measure_convergence(&mut net, &mut sched, &cfg, 3_000_000, 2_000);
+        prop_assert!(boot.converged());
+        let plan = FaultPlan {
+            corrupt_node_prob: corrupt,
+            channel_garbage_max: garbage,
+            drop_prob: 0.4,
+            duplicate_prob: 0.3,
+            clear_channel_prob: 0.2,
+        };
+        let mut injector = FaultInjector::new(seed ^ 0x5555);
+        injector.inject(&mut net, &plan);
+        let out = measure_convergence(&mut net, &mut sched, &cfg, 6_000_000, 2_000);
+        prop_assert!(out.converged());
+    }
+
+    /// Token conservation for the non-stabilizing rung: without faults the ℓ resource tokens
+    /// are conserved exactly, whatever the workload and scheduling.
+    #[test]
+    fn nonstab_protocol_conserves_tokens(
+        seed in any::<u64>(),
+        n in 3usize..=10,
+        p_req in 0.0f64..0.2,
+    ) {
+        let cfg = KlConfig::new(2, 3, n);
+        let tree = topology::builders::random_tree(n, seed);
+        let mut net = protocol::nonstab::network(
+            tree,
+            cfg,
+            workloads::all_uniform(seed, p_req, 2, 10),
+        );
+        let mut sched = RandomFair::new(seed ^ 0x77);
+        // Wait for the root's first activation, which creates the initial tokens all at once.
+        let booted = run_until(&mut net, &mut sched, 50_000, |net| {
+            count_tokens(net).resource == cfg.l
+        });
+        prop_assert!(booted.is_satisfied());
+        for _ in 0..15_000u64 {
+            net.step(&mut sched);
+            let census = count_tokens(&net);
+            prop_assert_eq!(census.resource, cfg.l);
+            prop_assert_eq!(census.pusher + census.priority, 2);
+        }
+    }
+}
