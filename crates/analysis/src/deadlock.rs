@@ -88,7 +88,7 @@ mod tests {
     fn figure2_drivers(id: NodeId) -> BoxedDriver {
         match id {
             1 => Box::new(Fixed(3, 5)) as BoxedDriver,
-            2 | 3 | 4 => Box::new(Fixed(2, 5)) as BoxedDriver,
+            2..=4 => Box::new(Fixed(2, 5)) as BoxedDriver,
             _ => Box::new(Idle) as BoxedDriver,
         }
     }

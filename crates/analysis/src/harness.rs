@@ -59,33 +59,39 @@ pub fn run_trials(trials: Vec<Trial>) -> Vec<BTreeMap<String, f64>> {
     trials.into_iter().map(|t| (t.run)()).collect()
 }
 
-/// Runs trials in parallel across up to `threads` OS threads (crossbeam scoped threads),
-/// preserving the input order in the output.
+/// Runs trials in parallel across up to `threads` OS threads (std scoped threads pulling from
+/// a shared work queue), preserving the input order in the output.
 pub fn run_trials_parallel(trials: Vec<Trial>, threads: usize) -> Vec<BTreeMap<String, f64>> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
     let threads = threads.max(1);
     if threads == 1 || trials.len() <= 1 {
         return run_trials(trials);
     }
     let n = trials.len();
-    let mut slots: Vec<Option<BTreeMap<String, f64>>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    let slots = parking_lot::Mutex::new(slots);
-    let queue = crossbeam::queue::SegQueue::new();
-    for (idx, trial) in trials.into_iter().enumerate() {
-        queue.push((idx, trial));
-    }
-    crossbeam::scope(|scope| {
+    let work: Vec<Mutex<Option<Trial>>> =
+        trials.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<BTreeMap<String, f64>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(n) {
-            scope.spawn(|_| {
-                while let Some((idx, trial)) = queue.pop() {
-                    let result = (trial.run)();
-                    slots.lock()[idx] = Some(result);
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
                 }
+                let trial = work[idx].lock().expect("unpoisoned").take().expect("claimed once");
+                let result = (trial.run)();
+                *slots[idx].lock().expect("unpoisoned") = Some(result);
             });
         }
-    })
-    .expect("worker threads must not panic");
-    slots.into_inner().into_iter().map(|s| s.expect("every trial ran")).collect()
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("unpoisoned").expect("every trial ran"))
+        .collect()
 }
 
 /// Aggregates per-trial metric maps into one [`Summary`] per metric name.

@@ -1,12 +1,33 @@
 //! Criterion bench for E12: throughput of the bounded-exhaustive checker (configurations
-//! explored per second) on the instances the experiment enumerates.
+//! explored per second) on the instances the experiment enumerates, plus a head-to-head
+//! comparison of the exploration engines:
+//!
+//! * `baseline` — the pre-interning loop retained in `checker::explore::baseline`
+//!   (SipHash-keyed `HashMap<Configuration, usize>`, full configuration clones);
+//! * `interned` — the packed/interned sequential engine (`Explorer::run`);
+//! * `parallel` — per-depth parallel frontier expansion (`Explorer::run_parallel`).
+//!
+//! The comparison group also writes `BENCH_explorer.json` at the workspace root recording
+//! states/second for each engine and the resulting speedups, so the gain over the
+//! pre-interning engine is tracked as a checked-in baseline.
 
-use checker::{drivers, Explorer, Limits};
+use checker::{drivers, explore::baseline, Explorer, Limits};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use klex_core::KlConfig;
+use std::time::Instant;
 
 fn explore_limits() -> Limits {
     Limits { max_configurations: 2_000_000, max_depth: usize::MAX }
+}
+
+/// The engine-comparison instance: a 5-node star under the pusher-only protocol with four
+/// holding requesters competing for three tokens — 15k+ reachable configurations, an order of
+/// magnitude beyond the Figure-3 instances, so interning and hashing costs dominate.
+fn comparison_net(
+) -> treenet::Network<klex_core::pusher::PusherNode, topology::OrientedTree> {
+    let tree = topology::builders::star(5);
+    let cfg = KlConfig::new(2, 3, 5);
+    klex_core::pusher::network(tree, cfg, drivers::from_needs_holding(&[0usize, 2, 1, 2, 1]))
 }
 
 fn bench_exploration(c: &mut Criterion) {
@@ -29,14 +50,50 @@ fn bench_exploration(c: &mut Criterion) {
         b.iter(|| {
             let tree = topology::builders::figure3_tree();
             let cfg = KlConfig::new(2, 3, 3);
-            let needs = [1usize, 2, 1];
             let mut net =
-                klex_core::pusher::network(tree, cfg, drivers::from_needs_holding(&needs));
+                klex_core::pusher::network(tree, cfg, drivers::from_needs_holding(&[1usize, 2, 1]));
             let mut explorer =
                 Explorer::new(&mut net).with_limits(explore_limits()).record_graph(true);
             let report = explorer.run();
             assert!(report.exhaustive());
             (report.configurations, explorer.graph().transition_count())
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_engine_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explorer_engines");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("baseline", "pusher_star5"), |b| {
+        b.iter(|| {
+            let mut net = comparison_net();
+            let report = baseline::explore(&mut net, explore_limits());
+            assert!(!report.truncated);
+            report.configurations
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("interned", "pusher_star5"), |b| {
+        b.iter(|| {
+            let mut net = comparison_net();
+            let report = Explorer::new(&mut net).with_limits(explore_limits()).run();
+            assert!(report.exhaustive());
+            report.configurations
+        })
+    });
+
+    let threads = worker_threads();
+    group.bench_function(BenchmarkId::new(format!("parallel{threads}"), "pusher_star5"), |b| {
+        b.iter(|| {
+            let mut net = comparison_net();
+            let report = Explorer::new(&mut net)
+                .with_limits(explore_limits())
+                .run_parallel(comparison_net, threads);
+            assert!(report.exhaustive());
+            report.configurations
         })
     });
 
@@ -66,5 +123,63 @@ fn bench_cycle_search(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_exploration, bench_cycle_search);
+fn worker_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).clamp(2, 8)
+}
+
+/// Times `run` (which returns the number of configurations explored) over `rounds` runs and
+/// returns the best states/second together with the configuration count.
+fn states_per_sec(rounds: usize, mut run: impl FnMut() -> usize) -> (f64, usize) {
+    let mut best = 0.0f64;
+    let mut configurations = 0;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        configurations = run();
+        let rate = configurations as f64 / start.elapsed().as_secs_f64();
+        best = best.max(rate);
+    }
+    (best, configurations)
+}
+
+/// Records the engine comparison to `BENCH_explorer.json` at the workspace root.
+fn emit_engine_baseline(_c: &mut Criterion) {
+    let limits = explore_limits();
+    let rounds = 3;
+    let (baseline_rate, configurations) = states_per_sec(rounds, || {
+        let mut net = comparison_net();
+        baseline::explore(&mut net, limits).configurations
+    });
+    let (interned_rate, interned_configs) = states_per_sec(rounds, || {
+        let mut net = comparison_net();
+        Explorer::new(&mut net).with_limits(limits).run().configurations
+    });
+    let threads = worker_threads();
+    let (parallel_rate, parallel_configs) = states_per_sec(rounds, || {
+        let mut net = comparison_net();
+        Explorer::new(&mut net)
+            .with_limits(limits)
+            .run_parallel(comparison_net, threads)
+            .configurations
+    });
+    assert_eq!(configurations, interned_configs, "engines must agree on the state space");
+    assert_eq!(configurations, parallel_configs, "engines must agree on the state space");
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let json = format!(
+        "{{\n  \"bench\": \"exhaustive_checker\",\n  \"instance\": \"pusher_star5 (k=2, l=3, n=5, holding needs 0+2+1+2+1)\",\n  \"configurations\": {configurations},\n  \"baseline_states_per_sec\": {baseline_rate:.0},\n  \"interned_states_per_sec\": {interned_rate:.0},\n  \"parallel_states_per_sec\": {parallel_rate:.0},\n  \"parallel_threads\": {threads},\n  \"host_cores\": {cores},\n  \"speedup_interned_vs_baseline\": {:.2},\n  \"speedup_parallel_vs_baseline\": {:.2}\n}}\n",
+        interned_rate / baseline_rate,
+        parallel_rate / baseline_rate,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explorer.json");
+    std::fs::write(path, &json).expect("write BENCH_explorer.json");
+    eprintln!("\nBENCH_explorer.json:\n{json}");
+}
+
+criterion_group!(
+    benches,
+    bench_exploration,
+    bench_engine_comparison,
+    bench_cycle_search,
+    emit_engine_baseline,
+);
 criterion_main!(benches);

@@ -19,7 +19,8 @@ use workloads::all_uniform;
 /// converged within the step budget.
 pub fn e5_convergence(scale: Scale) -> ExperimentReport {
     let mut rows = Vec::new();
-    let severities: [(&str, fn(usize) -> FaultPlan); 3] = [
+    type Severity = (&'static str, fn(usize) -> FaultPlan);
+    let severities: [Severity; 3] = [
         ("catastrophic", |cmax| FaultPlan::catastrophic(cmax)),
         ("moderate", |cmax| FaultPlan::moderate(cmax)),
         ("message-only", |_| FaultPlan::message_only()),

@@ -59,8 +59,10 @@ pub fn find_progress_cycle(graph: &StateGraph, victim: NodeId) -> Option<CycleWi
     if n == 0 {
         return None;
     }
-    // Restrict to configurations in which the victim is an unsatisfied requester.
-    let in_scope: Vec<bool> = (0..n).map(|id| victim_starves(graph.config(id), victim)).collect();
+    // Restrict to configurations in which the victim is an unsatisfied requester.  States
+    // are decoded from their packed arena form once, here, and never again.
+    let in_scope: Vec<bool> =
+        (0..n).map(|id| victim_starves(&graph.config(id), victim)).collect();
 
     // Strongly connected components of the restricted subgraph (iterative Tarjan).
     let scc = tarjan_scc(graph, &in_scope);
@@ -72,7 +74,8 @@ pub fn find_progress_cycle(graph: &StateGraph, victim: NodeId) -> Option<CycleWi
             continue;
         }
         for edge in graph.edges(id) {
-            if !in_scope[edge.target] || scc[id] != scc[edge.target] {
+            let target = edge.target as usize;
+            if !in_scope[target] || scc[id] != scc[target] {
                 continue;
             }
             let progress: Vec<NodeId> =
@@ -82,24 +85,24 @@ pub fn find_progress_cycle(graph: &StateGraph, victim: NodeId) -> Option<CycleWi
             }
             // Self-loops with progress are already a cycle; otherwise close the loop by
             // walking back from the edge's target to its source inside the SCC.
-            let closing_path = if edge.target == id {
+            let closing_path = if target == id {
                 Some(Vec::new())
             } else {
-                path_within(graph, &in_scope, &scc, edge.target, id)
+                path_within(graph, &in_scope, &scc, target, id)
             };
             if let Some(path) = closing_path {
                 // Node/action sequence: id --edge--> target --path--> id.
                 let mut states = vec![id];
                 let mut actions = vec![edge.action];
                 let mut progress_nodes = progress;
-                let mut cursor = edge.target;
+                let mut cursor = target;
                 for &(action, next) in &path {
                     states.push(cursor);
                     actions.push(action);
                     if let Some(e) = graph
                         .edges(cursor)
                         .iter()
-                        .find(|e| e.target == next && e.action == action)
+                        .find(|e| e.target as usize == next && e.action == action)
                     {
                         progress_nodes
                             .extend(e.cs_entries.iter().copied().filter(|&v| v != victim));
@@ -136,7 +139,7 @@ fn path_within(
             break;
         }
         for edge in graph.edges(u) {
-            let v = edge.target;
+            let v = edge.target as usize;
             if !seen[v] && in_scope[v] && scc[v] == scc[from] {
                 seen[v] = true;
                 prev[v] = Some((u, edge.action));
@@ -188,7 +191,7 @@ fn tarjan_scc(graph: &StateGraph, in_scope: &[bool]) -> Vec<usize> {
             let edges = graph.edges(v);
             let mut descended = false;
             while *edge_idx < edges.len() {
-                let w = edges[*edge_idx].target;
+                let w = edges[*edge_idx].target as usize;
                 *edge_idx += 1;
                 if !in_scope[w] {
                     continue;

@@ -7,14 +7,40 @@
 //! first time.  Exploration is breadth-first, so any counterexample trace it reports is a
 //! shortest one (in number of activations).
 //!
+//! # The interned-state engine
+//!
+//! Configurations never flow through the hot loop as [`Configuration`] values.  Each visited
+//! configuration is held exactly once, in packed form, by a [`StateArena`]
+//! (see [`crate::snapshot`]) and addressed by a dense [`StateId`]:
+//!
+//! * restoring a frontier state **borrows** its packed bytes straight from the arena
+//!   ([`crate::snapshot::restore_packed`]) — nothing is cloned;
+//! * successors are captured directly into a reusable scratch buffer
+//!   ([`crate::snapshot::capture_packed`]) and interned with one fx-hash table probe;
+//! * per-state bookkeeping (parent links, depths, recorded edges) lives in flat vectors
+//!   indexed by state id, shared by the report and the recorded [`StateGraph`];
+//! * full [`Configuration`] values are only decoded on cold paths: property checks on newly
+//!   discovered states, and violation/deadlock witnesses.
+//!
+//! # Parallel frontier expansion
+//!
+//! [`Explorer::run_parallel`] keeps BFS level order (and therefore the shortest-counterexample
+//! guarantee) while expanding each depth level on several OS threads: workers — each driving
+//! its own network built by a caller-supplied factory — expand disjoint chunks of the frontier
+//! against the *frozen* arena of states known before the level, and a sequential merge phase
+//! then interns the results **in exactly the order the sequential loop would have produced**.
+//! Sequential and parallel runs therefore assign identical state ids and return identical
+//! reports (same configuration counts, same violations at the same depths, same deadlocks).
+//!
 //! The exploration is exhaustive with respect to scheduling: every interleaving the paper's
 //! asynchronous model allows is covered, because at each configuration *every* enabled
 //! activation is expanded.  It is bounded by [`Limits`]; if a limit is hit the report's
 //! `truncated` flag is set and absence of violations is only meaningful up to that bound.
 
 use crate::properties::Property;
-use crate::snapshot::{capture, restore, CheckableNode, Configuration};
-use std::collections::{HashMap, VecDeque};
+use crate::snapshot::{capture_packed, restore_packed, CheckableNode, Configuration};
+use crate::snapshot::{InternOutcome, StateArena, StateId};
+use std::collections::VecDeque;
 use topology::Topology;
 use treenet::{Activation, Network, NodeId};
 
@@ -67,49 +93,62 @@ pub struct DeadlockWitness {
 pub struct Edge {
     /// The activation labelling the transition.
     pub action: Activation,
-    /// Index of the successor configuration.
-    pub target: usize,
+    /// Id of the successor configuration.
+    pub target: StateId,
     /// Processes that entered their critical section during this transition.
     pub cs_entries: Vec<NodeId>,
 }
 
 /// The explored fragment of the configuration graph (kept only when
 /// [`Explorer::record_graph`] is enabled); used by the starvation-cycle analysis.
+///
+/// States are stored packed in a [`StateArena`]; edges live in one flat vector sliced per
+/// state id (CSR layout), which is possible because BFS expands states in id order.
 #[derive(Clone, Debug, Default)]
 pub struct StateGraph {
-    pub(crate) configs: Vec<Configuration>,
-    pub(crate) edges: Vec<Vec<Edge>>,
+    arena: StateArena,
+    edges: Vec<Edge>,
+    /// `edge_starts[id]..edge_starts[id + 1]` delimits the edges of `id`; has `len + 1`
+    /// entries (empty for the empty graph).
+    edge_starts: Vec<u32>,
 }
 
 impl StateGraph {
     /// Number of configurations in the graph.
     pub fn len(&self) -> usize {
-        self.configs.len()
+        self.arena.len()
     }
 
     /// True when the graph is empty.
     pub fn is_empty(&self) -> bool {
-        self.configs.is_empty()
+        self.arena.is_empty()
     }
 
-    /// The configuration with index `id`.
-    pub fn config(&self, id: usize) -> &Configuration {
-        &self.configs[id]
+    /// Decodes the configuration with id `id`.
+    pub fn config(&self, id: usize) -> Configuration {
+        self.arena.config(id as StateId)
+    }
+
+    /// The packed bytes of configuration `id` (zero-copy access for bulk scans).
+    pub fn packed(&self, id: usize) -> &[u8] {
+        self.arena.get(id as StateId)
     }
 
     /// Outgoing transitions of configuration `id`.
     pub fn edges(&self, id: usize) -> &[Edge] {
-        &self.edges[id]
+        let start = self.edge_starts[id] as usize;
+        let end = self.edge_starts[id + 1] as usize;
+        &self.edges[start..end]
     }
 
-    /// Index of the initial configuration (always 0).
+    /// Id of the initial configuration (always 0).
     pub fn initial(&self) -> usize {
         0
     }
 
     /// Total number of recorded transitions.
     pub fn transition_count(&self) -> usize {
-        self.edges.iter().map(Vec::len).sum()
+        self.edges.len()
     }
 }
 
@@ -195,7 +234,7 @@ impl<'a, P: CheckableNode, T: Topology> Explorer<'a, P, T> {
         self
     }
 
-    /// The state graph recorded by the last [`Explorer::run`], if recording was enabled.
+    /// The state graph recorded by the last run, if recording was enabled.
     pub fn graph(&self) -> &StateGraph {
         &self.graph
     }
@@ -205,42 +244,560 @@ impl<'a, P: CheckableNode, T: Topology> Explorer<'a, P, T> {
         self.graph
     }
 
-    /// Runs the exploration and returns its report.
+    /// Runs the exploration on the current thread and returns its report.
     pub fn run(&mut self) -> ExplorationReport {
-        let n = self.net.len();
-        let degrees: Vec<usize> = (0..n).map(|v| self.net.topology().degree(v)).collect();
+        let net = &mut *self.net;
+        let mut engine =
+            Engine::new(self.limits, &self.properties, self.record_graph, self.stop_on_violation);
+        let mut scratch = Vec::new();
+        capture_packed(net, &mut scratch);
+        engine.admit_initial(&scratch);
 
-        let initial = capture(self.net);
-        let mut ids: HashMap<Configuration, usize> = HashMap::new();
-        let mut configs: Vec<Configuration> = Vec::new();
-        let mut parents: Vec<Option<(usize, Activation)>> = Vec::new();
-        let mut depths: Vec<usize> = Vec::new();
-        let mut report = ExplorationReport::default();
-        let mut violated: Vec<String> = Vec::new();
-
-        ids.insert(initial.clone(), 0);
-        configs.push(initial.clone());
-        parents.push(None);
-        depths.push(0);
-        if self.record_graph {
-            self.graph = StateGraph { configs: vec![initial.clone()], edges: vec![Vec::new()] };
-        }
-        self.check_properties(&initial, 0, &parents, &mut report, &mut violated);
-
-        let mut queue: VecDeque<usize> = VecDeque::new();
+        let mut queue: VecDeque<StateId> = VecDeque::new();
         queue.push_back(0);
 
         'outer: while let Some(id) = queue.pop_front() {
-            let depth = depths[id];
-            report.max_depth = report.max_depth.max(depth);
-            if depth >= self.limits.max_depth {
-                report.truncated = true;
+            let depth = engine.depths[id as usize] as usize;
+            engine.report.max_depth = engine.report.max_depth.max(depth);
+            if depth >= engine.limits.max_depth {
+                engine.report.truncated = true;
                 continue;
             }
-            let config = configs[id].clone();
+            engine.begin_expansion(id);
 
-            // Enumerate every enabled activation: one delivery per non-empty channel plus one
-            // tick per process.
+            let (activations, first_tick) = enumerate_activations(net, &engine.arena, id);
+
+            let mut every_tick_is_self_loop = true;
+            for (idx, act) in activations.iter().enumerate() {
+                let (same_as_parent, cs_entries) = execute_transition(
+                    net,
+                    &engine.arena,
+                    id,
+                    *act,
+                    &mut scratch,
+                    engine.record_graph,
+                );
+                if idx >= first_tick && !same_as_parent {
+                    every_tick_is_self_loop = false;
+                }
+                let admitted = engine.on_transition(id, *act, &scratch, cs_entries);
+                if let Some(new_id) = admitted {
+                    queue.push_back(new_id);
+                }
+                if engine.stopped {
+                    break 'outer;
+                }
+            }
+
+            if first_tick == 0 && every_tick_is_self_loop {
+                engine.on_quiescent(id);
+            }
+        }
+
+        let (report, graph) = engine.finish();
+        self.graph = graph;
+        report
+    }
+
+    /// Runs the exploration with parallel per-depth frontier expansion across `threads` OS
+    /// threads, preserving BFS semantics exactly (see the module docs): the returned report is
+    /// identical to [`Explorer::run`]'s.
+    ///
+    /// `factory` builds one network per worker thread; it must produce networks of the same
+    /// shape (topology, protocol, drivers) as the explorer's own — typically by calling the
+    /// same scenario constructor.  Worker networks start from arbitrary states; every state
+    /// they touch is overwritten by `restore_packed` before use.
+    pub fn run_parallel<F>(&mut self, factory: F, threads: usize) -> ExplorationReport
+    where
+        F: Fn() -> Network<P, T> + Sync,
+    {
+        let threads = threads.max(1);
+        if threads == 1 {
+            return self.run();
+        }
+        let net = &mut *self.net;
+        let mut engine =
+            Engine::new(self.limits, &self.properties, self.record_graph, self.stop_on_violation);
+        let mut scratch = Vec::new();
+        capture_packed(net, &mut scratch);
+        engine.admit_initial(&scratch);
+
+        let mut frontier: Vec<StateId> = vec![0];
+        let mut depth = 0usize;
+        while !frontier.is_empty() && !engine.stopped {
+            engine.report.max_depth = engine.report.max_depth.max(depth);
+            if depth >= engine.limits.max_depth {
+                engine.report.truncated = true;
+                break;
+            }
+            // Expand the level in bounded segments rather than all at once: this caps the
+            // transient memory holding un-merged successor bytes, and bounds the work wasted
+            // after a mid-level stop (violation found, cap reached) to one segment.
+            let mut next_frontier = Vec::new();
+            for segment in frontier.chunks(SEGMENT_STATES) {
+                let expansions =
+                    expand_level(&engine.arena, segment, &factory, threads, engine.record_graph);
+                next_frontier.extend(merge_level(&mut engine, expansions));
+                if engine.stopped {
+                    break;
+                }
+            }
+            frontier = next_frontier;
+            depth += 1;
+        }
+
+        let (report, graph) = engine.finish();
+        self.graph = graph;
+        report
+    }
+}
+
+/// Enumerates the enabled activations of interned state `id`: one delivery per non-empty
+/// channel followed by one tick per process.  Restores `id` into `net` as a side effect.
+fn enumerate_activations<P: CheckableNode, T: Topology>(
+    net: &mut Network<P, T>,
+    arena: &StateArena,
+    id: StateId,
+) -> (Vec<Activation>, usize) {
+    restore_packed(net, arena.get(id));
+    let n = net.len();
+    let mut activations = Vec::new();
+    for v in 0..n {
+        for l in 0..net.topology().degree(v) {
+            if !net.channel(v, l).is_empty() {
+                activations.push(Activation::Deliver { node: v, channel: l });
+            }
+        }
+    }
+    let first_tick = activations.len();
+    for v in 0..n {
+        activations.push(Activation::Tick { node: v });
+    }
+    (activations, first_tick)
+}
+
+fn collect_cs_entries<P: CheckableNode, T: Topology>(net: &Network<P, T>) -> Vec<NodeId> {
+    net.trace()
+        .events()
+        .iter()
+        .filter(|e| matches!(e.event, treenet::Event::EnterCs { .. }))
+        .map(|e| e.node)
+        .collect()
+}
+
+/// Maximum number of frontier states expanded per parallel segment (see
+/// [`Explorer::run_parallel`]): bounds both the buffered successor bytes awaiting merge and
+/// the work discarded when a stop-on-violation hit lands mid-level.
+const SEGMENT_STATES: usize = 16_384;
+
+/// Hashes the workers' dedup-set keys with the same fx scheme the arena uses, so deduping a
+/// fresh successor does not reintroduce SipHash on the hot path.
+#[derive(Clone, Copy, Debug, Default)]
+struct FxBytesState {
+    hash: u64,
+}
+
+impl std::hash::Hasher for FxBytesState {
+    fn write(&mut self, bytes: &[u8]) {
+        self.hash = (self.hash.rotate_left(5) ^ crate::snapshot::fx_hash(bytes))
+            .wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+type FxBuildHasher = std::hash::BuildHasherDefault<FxBytesState>;
+type FreshSet = std::collections::HashSet<std::sync::Arc<[u8]>, FxBuildHasher>;
+
+/// Executes `act` from interned state `id` on `net`: restores the parent (borrowing its bytes
+/// from the arena), runs the activation, and captures the successor into `scratch`.  Returns
+/// whether the successor equals the parent (the tick self-loop test) and the critical-section
+/// entries of the transition (empty unless `collect_cs`).
+///
+/// Both the sequential loop and the parallel workers funnel through this helper, so the
+/// simulation semantics (restore/trace-clear/execute/capture order) cannot drift between the
+/// two modes — the report-identity guarantee depends on them agreeing.
+fn execute_transition<P: CheckableNode, T: Topology>(
+    net: &mut Network<P, T>,
+    arena: &StateArena,
+    id: StateId,
+    act: Activation,
+    scratch: &mut Vec<u8>,
+    collect_cs: bool,
+) -> (bool, Vec<NodeId>) {
+    restore_packed(net, arena.get(id));
+    net.trace_mut().clear();
+    net.execute(act);
+    capture_packed(net, scratch);
+    let cs_entries = if collect_cs { collect_cs_entries(net) } else { Vec::new() };
+    let same_as_parent = scratch[..] == *arena.get(id);
+    (same_as_parent, cs_entries)
+}
+
+/// The successor of one executed transition, as produced by a parallel worker.
+enum Successor {
+    /// Already interned before this level started.
+    Known(StateId),
+    /// Not in the pre-level arena; the merge phase interns the packed bytes.  Shared
+    /// (`Arc`) so a worker stores each distinct new state once per chunk, not once per
+    /// reaching transition.
+    Fresh(std::sync::Arc<[u8]>),
+}
+
+/// One transition executed by a worker.
+struct TransitionRecord {
+    action: Activation,
+    successor: Successor,
+    cs_entries: Vec<NodeId>,
+}
+
+/// Everything a worker learned about one frontier state.
+struct ExpansionRecord {
+    parent: StateId,
+    transitions: Vec<TransitionRecord>,
+    /// True when the state had no message in flight and every tick was a self-loop — the
+    /// precondition of a quiescent deadlock.
+    quiescent: bool,
+}
+
+/// Expands one BFS level: workers process disjoint contiguous chunks of `frontier` against
+/// the frozen `arena`, returning expansion records in frontier order.
+fn expand_level<P, T, F>(
+    arena: &StateArena,
+    frontier: &[StateId],
+    factory: &F,
+    threads: usize,
+    collect_cs: bool,
+) -> Vec<ExpansionRecord>
+where
+    P: CheckableNode,
+    T: Topology,
+    F: Fn() -> Network<P, T> + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let chunk_size = frontier.len().div_ceil(threads * 4).max(1);
+    let chunks: Vec<&[StateId]> = frontier.chunks(chunk_size).collect();
+    let slots: Vec<Mutex<Vec<ExpansionRecord>>> =
+        (0..chunks.len()).map(|_| Mutex::new(Vec::new())).collect();
+    let next_chunk = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(chunks.len()) {
+            scope.spawn(|| {
+                let mut net = factory();
+                let mut scratch = Vec::new();
+                // Chunk-local dedup of not-yet-interned successors: many transitions of one
+                // chunk reach the same new state; store its bytes once.
+                let mut fresh = FreshSet::default();
+                loop {
+                    let chunk_idx = next_chunk.fetch_add(1, Ordering::Relaxed);
+                    if chunk_idx >= chunks.len() {
+                        break;
+                    }
+                    fresh.clear();
+                    let mut records = Vec::with_capacity(chunks[chunk_idx].len());
+                    for &id in chunks[chunk_idx] {
+                        records.push(expand_state(
+                            &mut net,
+                            arena,
+                            id,
+                            &mut scratch,
+                            collect_cs,
+                            &mut fresh,
+                        ));
+                    }
+                    *slots[chunk_idx].lock().expect("unpoisoned") = records;
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .flat_map(|slot| slot.into_inner().expect("unpoisoned"))
+        .collect()
+}
+
+/// Expands one state on a worker's private network (the parallel counterpart of one
+/// iteration of the sequential loop).
+fn expand_state<P: CheckableNode, T: Topology>(
+    net: &mut Network<P, T>,
+    arena: &StateArena,
+    id: StateId,
+    scratch: &mut Vec<u8>,
+    collect_cs: bool,
+    fresh: &mut FreshSet,
+) -> ExpansionRecord {
+    let (activations, first_tick) = enumerate_activations(net, arena, id);
+    let mut transitions = Vec::with_capacity(activations.len());
+    let mut every_tick_is_self_loop = true;
+    for (idx, act) in activations.iter().enumerate() {
+        let (same_as_parent, cs_entries) =
+            execute_transition(net, arena, id, *act, scratch, collect_cs);
+        if idx >= first_tick && !same_as_parent {
+            every_tick_is_self_loop = false;
+        }
+        let successor = match arena.lookup(scratch) {
+            Some(known) => Successor::Known(known),
+            None => {
+                let bytes = match fresh.get(scratch.as_slice()) {
+                    Some(bytes) => bytes.clone(),
+                    None => {
+                        let bytes: std::sync::Arc<[u8]> =
+                            std::sync::Arc::from(scratch.as_slice());
+                        fresh.insert(bytes.clone());
+                        bytes
+                    }
+                };
+                Successor::Fresh(bytes)
+            }
+        };
+        transitions.push(TransitionRecord { action: *act, successor, cs_entries });
+    }
+    ExpansionRecord { parent: id, transitions, quiescent: first_tick == 0 && every_tick_is_self_loop }
+}
+
+/// Applies one level's expansion records in sequential order, returning the next frontier.
+fn merge_level(engine: &mut Engine<'_>, expansions: Vec<ExpansionRecord>) -> Vec<StateId> {
+    let mut next_frontier = Vec::new();
+    for expansion in expansions {
+        engine.begin_expansion(expansion.parent);
+        for transition in expansion.transitions {
+            let admitted = match transition.successor {
+                Successor::Known(id) => {
+                    engine.on_known_transition(transition.action, id, transition.cs_entries);
+                    None
+                }
+                Successor::Fresh(bytes) => engine.on_transition(
+                    expansion.parent,
+                    transition.action,
+                    &bytes,
+                    transition.cs_entries,
+                ),
+            };
+            next_frontier.extend(admitted);
+            if engine.stopped {
+                return next_frontier;
+            }
+        }
+        if expansion.quiescent {
+            engine.on_quiescent(expansion.parent);
+        }
+    }
+    next_frontier
+}
+
+/// The shared bookkeeping of an exploration run: the arena, flat per-state vectors, the
+/// report under construction, and the graph recorder.  Both the sequential loop and the
+/// parallel merge phase drive exactly this state machine, which is what makes their reports
+/// identical.
+struct Engine<'p> {
+    limits: Limits,
+    properties: &'p [Box<dyn Property>],
+    record_graph: bool,
+    stop_on_violation: bool,
+    arena: StateArena,
+    /// `parents[id]` is the BFS predecessor and the activation reaching `id`; id 0 is the
+    /// root and its entry is never read.
+    parents: Vec<(StateId, Activation)>,
+    depths: Vec<u32>,
+    violated: Vec<String>,
+    report: ExplorationReport,
+    edges: Vec<Edge>,
+    edge_starts: Vec<u32>,
+    /// Set when `stop_on_violation` fires; callers abandon the remaining work.
+    stopped: bool,
+}
+
+impl<'p> Engine<'p> {
+    fn new(
+        limits: Limits,
+        properties: &'p [Box<dyn Property>],
+        record_graph: bool,
+        stop_on_violation: bool,
+    ) -> Self {
+        Engine {
+            limits,
+            properties,
+            record_graph,
+            stop_on_violation,
+            arena: StateArena::new(),
+            parents: Vec::new(),
+            depths: Vec::new(),
+            violated: Vec::new(),
+            report: ExplorationReport::default(),
+            edges: Vec::new(),
+            edge_starts: Vec::new(),
+            stopped: false,
+        }
+    }
+
+    fn admit_initial(&mut self, packed: &[u8]) {
+        let (id, fresh) = self.arena.intern(packed);
+        debug_assert!(fresh && id == 0, "the initial configuration must be the first interned");
+        self.parents.push((0, Activation::Tick { node: 0 }));
+        self.depths.push(0);
+        self.check_properties(id);
+    }
+
+    /// Marks the start of `id`'s expansion (edge bookkeeping relies on id order).
+    fn begin_expansion(&mut self, id: StateId) {
+        if self.record_graph {
+            debug_assert_eq!(self.edge_starts.len(), id as usize);
+            self.edge_starts.push(self.edges.len() as u32);
+        }
+    }
+
+    /// Records a transition whose successor is already interned.
+    fn on_known_transition(&mut self, action: Activation, target: StateId, cs_entries: Vec<NodeId>) {
+        self.report.transitions += 1;
+        if self.record_graph {
+            self.edges.push(Edge { action, target, cs_entries });
+        }
+    }
+
+    /// Records a transition given the successor's packed bytes; interns them, runs property
+    /// checks when the state is new, and returns the new id when one was admitted.
+    fn on_transition(
+        &mut self,
+        parent: StateId,
+        action: Activation,
+        packed: &[u8],
+        cs_entries: Vec<NodeId>,
+    ) -> Option<StateId> {
+        self.report.transitions += 1;
+        let outcome = self.arena.intern_capped(packed, self.limits.max_configurations);
+        let (target, admitted) = match outcome {
+            InternOutcome::Existing(id) => (Some(id), None),
+            InternOutcome::Full => {
+                self.report.truncated = true;
+                (None, None)
+            }
+            InternOutcome::Inserted(id) => {
+                self.parents.push((parent, action));
+                self.depths.push(self.depths[parent as usize] + 1);
+                self.check_properties(id);
+                if self.stop_on_violation && !self.report.violations.is_empty() {
+                    self.stopped = true;
+                }
+                (Some(id), Some(id))
+            }
+        };
+        if self.record_graph {
+            if let Some(target) = target {
+                self.edges.push(Edge { action, target, cs_entries });
+            }
+        }
+        admitted
+    }
+
+    /// Emits a deadlock witness for a quiescent state with unsatisfiable requesters.
+    fn on_quiescent(&mut self, id: StateId) {
+        let config = self.arena.config(id);
+        let blocked = config.unsatisfied_requesters();
+        if !blocked.is_empty() {
+            self.report.deadlocks.push(DeadlockWitness {
+                blocked,
+                depth: self.depths[id as usize] as usize,
+                trace: self.trace_to(id),
+                config,
+            });
+        }
+    }
+
+    fn check_properties(&mut self, id: StateId) {
+        if self.properties.is_empty() {
+            return;
+        }
+        let config = self.arena.config(id);
+        for property in self.properties {
+            if self.violated.iter().any(|name| name == property.name()) {
+                continue;
+            }
+            if let Err(detail) = property.check(&config) {
+                self.violated.push(property.name().to_string());
+                self.report.violations.push(Violation {
+                    property: property.name().to_string(),
+                    detail,
+                    depth: self.depths[id as usize] as usize,
+                    trace: self.trace_to(id),
+                    config: config.clone(),
+                });
+            }
+        }
+    }
+
+    /// Reconstructs the activation sequence from the initial configuration to `id`.
+    fn trace_to(&self, mut id: StateId) -> Vec<Activation> {
+        let mut trace = Vec::new();
+        while id != 0 {
+            let (parent, action) = self.parents[id as usize];
+            trace.push(action);
+            id = parent;
+        }
+        trace.reverse();
+        trace
+    }
+
+    fn finish(mut self) -> (ExplorationReport, StateGraph) {
+        self.report.configurations = self.arena.len();
+        let graph = if self.record_graph {
+            // States that were never expanded (beyond the depth limit, or abandoned after an
+            // early stop) get empty edge ranges.
+            while self.edge_starts.len() <= self.arena.len() {
+                self.edge_starts.push(self.edges.len() as u32);
+            }
+            StateGraph { arena: self.arena, edges: self.edges, edge_starts: self.edge_starts }
+        } else {
+            StateGraph::default()
+        };
+        (self.report, graph)
+    }
+}
+
+/// A faithful retention of the pre-interning exploration loop (full `Configuration` values in
+/// a `HashMap`, cloned on every pop and push), kept as the reference point for the
+/// `exhaustive_checker` benchmark's speedup measurements.  Counts configurations and
+/// transitions only — no properties, graph recording, or deadlock detection.
+pub mod baseline {
+    use super::{Limits, Network, Topology};
+    use crate::snapshot::{capture, restore, CheckableNode, Configuration};
+    use std::collections::{HashMap, VecDeque};
+    use treenet::Activation;
+
+    /// Counts of one baseline exploration.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct BaselineReport {
+        /// Number of distinct configurations visited.
+        pub configurations: usize,
+        /// Number of transitions executed.
+        pub transitions: usize,
+        /// True when the configuration limit was hit.
+        pub truncated: bool,
+    }
+
+    /// Explores with the pre-interning engine: SipHash-keyed `HashMap<Configuration, usize>`
+    /// visited set, full configuration clones on the hot path.
+    pub fn explore<P: CheckableNode, T: Topology>(
+        net: &mut Network<P, T>,
+        limits: Limits,
+    ) -> BaselineReport {
+        let n = net.len();
+        let degrees: Vec<usize> = (0..n).map(|v| net.topology().degree(v)).collect();
+        let initial = capture(net);
+        let mut ids: HashMap<Configuration, usize> = HashMap::new();
+        let mut configs: Vec<Configuration> = Vec::new();
+        let mut report = BaselineReport::default();
+        ids.insert(initial.clone(), 0);
+        configs.push(initial);
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        queue.push_back(0);
+        while let Some(id) = queue.pop_front() {
+            let config = configs[id].clone();
             let mut activations: Vec<Activation> = Vec::new();
             for v in 0..n {
                 for l in 0..degrees[v] {
@@ -249,126 +806,29 @@ impl<'a, P: CheckableNode, T: Topology> Explorer<'a, P, T> {
                     }
                 }
             }
-            let first_tick = activations.len();
             for v in 0..n {
                 activations.push(Activation::Tick { node: v });
             }
-
-            let mut every_tick_is_self_loop = true;
-            for (idx, act) in activations.iter().enumerate() {
-                restore(self.net, &config);
-                self.net.trace_mut().clear();
-                self.net.execute(*act);
-                let succ = capture(self.net);
+            for act in activations {
+                restore(net, &config);
+                net.execute(act);
+                let succ = capture(net);
                 report.transitions += 1;
-
-                let cs_entries: Vec<NodeId> = self
-                    .net
-                    .trace()
-                    .events()
-                    .iter()
-                    .filter(|e| matches!(e.event, treenet::Event::EnterCs { .. }))
-                    .map(|e| e.node)
-                    .collect();
-
-                if idx >= first_tick && succ != config {
-                    every_tick_is_self_loop = false;
-                }
-
-                let succ_id = match ids.get(&succ) {
-                    Some(&existing) => Some(existing),
-                    None => {
-                        if configs.len() >= self.limits.max_configurations {
-                            report.truncated = true;
-                            None
-                        } else {
-                            let new_id = configs.len();
-                            ids.insert(succ.clone(), new_id);
-                            configs.push(succ.clone());
-                            parents.push(Some((id, *act)));
-                            depths.push(depth + 1);
-                            if self.record_graph {
-                                self.graph.configs.push(succ.clone());
-                                self.graph.edges.push(Vec::new());
-                            }
-                            queue.push_back(new_id);
-                            self.check_properties(
-                                &succ,
-                                new_id,
-                                &parents,
-                                &mut report,
-                                &mut violated,
-                            );
-                            if self.stop_on_violation && !report.violations.is_empty() {
-                                report.configurations = configs.len();
-                                break 'outer;
-                            }
-                            Some(new_id)
-                        }
+                if !ids.contains_key(&succ) {
+                    if configs.len() >= limits.max_configurations {
+                        report.truncated = true;
+                        continue;
                     }
-                };
-
-                if self.record_graph {
-                    if let Some(target) = succ_id {
-                        self.graph.edges[id].push(Edge { action: *act, target, cs_entries });
-                    }
-                }
-            }
-
-            // Quiescent deadlock: nothing in flight, every tick is a self-loop, and some
-            // request can therefore never be satisfied.
-            if first_tick == 0 && every_tick_is_self_loop {
-                let blocked = config.unsatisfied_requesters();
-                if !blocked.is_empty() {
-                    report.deadlocks.push(DeadlockWitness {
-                        blocked,
-                        depth,
-                        trace: trace_to(id, &parents),
-                        config: config.clone(),
-                    });
+                    let new_id = configs.len();
+                    ids.insert(succ.clone(), new_id);
+                    configs.push(succ);
+                    queue.push_back(new_id);
                 }
             }
         }
-
         report.configurations = configs.len();
         report
     }
-
-    fn check_properties(
-        &self,
-        config: &Configuration,
-        id: usize,
-        parents: &[Option<(usize, Activation)>],
-        report: &mut ExplorationReport,
-        violated: &mut Vec<String>,
-    ) {
-        for property in &self.properties {
-            if violated.iter().any(|name| name == property.name()) {
-                continue;
-            }
-            if let Err(detail) = property.check(config) {
-                violated.push(property.name().to_string());
-                report.violations.push(Violation {
-                    property: property.name().to_string(),
-                    detail,
-                    depth: trace_to(id, parents).len(),
-                    trace: trace_to(id, parents),
-                    config: config.clone(),
-                });
-            }
-        }
-    }
-}
-
-/// Reconstructs the activation sequence from the initial configuration to configuration `id`.
-fn trace_to(mut id: usize, parents: &[Option<(usize, Activation)>]) -> Vec<Activation> {
-    let mut trace = Vec::new();
-    while let Some((parent, act)) = parents[id] {
-        trace.push(act);
-        id = parent;
-    }
-    trace.reverse();
-    trace
 }
 
 #[cfg(test)]
@@ -445,7 +905,7 @@ mod tests {
         for act in &violation.trace {
             fresh.execute(*act);
         }
-        assert_eq!(capture(&fresh), violation.config);
+        assert_eq!(crate::snapshot::capture(&fresh), violation.config);
     }
 
     #[test]
@@ -471,7 +931,7 @@ mod tests {
         // Every edge target is a valid configuration index.
         for id in 0..graph.len() {
             for edge in graph.edges(id) {
-                assert!(edge.target < graph.len());
+                assert!((edge.target as usize) < graph.len());
             }
         }
     }
@@ -553,5 +1013,124 @@ mod tests {
         assert_eq!(report.violations.len(), 1);
         assert_eq!(report.violations[0].depth, 0);
         assert!(report.exhaustive());
+    }
+
+    #[test]
+    fn parallel_exploration_matches_sequential_on_a_seeded_7_node_tree() {
+        // The satellite regression test: a 7-node random tree (fixed seed), two requesters
+        // competing for two tokens plus a third small requester.  Sequential and parallel
+        // exploration must visit identical state counts, record identically sized graphs, and
+        // report identical deadlock depths.
+        let needs = [0usize, 2, 0, 2, 0, 1, 0];
+        let cfg = KlConfig::new(2, 2, 7);
+        let make = || {
+            let tree = topology::builders::random_tree(7, 0xD153A5E);
+            klex_core::naive::network(tree, cfg, drivers::from_needs(&needs))
+        };
+        let limits = Limits { max_configurations: 2_000_000, max_depth: usize::MAX };
+
+        let mut net = make();
+        let mut seq_explorer = Explorer::new(&mut net).with_limits(limits).record_graph(true);
+        let sequential = seq_explorer.run();
+        let seq_graph = seq_explorer.into_graph();
+        assert!(sequential.exhaustive(), "the 7-node instance must fit the limits");
+
+        for threads in [2, 4] {
+            let mut net = make();
+            let mut par_explorer =
+                Explorer::new(&mut net).with_limits(limits).record_graph(true);
+            let parallel = par_explorer.run_parallel(make, threads);
+            let par_graph = par_explorer.into_graph();
+
+            assert_eq!(parallel.configurations, sequential.configurations);
+            assert_eq!(parallel.transitions, sequential.transitions);
+            assert_eq!(parallel.max_depth, sequential.max_depth);
+            assert_eq!(parallel.truncated, sequential.truncated);
+            assert_eq!(parallel.deadlocks.len(), sequential.deadlocks.len());
+            for (p, s) in parallel.deadlocks.iter().zip(&sequential.deadlocks) {
+                assert_eq!(p.depth, s.depth);
+                assert_eq!(p.blocked, s.blocked);
+                assert_eq!(p.config, s.config);
+            }
+            assert_eq!(par_graph.len(), seq_graph.len());
+            assert_eq!(par_graph.transition_count(), seq_graph.transition_count());
+            // Identical ids: spot-check that both graphs store the same packed states.
+            for id in (0..seq_graph.len()).step_by(97) {
+                assert_eq!(par_graph.packed(id), seq_graph.packed(id));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_exploration_reports_identical_violation_depths() {
+        let cfg = KlConfig::new(1, 1, 2);
+        let make = || {
+            let tree = topology::builders::chain(2);
+            klex_core::naive::network(tree, cfg, |_| drivers::HoldOneActivation::boxed(1))
+        };
+        let never_enter = || {
+            properties::property("never-enter", |c: &Configuration| {
+                if c.nodes.iter().any(|s| s.cs == CsState::In) {
+                    Err("a process entered its critical section".into())
+                } else {
+                    Ok(())
+                }
+            })
+        };
+        let limits = Limits { max_configurations: 50_000, max_depth: usize::MAX };
+        let mut net = make();
+        let sequential = Explorer::new(&mut net)
+            .with_limits(limits)
+            .with_property(never_enter())
+            .run();
+        let mut net = make();
+        let parallel = Explorer::new(&mut net)
+            .with_limits(limits)
+            .with_property(never_enter())
+            .run_parallel(make, 4);
+        assert_eq!(sequential.violations.len(), 1);
+        assert_eq!(parallel.violations.len(), 1);
+        assert_eq!(parallel.violations[0].depth, sequential.violations[0].depth);
+        assert_eq!(parallel.violations[0].trace, sequential.violations[0].trace);
+        assert_eq!(parallel.violations[0].config, sequential.violations[0].config);
+        assert_eq!(parallel.configurations, sequential.configurations);
+        assert_eq!(parallel.transitions, sequential.transitions);
+    }
+
+    #[test]
+    fn parallel_exploration_matches_sequential_under_truncation() {
+        let cfg = KlConfig::new(1, 1, 2);
+        let make = || {
+            let tree = topology::builders::chain(2);
+            klex_core::naive::network(tree, cfg, |_| drivers::AlwaysRequest::boxed(1))
+        };
+        let limits = Limits { max_configurations: 7, max_depth: usize::MAX };
+        let mut net = make();
+        let sequential = Explorer::new(&mut net).with_limits(limits).run();
+        let mut net = make();
+        let parallel = Explorer::new(&mut net).with_limits(limits).run_parallel(make, 3);
+        assert!(sequential.truncated && parallel.truncated);
+        assert_eq!(parallel.configurations, sequential.configurations);
+        assert_eq!(parallel.transitions, sequential.transitions);
+        assert_eq!(parallel.max_depth, sequential.max_depth);
+    }
+
+    #[test]
+    fn baseline_engine_agrees_with_the_interned_engine() {
+        let limits = Limits { max_configurations: 200_000, max_depth: usize::MAX };
+        let tree = topology::builders::chain(3);
+        let cfg = KlConfig::new(2, 2, 3);
+        let needs = [0usize, 2, 2];
+        let mut net = klex_core::naive::network(tree, cfg, drivers::from_needs(&needs));
+        let base = baseline::explore(&mut net, limits);
+        let mut net = klex_core::naive::network(
+            topology::builders::chain(3),
+            cfg,
+            drivers::from_needs(&needs),
+        );
+        let report = Explorer::new(&mut net).with_limits(limits).run();
+        assert_eq!(base.configurations, report.configurations);
+        assert_eq!(base.transitions, report.transitions);
+        assert!(!base.truncated && !report.truncated);
     }
 }

@@ -32,6 +32,26 @@
 //! Within those bounds the exploration covers every interleaving of message deliveries and
 //! process activations — a far stronger guarantee than any number of random schedules.
 //!
+//! # Engine design
+//!
+//! The exploration core works on **interned packed configurations**: every visited
+//! configuration is serialized once into a canonical flat byte string (see
+//! [`snapshot::pack_configuration`]) and hash-consed by a [`StateArena`] into a dense
+//! [`StateId`].  The invariants the engine relies on:
+//!
+//! * the packed encoding is *injective* — equal configurations ⇔ equal bytes — so byte
+//!   equality in the arena is configuration equality;
+//! * ids are assigned in BFS discovery order, so `depths` is monotone, parent links always
+//!   point to smaller ids, and states are expanded in id order (which is what lets the
+//!   recorded [`StateGraph`] store edges in one flat CSR vector);
+//! * restoring a frontier state borrows its bytes from the arena
+//!   ([`snapshot::restore_packed`]); the hot loop performs no configuration clones and no
+//!   SipHash hashing.
+//!
+//! [`Explorer::run_parallel`] expands each BFS level on several worker threads against the
+//! frozen arena and then merges results sequentially in frontier order, so sequential and
+//! parallel runs produce **identical** ids, counts, and reports; see [`explore`] for details.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -62,6 +82,11 @@ pub mod scenarios;
 pub mod snapshot;
 
 pub use cycles::{find_progress_cycle, CycleWitness};
-pub use explore::{DeadlockWitness, ExplorationReport, Explorer, Limits, StateGraph, Violation};
+pub use explore::{
+    DeadlockWitness, Edge, ExplorationReport, Explorer, Limits, StateGraph, Violation,
+};
 pub use properties::Property;
-pub use snapshot::{capture, restore, CheckableNode, Configuration, CtrlState, NodeState};
+pub use snapshot::{
+    capture, capture_packed, pack_configuration, restore, restore_packed, unpack_configuration,
+    CheckableNode, Configuration, CtrlState, InternOutcome, NodeState, StateArena, StateId,
+};

@@ -21,6 +21,22 @@
 //! Everything the protocol itself reads — `State`, `Need`, `RSet`, `Prio`, the counter-flushing
 //! variables `myC`/`Succ`, the root's census counters and `Reset` flag, and every in-flight
 //! message — is part of the abstraction.
+//!
+//! # Packed configurations and interning
+//!
+//! [`Configuration`] is convenient for property predicates and witnesses, but too heavy for
+//! the explorer's hot loop: it is a Vec-of-Vecs structure whose cloning and (Sip-)hashing
+//! dominated exploration time.  The exploration engine therefore works on a **packed**
+//! representation instead: [`pack_configuration`] serializes a configuration into one flat,
+//! canonical byte string (varint-encoded fields in a fixed order, so *equal configurations
+//! produce equal bytes and vice versa*), [`capture_packed`] produces those bytes straight from
+//! a live network without materializing a `Configuration`, and [`restore_packed`] writes them
+//! back the same way.  A [`StateArena`] hash-conses packed configurations: each distinct
+//! configuration is stored exactly once in one contiguous buffer and identified by a dense
+//! `u32` id, with an open-addressing table over 64-bit fx hashes replacing the old
+//! `HashMap<Configuration, usize>`.  [`unpack_configuration`] recovers a full
+//! [`Configuration`] on the cold paths that need one (property violations, witnesses, cycle
+//! analysis).
 
 use klex_core::ss::SsRole;
 use klex_core::{Message, SsNode};
@@ -321,6 +337,450 @@ where
     }
 }
 
+// --------------------------------------------------------------------- packed representation
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(cursor: &mut &[u8]) -> u64 {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = cursor[0];
+        *cursor = &cursor[1..];
+        value |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return value;
+        }
+        shift += 7;
+    }
+}
+
+fn cs_to_byte(cs: CsState) -> u8 {
+    match cs {
+        CsState::Out => 0,
+        CsState::Req => 1,
+        CsState::In => 2,
+    }
+}
+
+fn cs_from_byte(byte: u8) -> CsState {
+    match byte {
+        0 => CsState::Out,
+        1 => CsState::Req,
+        2 => CsState::In,
+        other => panic!("corrupt packed configuration: CsState tag {other}"),
+    }
+}
+
+fn write_message(out: &mut Vec<u8>, msg: &Message) {
+    match *msg {
+        Message::ResT => out.push(1),
+        Message::PushT => out.push(2),
+        Message::PrioT => out.push(3),
+        Message::Ctrl { c, r, pt, ppr } => {
+            out.push(4);
+            write_varint(out, c);
+            out.push(u8::from(r));
+            write_varint(out, pt);
+            out.push(ppr);
+        }
+        Message::Garbage(x) => {
+            out.push(5);
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+}
+
+fn read_message(cursor: &mut &[u8]) -> Message {
+    let tag = cursor[0];
+    *cursor = &cursor[1..];
+    match tag {
+        1 => Message::ResT,
+        2 => Message::PushT,
+        3 => Message::PrioT,
+        4 => {
+            let c = read_varint(cursor);
+            let r = cursor[0] != 0;
+            *cursor = &cursor[1..];
+            let pt = read_varint(cursor);
+            let ppr = cursor[0];
+            *cursor = &cursor[1..];
+            Message::Ctrl { c, r, pt, ppr }
+        }
+        5 => {
+            let x = u16::from_le_bytes([cursor[0], cursor[1]]);
+            *cursor = &cursor[2..];
+            Message::Garbage(x)
+        }
+        other => panic!("corrupt packed configuration: message tag {other}"),
+    }
+}
+
+fn write_node_state(out: &mut Vec<u8>, state: &NodeState) {
+    out.push(cs_to_byte(state.cs));
+    write_varint(out, state.need as u64);
+    write_varint(out, state.rset.len() as u64);
+    for &label in &state.rset {
+        write_varint(out, label as u64);
+    }
+    match state.prio {
+        None => out.push(0),
+        Some(label) => {
+            out.push(1);
+            write_varint(out, label as u64);
+        }
+    }
+    out.push(u8::from(state.bootstrapped));
+    match &state.ctrl {
+        None => out.push(0),
+        Some(CtrlState::Root { my_c, succ, reset, s_token, s_push, s_prio }) => {
+            out.push(1);
+            write_varint(out, *my_c);
+            write_varint(out, *succ as u64);
+            out.push(u8::from(*reset));
+            write_varint(out, *s_token);
+            out.push(*s_push);
+            out.push(*s_prio);
+        }
+        Some(CtrlState::NonRoot { my_c, succ }) => {
+            out.push(2);
+            write_varint(out, *my_c);
+            write_varint(out, *succ as u64);
+        }
+    }
+}
+
+fn read_node_state(cursor: &mut &[u8]) -> NodeState {
+    let cs = cs_from_byte(cursor[0]);
+    *cursor = &cursor[1..];
+    let need = read_varint(cursor) as usize;
+    let rset_len = read_varint(cursor) as usize;
+    let rset = (0..rset_len).map(|_| read_varint(cursor) as usize).collect();
+    let prio = match cursor[0] {
+        0 => {
+            *cursor = &cursor[1..];
+            None
+        }
+        _ => {
+            *cursor = &cursor[1..];
+            Some(read_varint(cursor) as usize)
+        }
+    };
+    let bootstrapped = cursor[0] != 0;
+    *cursor = &cursor[1..];
+    let ctrl_tag = cursor[0];
+    *cursor = &cursor[1..];
+    let ctrl = match ctrl_tag {
+        0 => None,
+        1 => {
+            let my_c = read_varint(cursor);
+            let succ = read_varint(cursor) as usize;
+            let reset = cursor[0] != 0;
+            *cursor = &cursor[1..];
+            let s_token = read_varint(cursor);
+            let s_push = cursor[0];
+            let s_prio = cursor[1];
+            *cursor = &cursor[2..];
+            Some(CtrlState::Root { my_c, succ, reset, s_token, s_push, s_prio })
+        }
+        2 => {
+            let my_c = read_varint(cursor);
+            let succ = read_varint(cursor) as usize;
+            Some(CtrlState::NonRoot { my_c, succ })
+        }
+        other => panic!("corrupt packed configuration: ctrl tag {other}"),
+    };
+    NodeState { cs, need, rset, prio, bootstrapped, ctrl }
+}
+
+/// Appends the canonical packed encoding of `config` to `out`.
+///
+/// The encoding is injective on [`Configuration`] values: two configurations are equal **iff**
+/// their packed encodings are byte-for-byte equal (varints are always minimal, fields appear
+/// in a fixed order, and every length is explicit).  [`unpack_configuration`] inverts it.
+pub fn pack_configuration(config: &Configuration, out: &mut Vec<u8>) {
+    write_varint(out, config.nodes.len() as u64);
+    for state in &config.nodes {
+        write_node_state(out, state);
+    }
+    for per_node in &config.channels {
+        write_varint(out, per_node.len() as u64);
+        for channel in per_node {
+            write_varint(out, channel.len() as u64);
+            for msg in channel {
+                write_message(out, msg);
+            }
+        }
+    }
+}
+
+/// Decodes a packed configuration produced by [`pack_configuration`] or [`capture_packed`].
+///
+/// # Panics
+///
+/// Panics on malformed input; packed bytes only ever come from this module's encoders.
+pub fn unpack_configuration(mut bytes: &[u8]) -> Configuration {
+    let cursor = &mut bytes;
+    let n = read_varint(cursor) as usize;
+    let nodes = (0..n).map(|_| read_node_state(cursor)).collect();
+    let channels = (0..n)
+        .map(|_| {
+            let degree = read_varint(cursor) as usize;
+            (0..degree)
+                .map(|_| {
+                    let len = read_varint(cursor) as usize;
+                    (0..len).map(|_| read_message(cursor)).collect()
+                })
+                .collect()
+        })
+        .collect();
+    assert!(cursor.is_empty(), "corrupt packed configuration: {} trailing bytes", cursor.len());
+    Configuration { nodes, channels }
+}
+
+/// Captures the full configuration of `net` directly into its packed encoding, replacing the
+/// contents of `out`.  Produces exactly the bytes `pack_configuration(&capture(net))` would,
+/// without materializing the intermediate [`Configuration`].
+pub fn capture_packed<P, T>(net: &Network<P, T>, out: &mut Vec<u8>)
+where
+    P: CheckableNode,
+    T: Topology,
+{
+    out.clear();
+    let n = net.len();
+    write_varint(out, n as u64);
+    for v in 0..n {
+        write_node_state(out, &net.node(v).capture_state());
+    }
+    for v in 0..n {
+        let degree = net.topology().degree(v);
+        write_varint(out, degree as u64);
+        for l in 0..degree {
+            let channel = net.channel(v, l);
+            write_varint(out, channel.len() as u64);
+            for msg in channel.iter() {
+                write_message(out, msg);
+            }
+        }
+    }
+}
+
+/// Writes a packed configuration back into `net`, borrowing the bytes (the inverse of
+/// [`capture_packed`], and the hot-path replacement for `restore(net, &config.clone())`).
+///
+/// # Panics
+///
+/// Panics if the packed shape (node count or channel degrees) does not match the network.
+pub fn restore_packed<P, T>(net: &mut Network<P, T>, mut bytes: &[u8])
+where
+    P: CheckableNode,
+    T: Topology,
+{
+    let cursor = &mut bytes;
+    let n = read_varint(cursor) as usize;
+    assert_eq!(n, net.len(), "packed configuration has the wrong number of processes");
+    for v in 0..n {
+        let state = read_node_state(cursor);
+        net.node_mut(v).restore_state(&state);
+    }
+    for v in 0..n {
+        let degree = read_varint(cursor) as usize;
+        assert_eq!(
+            degree,
+            net.topology().degree(v),
+            "packed configuration has the wrong degree for node {v}"
+        );
+        for l in 0..degree {
+            let len = read_varint(cursor) as usize;
+            let channel = net.channel_mut(v, l);
+            channel.clear();
+            for _ in 0..len {
+                channel.push(read_message(cursor));
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------------------ state arena
+
+/// The 64-bit fx hash (the `rustc-hash` multiply-xor scheme) over a byte string.
+pub(crate) fn fx_hash(bytes: &[u8]) -> u64 {
+    const K: u64 = 0x517c_c1b7_2722_0a95;
+    let mut hash = 0u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        hash = (hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+    let mut tail = 0u64;
+    for (i, &b) in chunks.remainder().iter().enumerate() {
+        tail |= u64::from(b) << (8 * i);
+    }
+    hash = (hash.rotate_left(5) ^ (tail | ((bytes.len() as u64) << 56))).wrapping_mul(K);
+    hash
+}
+
+/// A dense identifier of an interned configuration.
+pub type StateId = u32;
+
+/// The result of [`StateArena::intern_capped`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InternOutcome {
+    /// The configuration was already interned under this id.
+    Existing(StateId),
+    /// The configuration was inserted fresh under this id.
+    Inserted(StateId),
+    /// The configuration is new but inserting it would exceed the cap; nothing was stored.
+    Full,
+}
+
+/// A hash-consing store of packed configurations.
+///
+/// Every distinct packed configuration is stored exactly once, contiguously in one growing
+/// byte buffer, and is identified by the dense [`StateId`] of its insertion order.  Lookup
+/// uses an open-addressing table of fx hashes with linear probing; collisions fall back to a
+/// byte comparison against the arena, so no separate key copies exist (unlike a
+/// `HashMap<Vec<u8>, u32>`, which would store every configuration twice).
+///
+/// Reads ([`StateArena::get`], [`StateArena::lookup`]) take `&self`, so a frozen arena can be
+/// shared across worker threads during parallel frontier expansion; interning requires
+/// `&mut self` and happens on the coordinating thread.
+#[derive(Clone, Debug, Default)]
+pub struct StateArena {
+    bytes: Vec<u8>,
+    /// Prefix offsets: state `i` occupies `offsets[i]..offsets[i + 1]`; `offsets.len()` is
+    /// `len + 1` (a single leading 0 when empty is elided — empty arena has no offsets).
+    offsets: Vec<usize>,
+    hashes: Vec<u64>,
+    /// Open-addressing slots holding `id + 1` (0 = empty).  Power-of-two sized.
+    slots: Vec<u32>,
+}
+
+impl StateArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        StateArena::default()
+    }
+
+    /// Number of interned configurations.
+    pub fn len(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.hashes.is_empty()
+    }
+
+    /// Total bytes of packed configuration data stored.
+    pub fn bytes_used(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// The packed bytes of state `id`.
+    pub fn get(&self, id: StateId) -> &[u8] {
+        let i = id as usize;
+        &self.bytes[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Decodes state `id` into a full [`Configuration`].
+    pub fn config(&self, id: StateId) -> Configuration {
+        unpack_configuration(self.get(id))
+    }
+
+    /// Looks up previously interned bytes without modifying the arena.
+    pub fn lookup(&self, packed: &[u8]) -> Option<StateId> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let hash = fx_hash(packed);
+        let mask = self.slots.len() - 1;
+        let mut slot = (hash as usize) & mask;
+        loop {
+            match self.slots[slot] {
+                0 => return None,
+                stored => {
+                    let id = stored - 1;
+                    if self.hashes[id as usize] == hash && self.get(id) == packed {
+                        return Some(id);
+                    }
+                }
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Interns `packed`, returning its id and whether it was newly inserted.
+    pub fn intern(&mut self, packed: &[u8]) -> (StateId, bool) {
+        match self.intern_capped(packed, usize::MAX) {
+            InternOutcome::Existing(id) => (id, false),
+            InternOutcome::Inserted(id) => (id, true),
+            InternOutcome::Full => unreachable!("uncapped intern cannot be full"),
+        }
+    }
+
+    /// Interns `packed` unless doing so would grow the arena beyond `cap` states: one hash
+    /// and one table probe decide between "already present", "inserted", and "over the cap"
+    /// (the hot-loop shape — a separate `lookup` + `intern` would hash and probe twice).
+    pub fn intern_capped(&mut self, packed: &[u8], cap: usize) -> InternOutcome {
+        if self.slots.is_empty() {
+            self.grow_slots(64);
+        } else if (self.len() + 1) * 4 > self.slots.len() * 3 {
+            self.grow_slots(self.slots.len() * 2);
+        }
+        let hash = fx_hash(packed);
+        let mask = self.slots.len() - 1;
+        let mut slot = (hash as usize) & mask;
+        loop {
+            match self.slots[slot] {
+                0 => break,
+                stored => {
+                    let id = stored - 1;
+                    if self.hashes[id as usize] == hash && self.get(id) == packed {
+                        return InternOutcome::Existing(id);
+                    }
+                }
+            }
+            slot = (slot + 1) & mask;
+        }
+        if self.len() >= cap {
+            return InternOutcome::Full;
+        }
+        let id = self.len() as StateId;
+        if self.offsets.is_empty() {
+            self.offsets.push(0);
+        }
+        self.bytes.extend_from_slice(packed);
+        self.offsets.push(self.bytes.len());
+        self.hashes.push(hash);
+        self.slots[slot] = id + 1;
+        InternOutcome::Inserted(id)
+    }
+
+    fn grow_slots(&mut self, new_size: usize) {
+        debug_assert!(new_size.is_power_of_two());
+        self.slots = vec![0; new_size];
+        let mask = new_size - 1;
+        for (id, &hash) in self.hashes.iter().enumerate() {
+            let mut slot = (hash as usize) & mask;
+            while self.slots[slot] != 0 {
+                slot = (slot + 1) & mask;
+            }
+            self.slots[slot] = id as u32 + 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -403,5 +863,175 @@ mod tests {
         let mut config = capture(&net);
         config.nodes.pop();
         restore(&mut net, &config);
+    }
+
+    // ------------------------------------------------------------------ packed representation
+
+    /// A deterministic soup of configurations with every field exercised: all three protocol
+    /// roles' control states, every message variant (including extreme field values), empty
+    /// and loaded channels, and every `CsState`.
+    fn assorted_configurations() -> Vec<Configuration> {
+        let ctrl_variants = [
+            None,
+            Some(CtrlState::Root {
+                my_c: u64::MAX,
+                succ: 3,
+                reset: true,
+                s_token: 1 << 40,
+                s_push: 255,
+                s_prio: 2,
+            }),
+            Some(CtrlState::NonRoot { my_c: 0, succ: 0 }),
+            Some(CtrlState::NonRoot { my_c: 127, succ: 128 }),
+        ];
+        let messages = [
+            Message::ResT,
+            Message::PushT,
+            Message::PrioT,
+            Message::Ctrl { c: 0, r: false, pt: 0, ppr: 0 },
+            Message::Ctrl { c: u64::MAX, r: true, pt: 300, ppr: 255 },
+            Message::Garbage(0),
+            Message::Garbage(u16::MAX),
+        ];
+        let mut configs = Vec::new();
+        for (i, ctrl) in ctrl_variants.iter().enumerate() {
+            for cs in [CsState::Out, CsState::Req, CsState::In] {
+                let nodes = vec![
+                    NodeState {
+                        cs,
+                        need: i * 127,
+                        rset: (0..i).collect(),
+                        prio: if i % 2 == 0 { None } else { Some(i) },
+                        bootstrapped: i % 2 == 1,
+                        ctrl: ctrl.clone(),
+                    },
+                    NodeState {
+                        cs: CsState::Out,
+                        need: 0,
+                        rset: vec![],
+                        prio: None,
+                        bootstrapped: true,
+                        ctrl: None,
+                    },
+                ];
+                let channels = vec![
+                    vec![messages.iter().copied().cycle().take(i + 1).collect()],
+                    vec![vec![], messages[..i.min(messages.len())].to_vec()],
+                ];
+                configs.push(Configuration { nodes, channels });
+            }
+        }
+        configs
+    }
+
+    #[test]
+    fn packed_roundtrip_is_identity_on_assorted_configurations() {
+        for config in assorted_configurations() {
+            let mut packed = Vec::new();
+            pack_configuration(&config, &mut packed);
+            assert_eq!(unpack_configuration(&packed), config);
+        }
+    }
+
+    #[test]
+    fn equal_configurations_iff_equal_packed_bytes() {
+        let configs = assorted_configurations();
+        for (i, a) in configs.iter().enumerate() {
+            for (j, b) in configs.iter().enumerate() {
+                let mut pa = Vec::new();
+                let mut pb = Vec::new();
+                pack_configuration(a, &mut pa);
+                pack_configuration(b, &mut pb);
+                assert_eq!(a == b, pa == pb, "configs {i} and {j} disagree with their bytes");
+            }
+        }
+    }
+
+    #[test]
+    fn capture_packed_matches_pack_of_capture() {
+        let mut net = ss_net();
+        net.inject_from(0, 0, Message::Ctrl { c: 0, r: false, pt: 0, ppr: 0 });
+        let mut sched = RoundRobin::new();
+        let mut scratch = Vec::new();
+        for _ in 0..700 {
+            net.step(&mut sched);
+            capture_packed(&net, &mut scratch);
+            let mut reference = Vec::new();
+            pack_configuration(&capture(&net), &mut reference);
+            assert_eq!(scratch, reference);
+        }
+    }
+
+    #[test]
+    fn restore_packed_roundtrips_through_a_live_network() {
+        let mut net = ss_net();
+        net.inject_from(0, 0, Message::Ctrl { c: 0, r: false, pt: 0, ppr: 0 });
+        let mut sched = RoundRobin::new();
+        for _ in 0..500 {
+            net.step(&mut sched);
+        }
+        let mut snap = Vec::new();
+        capture_packed(&net, &mut snap);
+        for _ in 0..200 {
+            net.step(&mut sched);
+        }
+        let mut moved_on = Vec::new();
+        capture_packed(&net, &mut moved_on);
+        assert_ne!(snap, moved_on, "the network should have moved on");
+        restore_packed(&mut net, &snap);
+        let mut recaptured = Vec::new();
+        capture_packed(&net, &mut recaptured);
+        assert_eq!(snap, recaptured);
+        // And the packed snapshot decodes to exactly the structural capture.
+        assert_eq!(unpack_configuration(&snap), capture(&net));
+    }
+
+    #[test]
+    fn arena_interns_each_distinct_configuration_once() {
+        let mut arena = StateArena::new();
+        let configs = assorted_configurations();
+        let mut packed: Vec<Vec<u8>> = Vec::new();
+        for config in &configs {
+            let mut bytes = Vec::new();
+            pack_configuration(config, &mut bytes);
+            packed.push(bytes);
+        }
+        let mut ids = Vec::new();
+        for bytes in &packed {
+            let (id, fresh) = arena.intern(bytes);
+            assert!(fresh, "first insertion must be fresh");
+            assert_eq!(id as usize, ids.len(), "ids are dense and in insertion order");
+            ids.push(id);
+        }
+        assert_eq!(arena.len(), configs.len());
+        // Re-interning and lookup both find the original ids; bytes are preserved.
+        for (bytes, &id) in packed.iter().zip(&ids) {
+            assert_eq!(arena.intern(bytes), (id, false));
+            assert_eq!(arena.lookup(bytes), Some(id));
+            assert_eq!(arena.get(id), &bytes[..]);
+        }
+        assert_eq!(arena.len(), configs.len());
+        assert!(arena.lookup(b"not a packed configuration").is_none());
+    }
+
+    #[test]
+    fn arena_survives_growth_across_many_states() {
+        // Force several table growths and verify every id stays retrievable.
+        let mut arena = StateArena::new();
+        let mut keys = Vec::new();
+        for i in 0..5_000u32 {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(&i.to_le_bytes());
+            bytes.extend_from_slice(&[0xAB; 7]);
+            let (id, fresh) = arena.intern(&bytes);
+            assert!(fresh);
+            assert_eq!(id, i);
+            keys.push(bytes);
+        }
+        for (i, key) in keys.iter().enumerate() {
+            assert_eq!(arena.lookup(key), Some(i as u32));
+        }
+        assert_eq!(arena.len(), 5_000);
+        assert!(arena.bytes_used() >= 5_000 * 11);
     }
 }

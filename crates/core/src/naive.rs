@@ -54,16 +54,13 @@ impl Process for NaiveNode {
     type Msg = Message;
 
     fn on_message(&mut self, from: ChannelLabel, msg: Message, ctx: &mut Context<'_, Message>) {
-        match msg {
-            Message::ResT => {
-                if self.app.wants_more() {
-                    self.app.reserve(from);
-                } else {
-                    self.forward_token(from, ctx);
-                }
+        // The naive protocol has no other token types; anything else is ignored garbage.
+        if msg == Message::ResT {
+            if self.app.wants_more() {
+                self.app.reserve(from);
+            } else {
+                self.forward_token(from, ctx);
             }
-            // The naive protocol has no other token types; anything else is ignored garbage.
-            _ => {}
         }
     }
 

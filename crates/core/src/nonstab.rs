@@ -229,7 +229,7 @@ mod tests {
         let cfg = KlConfig::new(3, 5, 8);
         let mut net = network(tree, cfg, |id| match id {
             1 => Box::new(Fixed { units: 3, hold: 5 }) as BoxedDriver,
-            2 | 3 | 4 => Box::new(Fixed { units: 2, hold: 5 }) as BoxedDriver,
+            2..=4 => Box::new(Fixed { units: 2, hold: 5 }) as BoxedDriver,
             _ => Box::new(Idle) as BoxedDriver,
         });
         let mut sched = RandomFair::new(7);

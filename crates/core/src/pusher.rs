@@ -166,7 +166,7 @@ mod tests {
     fn figure2_workload(id: NodeId) -> BoxedDriver {
         match id {
             1 => Box::new(Fixed { units: 3, hold: 5 }),
-            2 | 3 | 4 => Box::new(Fixed { units: 2, hold: 5 }),
+            2..=4 => Box::new(Fixed { units: 2, hold: 5 }),
             _ => Box::new(Idle),
         }
     }

@@ -1,0 +1,289 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this workspace vendors a minimal
+//! serialization facility under the `serde` name.  [`Serialize`] writes JSON directly into a
+//! `String` (the only output format the workspace uses — see the sibling `serde_json` shim);
+//! [`Deserialize`] is a marker trait kept so `#[derive(Deserialize)]` attributes in the
+//! protocol crates continue to compile (nothing in the workspace deserializes into typed
+//! values — JSON is only ever parsed into `serde_json::Value`).
+//!
+//! The derive macros live in the sibling `serde_derive` proc-macro crate and are re-exported
+//! here, mirroring upstream serde's `derive` feature.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can write itself as JSON.
+///
+/// The derive macro emits field-by-field implementations matching upstream serde's JSON data
+/// model: structs as objects, unit enum variants as strings, data-carrying variants as
+/// externally tagged single-key objects.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Marker trait standing in for serde's `Deserialize`.
+///
+/// Derived impls carry no behaviour; the workspace never deserializes into typed values.
+pub trait Deserialize {}
+
+/// Escapes and appends a string literal body (without the surrounding quotes).
+pub fn escape_into(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+macro_rules! impl_serialize_display {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+impl_serialize_display!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        if self.is_finite() {
+            out.push_str(&self.to_string());
+        } else {
+            // JSON has no NaN/Inf; serde_json emits null for them.
+            out.push_str("null");
+        }
+    }
+}
+impl Deserialize for f64 {}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String) {
+        f64::from(*self).serialize_json(out);
+    }
+}
+impl Deserialize for f32 {}
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for char {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('"');
+        let mut buf = [0u8; 4];
+        escape_into(self.encode_utf8(&mut buf), out);
+        out.push('"');
+    }
+}
+impl Deserialize for char {}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('"');
+        escape_into(self, out);
+        out.push('"');
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_str().serialize_json(out);
+    }
+}
+impl Deserialize for String {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+impl<T> Deserialize for Option<T> {}
+
+fn serialize_seq<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>, out: &mut String) {
+    out.push('[');
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        item.serialize_json(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        serialize_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        serialize_seq(self.iter(), out);
+    }
+}
+impl<T> Deserialize for Vec<T> {}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        serialize_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn serialize_json(&self, out: &mut String) {
+        serialize_seq(self.iter(), out);
+    }
+}
+
+/// Types usable as JSON object keys.
+pub trait MapKey {
+    /// Appends the key (quoted) to `out`.
+    fn write_key(&self, out: &mut String);
+}
+
+impl MapKey for String {
+    fn write_key(&self, out: &mut String) {
+        self.as_str().write_key(out);
+    }
+}
+
+impl MapKey for str {
+    fn write_key(&self, out: &mut String) {
+        out.push('"');
+        escape_into(self, out);
+        out.push('"');
+    }
+}
+
+impl<K: MapKey + ?Sized> MapKey for &K {
+    fn write_key(&self, out: &mut String) {
+        (**self).write_key(out);
+    }
+}
+
+macro_rules! impl_int_map_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn write_key(&self, out: &mut String) {
+                out.push('"');
+                out.push_str(&self.to_string());
+                out.push('"');
+            }
+        }
+    )*};
+}
+
+impl_int_map_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+fn serialize_map<'a, K: MapKey + 'a, V: Serialize + 'a>(
+    entries: impl Iterator<Item = (&'a K, &'a V)>,
+    out: &mut String,
+) {
+    out.push('{');
+    for (i, (k, v)) in entries.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        k.write_key(out);
+        out.push(':');
+        v.serialize_json(out);
+    }
+    out.push('}');
+}
+
+impl<K: MapKey, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize_json(&self, out: &mut String) {
+        serialize_map(self.iter(), out);
+    }
+}
+impl<K, V> Deserialize for std::collections::BTreeMap<K, V> {}
+
+impl<K: MapKey, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn serialize_json(&self, out: &mut String) {
+        serialize_map(self.iter(), out);
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$n.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Serialize;
+    use std::collections::BTreeMap;
+
+    fn to_json<T: Serialize>(v: &T) -> String {
+        let mut out = String::new();
+        v.serialize_json(&mut out);
+        out
+    }
+
+    #[test]
+    fn primitives_and_containers_serialize_as_json() {
+        assert_eq!(to_json(&5u64), "5");
+        assert_eq!(to_json(&true), "true");
+        assert_eq!(to_json(&"a\"b"), "\"a\\\"b\"");
+        assert_eq!(to_json(&vec![1, 2, 3]), "[1,2,3]");
+        assert_eq!(to_json(&Some(1.5f64)), "1.5");
+        assert_eq!(to_json(&None::<u8>), "null");
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), 2u32);
+        assert_eq!(to_json(&m), "{\"k\":2}");
+        assert_eq!(to_json(&(1u8, "x")), "[1,\"x\"]");
+    }
+}

@@ -20,8 +20,10 @@ use serde::{Deserialize, Serialize};
 
 /// The application-visible state of a process, as defined in Section 2 of the paper.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
 pub enum CsState {
     /// Not requesting and not using any resource unit.
+    #[default]
     Out,
     /// Requesting `Need` resource units; waiting for the protocol to grant them.
     Req,
@@ -29,11 +31,6 @@ pub enum CsState {
     In,
 }
 
-impl Default for CsState {
-    fn default() -> Self {
-        CsState::Out
-    }
-}
 
 impl CsState {
     /// True if the transition `from → to` is one the model allows.

@@ -151,7 +151,7 @@ impl FaultInjector {
                     && self.rng.gen_bool(plan.clear_channel_prob.clamp(0.0, 1.0))
                 {
                     let ch = net.channel_mut(v, l);
-                    if ch.len() > 0 {
+                    if !ch.is_empty() {
                         report.messages_dropped += ch.len();
                     }
                     ch.clear();

@@ -124,7 +124,7 @@ mod tests {
             // Forward towards children only (never back to channel 0 unless root).
             if ctx.degree > 1 || self.is_root {
                 let next = (from + 1) % ctx.degree;
-                if !(next == 0 && !self.is_root) {
+                if next != 0 || self.is_root {
                     ctx.send(next, Ping);
                 }
             }

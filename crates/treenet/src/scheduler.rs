@@ -161,7 +161,7 @@ impl Adversarial {
 impl Scheduler for Adversarial {
     fn next_activation(&mut self, view: &dyn NetworkView) -> Activation {
         self.counter += 1;
-        if !self.victims.is_empty() && self.counter % self.patience == 0 {
+        if !self.victims.is_empty() && self.counter.is_multiple_of(self.patience) {
             let node = self.victims[self.victim_cursor % self.victims.len()];
             self.victim_cursor += 1;
             let degree = view.degree(node);

@@ -57,7 +57,7 @@ impl Trace {
         self.events
             .iter()
             .filter(|e| matches!(e.event, Event::EnterCs { .. }))
-            .filter(|e| node.map_or(true, |n| e.node == n))
+            .filter(|e| node.is_none_or(|n| e.node == n))
             .count()
     }
 
@@ -66,7 +66,7 @@ impl Trace {
         self.events
             .iter()
             .filter(|e| matches!(e.event, Event::RequestIssued { .. }))
-            .filter(|e| node.map_or(true, |n| e.node == n))
+            .filter(|e| node.is_none_or(|n| e.node == n))
             .count()
     }
 

@@ -52,7 +52,7 @@ fn main() {
 
     for _ in 0..400_000u64 {
         net.step(&mut sched);
-        if net.now() % 200 == 0 {
+        if net.now().is_multiple_of(200) {
             recorder.observe(&net);
         }
     }

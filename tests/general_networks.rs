@@ -48,7 +48,7 @@ fn composed_system_is_safe_fair_and_live_on_a_mesh() {
     composition.network.trace_mut().clear();
     for _ in 0..120_000u64 {
         composition.network.step(&mut sched);
-        if composition.network.now() % 64 == 0 {
+        if composition.network.now().is_multiple_of(64) {
             monitor.check(&composition.network);
         }
     }
