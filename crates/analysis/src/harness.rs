@@ -1,9 +1,20 @@
-//! Experiment harness: repeated trials, parameter sweeps, and table rendering.
+//! Experiment harness: repeated trials, sharded parallel execution, parameter sweeps, and
+//! table rendering.
 //!
 //! Each experiment binary in the `bench` crate builds a list of [`Trial`]s (one per parameter
 //! point × seed), runs them — optionally in parallel across OS threads with
 //! [`run_trials_parallel`] — and renders the aggregated [`ExperimentRow`]s as a markdown
 //! table (for `EXPERIMENTS.md`) and as JSON lines (for machine post-processing).
+//!
+//! # Sharded trials
+//!
+//! Statistical experiments (convergence matrices, waiting-time sweeps) repeat one simulation
+//! over many seeds.  [`run_sharded`] fans those trials out across `std::thread::scope`
+//! workers.  The crucial discipline is that each trial's RNG stream is derived from the
+//! *trial index* ([`trial_seed`], a SplitMix64 stream), **not** from the worker that happens
+//! to execute it — so the merged results are bit-identical for every shard count, including
+//! `shards = 1`.  Per-trial outputs come back in index order and can be reduced with
+//! [`summarize`] and [`crate::Histogram::merge`].
 
 use crate::stats::Summary;
 use serde::Serialize;
@@ -85,6 +96,63 @@ pub fn run_trials_parallel(trials: Vec<Trial>, threads: usize) -> Vec<BTreeMap<S
                 let trial = work[idx].lock().expect("unpoisoned").take().expect("claimed once");
                 let result = (trial.run)();
                 *slots[idx].lock().expect("unpoisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("unpoisoned").expect("every trial ran"))
+        .collect()
+}
+
+/// Derives the RNG seed of trial `index` from an experiment-level `base_seed`.
+///
+/// SplitMix64 over `base_seed + index·φ64`: consecutive indices yield decorrelated streams,
+/// and the mapping depends only on `(base_seed, index)` — never on which shard runs the
+/// trial — so sharded executions are reproducible at every thread count.
+pub fn trial_seed(base_seed: u64, index: u64) -> u64 {
+    let mut z = base_seed.wrapping_add(index.wrapping_add(1).wrapping_mul(0x9E3779B97F4A7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A sensible shard count for this host: one shard per available core.
+pub fn auto_shards() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `trials` independent trials sharded across up to `shards` scoped worker threads,
+/// returning each trial's result in index order.
+///
+/// `run(index, seed)` receives the trial index (`0..trials`) and its derived RNG seed
+/// ([`trial_seed`]); because seeds are a function of the index alone, the returned vector is
+/// identical for every `shards` value (a property asserted by this module's tests).  Workers
+/// pull trial indices from a shared atomic counter, so uneven trial durations balance
+/// automatically.
+pub fn run_sharded<R, F>(trials: u64, base_seed: u64, shards: usize, run: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(u64, u64) -> R + Sync,
+{
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    let shards = shards.max(1).min(trials.max(1) as usize);
+    if shards == 1 {
+        return (0..trials).map(|i| run(i, trial_seed(base_seed, i))).collect();
+    }
+    let slots: Vec<Mutex<Option<R>>> = (0..trials).map(|_| Mutex::new(None)).collect();
+    let next = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..shards {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= trials {
+                    break;
+                }
+                let result = run(index, trial_seed(base_seed, index));
+                *slots[index as usize].lock().expect("unpoisoned") = Some(result);
             });
         }
     });
@@ -270,5 +338,38 @@ mod tests {
         let trials = vec![Trial::new(0, || BTreeMap::from([("x".to_string(), 1.0)]))];
         let out = run_trials_parallel(trials, 1);
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn sharded_results_are_independent_of_shard_count() {
+        // A trial whose output depends on its derived seed, so any seed/shard mixup shows.
+        let trial =
+            |index: u64, seed: u64| (index, seed.wrapping_mul(0x2545F4914F6CDD1D).rotate_left(17));
+        let sequential = run_sharded(17, 99, 1, trial);
+        for shards in [2, 3, 8, 64] {
+            assert_eq!(run_sharded(17, 99, shards, trial), sequential, "{shards} shards");
+        }
+        // Results come back in index order.
+        for (i, (index, _)) in sequential.iter().enumerate() {
+            assert_eq!(*index, i as u64);
+        }
+    }
+
+    #[test]
+    fn trial_seeds_are_decorrelated_and_stable() {
+        let a = trial_seed(7, 0);
+        let b = trial_seed(7, 1);
+        let c = trial_seed(8, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, trial_seed(7, 0), "pure function of (base, index)");
+    }
+
+    #[test]
+    fn sharded_handles_zero_and_one_trials() {
+        let none: Vec<u64> = run_sharded(0, 1, 4, |_, seed| seed);
+        assert!(none.is_empty());
+        let one: Vec<u64> = run_sharded(1, 1, 4, |_, seed| seed);
+        assert_eq!(one, vec![trial_seed(1, 0)]);
     }
 }

@@ -100,6 +100,26 @@ impl Histogram {
         self.high
     }
 
+    /// Merges another histogram with the same bucket configuration into this one (used to
+    /// combine per-shard distributions from [`crate::harness::run_sharded`] workers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms differ in range or bucket width — merging incompatible
+    /// bucketings would silently misattribute samples.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            (self.low, self.high, self.bucket_width),
+            (other.low, other.high, other.bucket_width),
+            "cannot merge histograms with different bucket configurations"
+        );
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.overflow += other.overflow;
+        self.total += other.total;
+    }
+
     /// Renders the histogram as aligned ASCII bars, one line per non-empty bucket.
     pub fn render(&self, width: usize) -> String {
         let width = width.max(1);
@@ -190,5 +210,33 @@ mod tests {
         let h = Histogram::with_range(10, 2);
         assert_eq!(h.quantile(0.5), 0);
         assert_eq!(h.fraction_below(10), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one_histogram() {
+        let (a, b): (Vec<u64>, Vec<u64>) = ((0..40).collect(), (30..90).collect());
+        let mut merged = Histogram::with_range(80, 8);
+        let mut other = Histogram::with_range(80, 8);
+        let mut reference = Histogram::with_range(80, 8);
+        for &s in &a {
+            merged.record(s);
+            reference.record(s);
+        }
+        for &s in &b {
+            other.record(s);
+            reference.record(s);
+        }
+        merged.merge(&other);
+        assert_eq!(merged.counts, reference.counts);
+        assert_eq!(merged.overflow, reference.overflow);
+        assert_eq!(merged.total, reference.total);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket configurations")]
+    fn merge_rejects_incompatible_bucketings() {
+        let mut a = Histogram::with_range(80, 8);
+        let b = Histogram::with_range(100, 8);
+        a.merge(&b);
     }
 }

@@ -1,0 +1,165 @@
+//! Criterion bench for the simulation runtime: steps/second of the event-driven engine
+//! against the scan-based baseline, per daemon, on a 1023-node tree under the
+//! `UniformRandom` workload.
+//!
+//! Three execution paths are compared (all three produce bit-identical activation
+//! sequences and metrics — the comparison group asserts it on every run):
+//!
+//! * `baseline` — the original scan engine retained in `treenet::scheduler::baseline`,
+//!   driven through the generic `run_for` loop;
+//! * `event` — the event-driven daemons reading the maintained enabled set through the
+//!   dynamically dispatched `Scheduler` path (drop-in replacement);
+//! * `fused` — the same daemons through the monomorphized `treenet::engine::run` loop.
+//!
+//! The comparison group also writes `BENCH_treenet.json` at the workspace root recording
+//! steps/second for each engine×daemon and the resulting speedups, so the gain over the
+//! scan engine is tracked as a checked-in baseline.  Override the measured horizon with
+//! `TREENET_BENCH_STEPS` (used by the CI smoke run).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use klex_core::{ss, KlConfig, SsNode};
+use std::time::Instant;
+use topology::OrientedTree;
+use treenet::app::BoxedDriver;
+use treenet::scheduler::baseline;
+use treenet::{engine, run_for, Network, RandomFair, RoundRobin, Synchronous};
+use workloads::UniformRandom;
+
+const NODES: usize = 1023;
+
+/// The engine-comparison instance: the self-stabilizing protocol on a 1023-node binary
+/// tree, every process driven by the `UniformRandom` workload.  The root timeout is
+/// shortened so the controller bootstraps within the warmup horizon and tokens circulate
+/// during the measured window.
+fn sim_net() -> Network<SsNode, OrientedTree> {
+    let tree = topology::builders::binary(NODES);
+    let cfg = KlConfig::new(3, 5, NODES).with_timeout(500);
+    ss::network(tree, cfg, |id| {
+        Box::new(UniformRandom::new(1_000 + id as u64, 0.05, 3, 20)) as BoxedDriver
+    })
+}
+
+fn steps_budget() -> (u64, u64) {
+    let measured: u64 = std::env::var("TREENET_BENCH_STEPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8_000_000);
+    (measured / 2, measured)
+}
+
+/// Runs warmup + measured steps with `run`, returning steps/second over the measured
+/// window and the network's final metrics as a comparable string.
+fn steps_per_sec(
+    warmup: u64,
+    steps: u64,
+    mut run: impl FnMut(&mut Network<SsNode, OrientedTree>, u64),
+) -> (f64, String) {
+    let mut net = sim_net();
+    run(&mut net, warmup);
+    let start = Instant::now();
+    run(&mut net, steps);
+    let rate = steps as f64 / start.elapsed().as_secs_f64();
+    let metrics = serde_json::to_string(net.metrics()).expect("metrics serialize");
+    (rate, metrics)
+}
+
+fn bench_step_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("treenet_engines");
+    group.sample_size(10);
+    // A smaller instance for the iterating benchmark so each sample stays short.
+    let quick_steps = 200_000u64;
+
+    group.bench_function(BenchmarkId::new("baseline_scan", "random_fair"), |b| {
+        b.iter(|| {
+            let mut net = sim_net();
+            let mut sched = baseline::RandomFair::new(42);
+            run_for(&mut net, &mut sched, quick_steps);
+            net.metrics().activations
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("event_dropin", "random_fair"), |b| {
+        b.iter(|| {
+            let mut net = sim_net();
+            let mut sched = RandomFair::new(42);
+            run_for(&mut net, &mut sched, quick_steps);
+            net.metrics().activations
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("event_fused", "random_fair"), |b| {
+        b.iter(|| {
+            let mut net = sim_net();
+            let mut sched = RandomFair::new(42);
+            engine::run(&mut net, &mut sched, quick_steps);
+            net.metrics().activations
+        })
+    });
+
+    group.finish();
+}
+
+/// Records the engine comparison to `BENCH_treenet.json` at the workspace root.
+fn emit_engine_baseline(_c: &mut Criterion) {
+    let (warmup, steps) = steps_budget();
+
+    // Per daemon, one persistent scheduler instance drives warmup + measurement so the
+    // decision state (RNG stream, cursors) is continuous, exactly as in a real experiment.
+    let run_pair = |label: &str,
+                    baseline_run: &mut dyn FnMut(&mut Network<SsNode, OrientedTree>, u64),
+                    event_run: &mut dyn FnMut(&mut Network<SsNode, OrientedTree>, u64),
+                    fused_run: &mut dyn FnMut(&mut Network<SsNode, OrientedTree>, u64)|
+     -> (f64, f64, f64) {
+        let (scan_rate, scan_metrics) = steps_per_sec(warmup, steps, &mut *baseline_run);
+        let (event_rate, event_metrics) = steps_per_sec(warmup, steps, &mut *event_run);
+        let (fused_rate, fused_metrics) = steps_per_sec(warmup, steps, &mut *fused_run);
+        assert_eq!(scan_metrics, event_metrics, "{label}: baseline vs drop-in metrics differ");
+        assert_eq!(scan_metrics, fused_metrics, "{label}: baseline vs fused metrics differ");
+        (scan_rate, event_rate, fused_rate)
+    };
+
+    let mut b_rf = baseline::RandomFair::new(42);
+    let mut e_rf = RandomFair::new(42);
+    let mut f_rf = RandomFair::new(42);
+    let rf = run_pair(
+        "random_fair",
+        &mut |net, n| run_for(net, &mut b_rf, n),
+        &mut |net, n| run_for(net, &mut e_rf, n),
+        &mut |net, n| engine::run(net, &mut f_rf, n),
+    );
+
+    let mut b_rr = baseline::RoundRobin::new();
+    let mut e_rr = RoundRobin::new();
+    let mut f_rr = RoundRobin::new();
+    let rr = run_pair(
+        "round_robin",
+        &mut |net, n| run_for(net, &mut b_rr, n),
+        &mut |net, n| run_for(net, &mut e_rr, n),
+        &mut |net, n| engine::run(net, &mut f_rr, n),
+    );
+
+    let mut b_sy = baseline::Synchronous::new();
+    let mut e_sy = Synchronous::new();
+    let mut f_sy = Synchronous::new();
+    let sy = run_pair(
+        "synchronous",
+        &mut |net, n| run_for(net, &mut b_sy, n),
+        &mut |net, n| run_for(net, &mut e_sy, n),
+        &mut |net, n| engine::run(net, &mut f_sy, n),
+    );
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let headline = rf.2 / rf.0;
+    let json = format!(
+        "{{\n  \"bench\": \"treenet_engine\",\n  \"instance\": \"ss k=3 l=5 on binary tree n={NODES}, UniformRandom(p=0.05, units<=3, hold<=20)\",\n  \"measured_steps\": {steps},\n  \"random_fair\": {{ \"baseline_steps_per_sec\": {:.0}, \"event_steps_per_sec\": {:.0}, \"fused_steps_per_sec\": {:.0}, \"speedup_event_vs_baseline\": {:.2}, \"speedup_fused_vs_baseline\": {:.2} }},\n  \"round_robin\": {{ \"baseline_steps_per_sec\": {:.0}, \"event_steps_per_sec\": {:.0}, \"fused_steps_per_sec\": {:.0}, \"speedup_fused_vs_baseline\": {:.2} }},\n  \"synchronous\": {{ \"baseline_steps_per_sec\": {:.0}, \"event_steps_per_sec\": {:.0}, \"fused_steps_per_sec\": {:.0}, \"speedup_fused_vs_baseline\": {:.2} }},\n  \"host_cores\": {cores},\n  \"headline_speedup\": {headline:.2}\n}}\n",
+        rf.0, rf.1, rf.2, rf.1 / rf.0, rf.2 / rf.0,
+        rr.0, rr.1, rr.2, rr.2 / rr.0,
+        sy.0, sy.1, sy.2, sy.2 / sy.0,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_treenet.json");
+    std::fs::write(path, &json).expect("write BENCH_treenet.json");
+    eprintln!("\nBENCH_treenet.json:\n{json}");
+}
+
+criterion_group!(benches, bench_step_throughput, emit_engine_baseline);
+criterion_main!(benches);

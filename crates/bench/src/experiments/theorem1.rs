@@ -3,6 +3,7 @@
 use crate::support::{scheduler, Scale, TreeShape};
 use crate::ExperimentReport;
 use analysis::convergence::{default_window, measure_convergence};
+use analysis::harness::{auto_shards, run_sharded};
 use analysis::{ExperimentRow, Summary};
 use klex_core::{ss, KlConfig};
 use treenet::{FaultInjector, FaultPlan};
@@ -30,41 +31,40 @@ pub fn e5_convergence(scale: Scale) -> ExperimentReport {
             let l = (n / 2).clamp(2, 6);
             let k = (l / 2).max(1);
             for (sev_label, plan_of) in severities {
-                let mut times = Vec::new();
-                let mut converged = 0u64;
-                for seed in 0..scale.trials {
-                    let cfg = KlConfig::new(k, l, n);
-                    let tree = shape.build(n, seed);
-                    let mut sched = scheduler(50 + seed);
-                    let mut net =
-                        ss::network(tree, cfg, all_uniform(seed, 0.01, k, 20));
-                    // Phase 1: bootstrap to legitimacy.
-                    let boot = measure_convergence(
-                        &mut net,
-                        &mut sched,
-                        &cfg,
-                        scale.max_steps,
-                        default_window(n),
-                    );
-                    if !boot.converged() {
-                        continue;
-                    }
-                    // Phase 2: inject the fault and measure re-convergence.
-                    let fault_at = net.now();
-                    let mut injector = FaultInjector::new(900 + seed);
-                    injector.inject(&mut net, &plan_of(cfg.cmax));
-                    let out = measure_convergence(
-                        &mut net,
-                        &mut sched,
-                        &cfg,
-                        scale.max_steps,
-                        default_window(n),
-                    );
-                    if let Some(t) = out.stabilization_time() {
-                        converged += 1;
-                        times.push((t - fault_at) as f64);
-                    }
-                }
+                // One trial per seed, sharded across cores; seeds are a function of the
+                // trial index alone, so the table is identical at any shard count.
+                let outcomes: Vec<Option<f64>> =
+                    run_sharded(scale.trials, 0, auto_shards(), |seed, _stream| {
+                        let cfg = KlConfig::new(k, l, n);
+                        let tree = shape.build(n, seed);
+                        let mut sched = scheduler(50 + seed);
+                        let mut net = ss::network(tree, cfg, all_uniform(seed, 0.01, k, 20));
+                        // Phase 1: bootstrap to legitimacy.
+                        let boot = measure_convergence(
+                            &mut net,
+                            &mut sched,
+                            &cfg,
+                            scale.max_steps,
+                            default_window(n),
+                        );
+                        if !boot.converged() {
+                            return None;
+                        }
+                        // Phase 2: inject the fault and measure re-convergence.
+                        let fault_at = net.now();
+                        let mut injector = FaultInjector::new(900 + seed);
+                        injector.inject(&mut net, &plan_of(cfg.cmax));
+                        let out = measure_convergence(
+                            &mut net,
+                            &mut sched,
+                            &cfg,
+                            scale.max_steps,
+                            default_window(n),
+                        );
+                        out.stabilization_time().map(|t| (t - fault_at) as f64)
+                    });
+                let times: Vec<f64> = outcomes.iter().flatten().copied().collect();
+                let converged = times.len() as u64;
                 let summary = Summary::of(&times);
                 rows.push(
                     ExperimentRow::new(format!("{} n={n} l={l} {}", shape.label(), sev_label))

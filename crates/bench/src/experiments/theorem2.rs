@@ -2,6 +2,7 @@
 
 use crate::support::{scheduler, stabilized_ss_network, Scale, TreeShape};
 use crate::ExperimentReport;
+use analysis::harness::{auto_shards, run_sharded};
 use analysis::waiting::{max_waiting, waiting_times};
 use analysis::{ExperimentRow, Summary};
 use klex_core::KlConfig;
@@ -27,40 +28,38 @@ pub fn e6_waiting_time(scale: Scale) -> ExperimentReport {
             let bound = theorem2_waiting_bound(l, n) as f64;
 
             for (sched_label, adversarial) in [("fair", false), ("adversarial", true)] {
-                let mut worst = Vec::new();
-                let mut means = Vec::new();
-                for seed in 0..scale.trials {
-                    let tree = shape.build(n, seed);
-                    // The victim of the adversarial scheduler: the node deepest in the tree.
-                    let victim =
-                        (0..n).max_by_key(|&v| tree.depth(v)).unwrap_or(n - 1);
-                    let mut boot_sched = scheduler(300 + seed);
-                    let Some(mut net) = stabilized_ss_network(
-                        tree,
-                        cfg,
-                        all_saturated(1, 3),
-                        &mut boot_sched,
-                        scale.max_steps,
-                    ) else {
-                        continue;
-                    };
-                    if adversarial {
-                        let mut sched = Adversarial::new(vec![victim], 8);
-                        treenet::run_for(&mut net, &mut sched, scale.measure_steps);
-                    } else {
-                        let mut sched = scheduler(700 + seed);
-                        treenet::run_for(&mut net, &mut sched, scale.measure_steps);
-                    }
-                    let records = waiting_times(net.trace());
-                    if records.is_empty() {
-                        continue;
-                    }
-                    worst.push(max_waiting(&records) as f64);
-                    means.push(
-                        records.iter().map(|r| r.cs_entries_waited as f64).sum::<f64>()
-                            / records.len() as f64,
-                    );
-                }
+                // One saturation trial per seed, sharded across cores (seed = trial index,
+                // so the table is identical at any shard count).
+                let outcomes: Vec<Option<(f64, f64)>> =
+                    run_sharded(scale.trials, 0, auto_shards(), |seed, _stream| {
+                        let tree = shape.build(n, seed);
+                        // The victim of the adversarial scheduler: the deepest node.
+                        let victim = (0..n).max_by_key(|&v| tree.depth(v)).unwrap_or(n - 1);
+                        let mut boot_sched = scheduler(300 + seed);
+                        let mut net = stabilized_ss_network(
+                            tree,
+                            cfg,
+                            all_saturated(1, 3),
+                            &mut boot_sched,
+                            scale.max_steps,
+                        )?;
+                        if adversarial {
+                            let mut sched = Adversarial::new(vec![victim], 8);
+                            treenet::run_for(&mut net, &mut sched, scale.measure_steps);
+                        } else {
+                            let mut sched = scheduler(700 + seed);
+                            treenet::run_for(&mut net, &mut sched, scale.measure_steps);
+                        }
+                        let records = waiting_times(net.trace());
+                        if records.is_empty() {
+                            return None;
+                        }
+                        let mean = records.iter().map(|r| r.cs_entries_waited as f64).sum::<f64>()
+                            / records.len() as f64;
+                        Some((max_waiting(&records) as f64, mean))
+                    });
+                let worst: Vec<f64> = outcomes.iter().flatten().map(|(w, _)| *w).collect();
+                let means: Vec<f64> = outcomes.iter().flatten().map(|(_, m)| *m).collect();
                 let worst_summary = Summary::of(&worst);
                 let mean_summary = Summary::of(&means);
                 rows.push(

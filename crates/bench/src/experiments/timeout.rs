@@ -35,7 +35,7 @@ fn drop_all_controllers(
                 .copied()
                 .filter(|m| !m.is_ctrl())
                 .collect();
-            let ch = net.channel_mut(v, l);
+            let mut ch = net.channel_mut(v, l);
             ch.clear();
             for m in kept {
                 ch.push(m);

@@ -73,8 +73,8 @@ fn inject_adversarial_garbage(
 ///
 /// The paper needs the `CMAX` bound on initial channel garbage to size the counter-flushing
 /// domain (`myC ∈ [0 .. 2(n−1)(CMAX+1)]`); its conclusion notes that with unbounded process
-/// memory the assumption can be dropped (reference [9], Katz–Perry).  This experiment
-/// stabilizes the network, then floods the channels with far more forged controllers (whose
+/// memory the assumption can be dropped (the paper's reference \[9\], Katz–Perry).  This
+/// experiment stabilizes the network, then floods the channels with far more forged controllers (whose
 /// stamps cover the whole bounded domain) and forged tokens than `CMAX` allows, and measures
 /// re-convergence for three domain policies: bounded with an honest CMAX, bounded with a
 /// violated CMAX, and the unbounded adaptation.

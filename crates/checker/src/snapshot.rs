@@ -328,7 +328,7 @@ where
             "configuration has the wrong degree for node {v}"
         );
         for (l, msgs) in per_node.iter().enumerate() {
-            let ch = net.channel_mut(v, l);
+            let mut ch = net.channel_mut(v, l);
             ch.clear();
             for m in msgs {
                 ch.push(*m);
@@ -602,7 +602,7 @@ where
         );
         for l in 0..degree {
             let len = read_varint(cursor) as usize;
-            let channel = net.channel_mut(v, l);
+            let mut channel = net.channel_mut(v, l);
             channel.clear();
             for _ in 0..len {
                 channel.push(read_message(cursor));

@@ -39,7 +39,7 @@ pub struct KlConfig {
     ///
     /// This is the adaptation the paper's conclusion describes: with unbounded process
     /// memory the protocol "can be easily adapted to work without assumptions on channels"
-    /// (following Katz–Perry-style extensions, reference [9] of the paper).  The bounded
+    /// (following Katz–Perry-style extensions, reference \[9\] of the paper).  The bounded
     /// domain is only large enough to out-run the stale values that at most `CMAX` initial
     /// messages per channel can carry; when a fault violates that bound, stale controllers
     /// can keep aliasing the root's flag value and cause spurious circulations, mis-counted

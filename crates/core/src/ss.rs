@@ -21,27 +21,27 @@
 //!
 //! | Paper (Algorithm 1, root) | Here |
 //! |---|---|
-//! | lines 10–19 (ResT)  | [`SsNode::handle_resource`] |
-//! | lines 20–34 (PushT) | [`SsNode::handle_pusher`] |
-//! | lines 35–41 (PrioT) | [`SsNode::handle_priority`] |
-//! | lines 42–76 (ctrl)  | [`SsNode::root_handle_ctrl`] |
-//! | lines 78–98 (bottom of loop) | [`SsNode::bottom_of_loop`] |
-//! | lines 99–102 (timeout) | [`SsNode::root_timeout`] |
+//! | lines 10–19 (ResT)  | `SsNode::handle_resource` |
+//! | lines 20–34 (PushT) | `SsNode::handle_pusher` |
+//! | lines 35–41 (PrioT) | `SsNode::handle_priority` |
+//! | lines 42–76 (ctrl)  | `SsNode::root_handle_ctrl` |
+//! | lines 78–98 (bottom of loop) | `SsNode::bottom_of_loop` |
+//! | lines 99–102 (timeout) | `SsNode::root_timeout` |
 //!
 //! | Paper (Algorithm 2, non-root) | Here |
 //! |---|---|
-//! | lines 9–15 (ResT)   | [`SsNode::handle_resource`] |
-//! | lines 16–24 (PushT) | [`SsNode::handle_pusher`] |
-//! | lines 25–31 (PrioT) | [`SsNode::handle_priority`] |
-//! | lines 32–60 (ctrl)  | [`SsNode::nonroot_handle_ctrl`] |
-//! | lines 62–76 (bottom of loop) | [`SsNode::bottom_of_loop`] |
+//! | lines 9–15 (ResT)   | `SsNode::handle_resource` |
+//! | lines 16–24 (PushT) | `SsNode::handle_pusher` |
+//! | lines 25–31 (PrioT) | `SsNode::handle_priority` |
+//! | lines 32–60 (ctrl)  | `SsNode::nonroot_handle_ctrl` |
+//! | lines 62–76 (bottom of loop) | `SsNode::bottom_of_loop` |
 //!
 //! Two deliberate deviations from the printed pseudo-code are applied by default (both are
 //! documented in `DESIGN.md` §4b, quantified by experiment E10, and reversible through
 //! [`crate::KlConfig`]): the pusher guard reads `Prio = ⊥` instead of the printed `Prio ≠ ⊥`
 //! ([`crate::KlConfig::literal_pusher_guard`]), and the root counts its own passed tokens
 //! *before* the circulation-completion block rather than after it
-//! ([`crate::KlConfig::literal_completion_order`]; see [`SsNode::root_handle_ctrl`]).
+//! ([`crate::KlConfig::literal_completion_order`]; see `SsNode::root_handle_ctrl`).
 
 use crate::config::KlConfig;
 use crate::inspect::KlInspect;

@@ -199,7 +199,7 @@ pub mod collection {
         VecStrategy { element, min, max }
     }
 
-    /// Length specifications accepted by [`vec`].
+    /// Length specifications accepted by [`vec()`].
     pub trait SizeRange {
         /// Inclusive length bounds.
         fn bounds(&self) -> (usize, usize);
@@ -224,7 +224,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         min: usize,

@@ -7,7 +7,7 @@
 //! breadth-first spanning tree over a [`RootedGraph`], in the same computation model as the
 //! exclusion protocol (asynchronous message passing, reliable FIFO channels, bounded local
 //! memory).  It is a faithful realisation of the classic beacon/distance scheme rather than a
-//! line-by-line reproduction of [1] or [4] (neither is reproduced in the paper either).
+//! line-by-line reproduction of \[1\] or \[4\] (neither is reproduced in the paper either).
 //!
 //! # How it works
 //!

@@ -1,0 +1,437 @@
+//! The event-driven execution core: the maintained enabled set and the fused run loop.
+//!
+//! # Why an enabled set
+//!
+//! The original execution core (retained as [`crate::scheduler::baseline`]) re-derives, on
+//! *every* step, which channels of the chosen process hold messages by scanning all of its
+//! incident channels through the dynamically-dispatched [`crate::NetworkView`] interface.
+//! For the guard-activation protocols this simulator runs (every token handler of the paper
+//! is a guard "a message of kind X is at the head of channel q"), that scan is wasted work:
+//! after an activation of process `p`, the only guards whose truth can have changed are those
+//! of `p` itself (it consumed a message) and of `p`'s tree neighbours (they received the
+//! messages `p` sent).  Everything else is unchanged.
+//!
+//! [`EnabledSet`] exploits exactly that structure.  The network maintains, incrementally and
+//! in O(1) per message push/pop:
+//!
+//! * a per-channel occupancy bitset (one bit per `(node, channel)` pair, CSR layout),
+//! * a per-node count of non-empty incoming channels,
+//! * a dense, swap-removed list of *delivery-enabled* nodes (nodes with at least one
+//!   non-empty incoming channel) with back-pointers, and
+//! * the total number of in-flight messages.
+//!
+//! # The enabled-set invariant
+//!
+//! After every mutation of the network the following holds (this is what the equivalence
+//! proptest in `tests/engine_equivalence.rs` checks against brute force):
+//!
+//! > bit `(v, c)` is set **iff** channel `c` of node `v` is non-empty; `count(v)` equals the
+//! > number of set bits of `v`; node `v` is in the dense enabled list **iff** `count(v) > 0`;
+//! > and `in_flight` equals the sum of all channel lengths.
+//!
+//! Every mutation path of [`crate::Network`] preserves it: message delivery and sending in
+//! `execute`, the fault-injection entry points `inject_from`/`inject_into`, and direct
+//! channel surgery through `channel_mut` (whose guard re-synchronizes the touched channel on
+//! drop).  Because each activation of `p` touches only the channels of `p` and its
+//! neighbours, the maintenance cost per step is O(messages moved), not O(network).
+//!
+//! # Daemon equivalence
+//!
+//! Event-driven daemons draw from the maintained set with the *same RNG discipline* as their
+//! scan-based counterparts in [`crate::scheduler::baseline`] (same generator, same number of
+//! draws, same ranges, in the same order), so both engines produce bit-identical activation
+//! sequences, traces and metrics — the event engine is a pure performance refactor.  The
+//! shared decision logic lives in [`crate::scheduler`] and is instantiated twice: once over
+//! `&dyn EnabledView` (drop-in [`crate::Scheduler`] use) and once over the concrete
+//! [`EnabledShape`] (the fused, fully monomorphized [`run`] loop below, which avoids all
+//! virtual dispatch on the hot path).
+
+use crate::network::Network;
+use crate::process::Process;
+use crate::scheduler::Activation;
+use crate::{ChannelLabel, NodeId};
+use topology::Topology;
+
+/// The incrementally maintained enabled/dirty set of a [`Network`].
+///
+/// See the [module documentation](self) for the invariant this structure maintains.  All
+/// queries are O(1) or O(degree/64); all updates are O(1).
+#[derive(Clone, Debug)]
+pub struct EnabledSet {
+    /// CSR channel offsets: channels of node `v` occupy flat indices
+    /// `offsets[v]..offsets[v+1]`.
+    offsets: Vec<u32>,
+    /// Known length of every channel, in CSR order.
+    lens: Vec<u32>,
+    /// CSR word offsets: the occupancy bits of node `v` occupy
+    /// `words[word_offsets[v]..word_offsets[v+1]]`, one bit per channel, LSB first.
+    word_offsets: Vec<u32>,
+    /// Occupancy bitset words.
+    words: Vec<u64>,
+    /// Per-node count of non-empty incoming channels.
+    count: Vec<u32>,
+    /// Dense list of delivery-enabled nodes, in unspecified order.
+    nodes: Vec<u32>,
+    /// `pos[v]` is the index of `v` in `nodes`, or `u32::MAX` when `v` is not enabled.
+    pos: Vec<u32>,
+    /// Total number of in-flight messages.
+    in_flight: u64,
+}
+
+const ABSENT: u32 = u32::MAX;
+
+impl EnabledSet {
+    /// Creates the enabled set for a network whose node `v` has `degrees[v]` channels, all
+    /// initially empty.
+    pub(crate) fn new(degrees: &[usize]) -> Self {
+        let n = degrees.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut word_offsets = Vec::with_capacity(n + 1);
+        let (mut co, mut wo) = (0u32, 0u32);
+        offsets.push(0);
+        word_offsets.push(0);
+        for &d in degrees {
+            co += d as u32;
+            wo += d.div_ceil(64) as u32;
+            offsets.push(co);
+            word_offsets.push(wo);
+        }
+        EnabledSet {
+            offsets,
+            lens: vec![0; co as usize],
+            word_offsets,
+            words: vec![0; wo as usize],
+            count: vec![0; n],
+            nodes: Vec::with_capacity(n),
+            pos: vec![ABSENT; n],
+            in_flight: 0,
+        }
+    }
+
+    /// Number of processes covered.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.count.len()
+    }
+
+    /// Degree of `node` (number of incident channels).
+    #[inline]
+    pub fn degree(&self, node: NodeId) -> usize {
+        (self.offsets[node + 1] - self.offsets[node]) as usize
+    }
+
+    /// Number of non-empty incoming channels of `node`.
+    #[inline]
+    pub fn deliverable_count(&self, node: NodeId) -> usize {
+        self.count[node] as usize
+    }
+
+    /// Total number of in-flight messages, maintained in O(1).
+    #[inline]
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight
+    }
+
+    /// Number of delivery-enabled nodes (nodes with at least one non-empty channel).
+    #[inline]
+    pub fn enabled_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The `idx`-th delivery-enabled node, in unspecified order (`idx < enabled_len()`).
+    #[inline]
+    pub fn enabled_node(&self, idx: usize) -> NodeId {
+        self.nodes[idx] as NodeId
+    }
+
+    /// The first non-empty channel of `node` at or cyclically after `start % degree`, or
+    /// `None` when the node has no deliverable message.
+    #[inline]
+    pub fn next_deliverable_from(&self, node: NodeId, start: ChannelLabel) -> Option<ChannelLabel> {
+        if self.count[node] == 0 {
+            return None;
+        }
+        let degree = self.degree(node);
+        let start = start % degree; // count > 0 implies degree > 0
+        let base = self.word_offsets[node] as usize;
+        // Search [start, degree), then wrap to [0, start).
+        let num_words = degree.div_ceil(64);
+        let first_word = start / 64;
+        let high = self.words[base + first_word] & (!0u64 << (start % 64));
+        if high != 0 {
+            return Some(first_word * 64 + high.trailing_zeros() as usize);
+        }
+        for w in first_word + 1..num_words {
+            let word = self.words[base + w];
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+        }
+        for w in 0..first_word {
+            let word = self.words[base + w];
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+        }
+        let low = self.words[base + first_word] & !(!0u64 << (start % 64));
+        if low != 0 {
+            return Some(first_word * 64 + low.trailing_zeros() as usize);
+        }
+        None
+    }
+
+    /// The `idx`-th non-empty channel of `node` in ascending label order, or `None` when
+    /// fewer than `idx + 1` channels are non-empty.
+    #[inline]
+    pub fn nth_deliverable(&self, node: NodeId, mut idx: usize) -> Option<ChannelLabel> {
+        if idx >= self.count[node] as usize {
+            return None;
+        }
+        let base = self.word_offsets[node] as usize;
+        let num_words = (self.word_offsets[node + 1] as usize) - base;
+        for w in 0..num_words {
+            let mut word = self.words[base + w];
+            let pc = word.count_ones() as usize;
+            if idx < pc {
+                for _ in 0..idx {
+                    word &= word - 1; // clear lowest set bit
+                }
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+            idx -= pc;
+        }
+        None
+    }
+
+    /// Records that channel `channel` of `node` now holds `new_len` messages, updating the
+    /// bitset, counts, dense list and in-flight total.  O(1).
+    #[inline]
+    pub(crate) fn note_len(&mut self, node: NodeId, channel: ChannelLabel, new_len: usize) {
+        let flat = self.offsets[node] as usize + channel;
+        let old_len = self.lens[flat];
+        let new_len = new_len as u32;
+        if old_len == new_len {
+            return;
+        }
+        self.lens[flat] = new_len;
+        self.in_flight = self.in_flight + new_len as u64 - old_len as u64;
+        if (old_len == 0) != (new_len == 0) {
+            let word = self.word_offsets[node] as usize + channel / 64;
+            self.words[word] ^= 1u64 << (channel % 64);
+            if new_len > 0 {
+                self.count[node] += 1;
+                if self.count[node] == 1 {
+                    self.pos[node] = self.nodes.len() as u32;
+                    self.nodes.push(node as u32);
+                }
+            } else {
+                self.count[node] -= 1;
+                if self.count[node] == 0 {
+                    let at = self.pos[node] as usize;
+                    let last = self.nodes.pop().expect("node was enabled");
+                    if at < self.nodes.len() {
+                        self.nodes[at] = last;
+                        self.pos[last as usize] = at as u32;
+                    }
+                    self.pos[node] = ABSENT;
+                }
+            }
+        }
+    }
+}
+
+/// A borrowed, concrete view of the enabled set handed to [`EventScheduler`]s by the fused
+/// run loop.
+///
+/// Unlike `&dyn `[`crate::EnabledView`], every query on this handle is a direct, inlinable
+/// array access — no virtual dispatch on the per-step hot path.
+#[derive(Clone, Copy)]
+pub struct EnabledShape<'a> {
+    set: &'a EnabledSet,
+}
+
+impl<'a> EnabledShape<'a> {
+    /// Wraps an enabled set.
+    #[inline]
+    pub fn new(set: &'a EnabledSet) -> Self {
+        EnabledShape { set }
+    }
+
+    /// Number of processes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.set.num_nodes()
+    }
+
+    /// Degree of `node`.
+    #[inline]
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.set.degree(node)
+    }
+
+    /// Number of non-empty incoming channels of `node`.
+    #[inline]
+    pub fn deliverable_count(&self, node: NodeId) -> usize {
+        self.set.deliverable_count(node)
+    }
+
+    /// First non-empty channel of `node` at or cyclically after `start`.
+    #[inline]
+    pub fn next_deliverable_from(&self, node: NodeId, start: ChannelLabel) -> Option<ChannelLabel> {
+        self.set.next_deliverable_from(node, start)
+    }
+
+    /// The `idx`-th non-empty channel of `node` in ascending label order.
+    #[inline]
+    pub fn nth_deliverable(&self, node: NodeId, idx: usize) -> Option<ChannelLabel> {
+        self.set.nth_deliverable(node, idx)
+    }
+
+    /// Number of delivery-enabled nodes.
+    #[inline]
+    pub fn enabled_len(&self) -> usize {
+        self.set.enabled_len()
+    }
+
+    /// The `idx`-th delivery-enabled node, in unspecified order.
+    #[inline]
+    pub fn enabled_node(&self, idx: usize) -> NodeId {
+        self.set.enabled_node(idx)
+    }
+}
+
+/// A daemon usable by the fused, monomorphized run loop.
+///
+/// Every bundled daemon ([`crate::RoundRobin`], [`crate::RandomFair`],
+/// [`crate::Synchronous`], [`crate::Adversarial`]) implements both this trait and the
+/// dynamically-dispatched [`crate::Scheduler`]; both entry points share one decision
+/// function, so the chosen activations are identical — only the dispatch cost differs.
+pub trait EventScheduler {
+    /// Returns the next activation, reading network shape from the maintained enabled set.
+    fn next_event(&mut self, shape: &EnabledShape<'_>) -> Activation;
+}
+
+/// Runs `steps` activations of `net` under `daemon` through the fused event-driven loop.
+///
+/// Equivalent to [`crate::run_for`] with the same daemon (bit-identical activation sequence,
+/// trace and metrics) but with every scheduling query inlined against the maintained enabled
+/// set — this is the fast path used by the simulation benchmarks and sharded experiment
+/// drivers.
+pub fn run<P: Process, T: Topology, S: EventScheduler>(
+    net: &mut Network<P, T>,
+    daemon: &mut S,
+    steps: u64,
+) {
+    net.run_event(daemon, steps, |_| {});
+}
+
+/// Like [`run`], additionally invoking `observer` with each executed activation.
+///
+/// The observer is monomorphized into the loop: passing a no-op closure compiles to the same
+/// code as [`run`].  The trace-equivalence tests use it to record activation sequences.
+pub fn run_observed<P: Process, T: Topology, S: EventScheduler>(
+    net: &mut Network<P, T>,
+    daemon: &mut S,
+    steps: u64,
+    observer: impl FnMut(Activation),
+) {
+    net.run_event(daemon, steps, observer);
+}
+
+/// Runs the fused loop until `pred(net)` holds (checked after every activation) or
+/// `max_steps` activations have been executed; returns the outcome exactly like
+/// [`crate::run_until`].
+pub fn run_until<P: Process, T: Topology, S: EventScheduler>(
+    net: &mut Network<P, T>,
+    daemon: &mut S,
+    max_steps: u64,
+    mut pred: impl FnMut(&Network<P, T>) -> bool,
+) -> crate::runner::RunOutcome {
+    use crate::runner::RunOutcome;
+    if pred(net) {
+        return RunOutcome::Satisfied(net.now());
+    }
+    for _ in 0..max_steps {
+        net.step_event(daemon);
+        if pred(net) {
+            return RunOutcome::Satisfied(net.now());
+        }
+    }
+    RunOutcome::Exhausted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set_of(degrees: &[usize]) -> EnabledSet {
+        EnabledSet::new(degrees)
+    }
+
+    #[test]
+    fn starts_empty_and_consistent() {
+        let s = set_of(&[2, 3, 1]);
+        assert_eq!(s.num_nodes(), 3);
+        assert_eq!(s.degree(1), 3);
+        assert_eq!(s.in_flight(), 0);
+        assert_eq!(s.enabled_len(), 0);
+        for v in 0..3 {
+            assert_eq!(s.deliverable_count(v), 0);
+            assert_eq!(s.next_deliverable_from(v, 0), None);
+            assert_eq!(s.nth_deliverable(v, 0), None);
+        }
+    }
+
+    #[test]
+    fn note_len_tracks_occupancy_and_dense_list() {
+        let mut s = set_of(&[2, 3, 1]);
+        s.note_len(1, 2, 4);
+        s.note_len(1, 0, 1);
+        s.note_len(2, 0, 2);
+        assert_eq!(s.in_flight(), 7);
+        assert_eq!(s.deliverable_count(1), 2);
+        assert_eq!(s.enabled_len(), 2);
+        assert_eq!(s.nth_deliverable(1, 0), Some(0));
+        assert_eq!(s.nth_deliverable(1, 1), Some(2));
+        assert_eq!(s.nth_deliverable(1, 2), None);
+        assert_eq!(s.next_deliverable_from(1, 1), Some(2));
+        assert_eq!(s.next_deliverable_from(1, 0), Some(0));
+        // Cyclic wrap: starting past the last set bit wraps to the lowest one.
+        s.note_len(1, 2, 0);
+        assert_eq!(s.in_flight(), 3);
+        assert_eq!(s.next_deliverable_from(1, 1), Some(0));
+        // Draining removes from the dense list.
+        s.note_len(1, 0, 0);
+        assert_eq!(s.deliverable_count(1), 0);
+        assert_eq!(s.enabled_len(), 1);
+        assert_eq!(s.enabled_node(0), 2);
+    }
+
+    #[test]
+    fn note_len_is_idempotent_for_unchanged_lengths() {
+        let mut s = set_of(&[1]);
+        s.note_len(0, 0, 3);
+        s.note_len(0, 0, 3);
+        assert_eq!(s.in_flight(), 3);
+        assert_eq!(s.deliverable_count(0), 1);
+    }
+
+    #[test]
+    fn wide_nodes_cross_word_boundaries() {
+        // A 130-channel hub: bits span three words.
+        let mut s = set_of(&[130]);
+        s.note_len(0, 0, 1);
+        s.note_len(0, 70, 1);
+        s.note_len(0, 129, 1);
+        assert_eq!(s.deliverable_count(0), 3);
+        assert_eq!(s.nth_deliverable(0, 0), Some(0));
+        assert_eq!(s.nth_deliverable(0, 1), Some(70));
+        assert_eq!(s.nth_deliverable(0, 2), Some(129));
+        assert_eq!(s.next_deliverable_from(0, 1), Some(70));
+        assert_eq!(s.next_deliverable_from(0, 71), Some(129));
+        s.note_len(0, 0, 0);
+        assert_eq!(s.next_deliverable_from(0, 130 - 1), Some(129));
+        s.note_len(0, 129, 0);
+        assert_eq!(s.next_deliverable_from(0, 100), Some(70), "wraps around");
+    }
+}

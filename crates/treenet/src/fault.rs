@@ -150,7 +150,7 @@ impl FaultInjector {
                 if plan.clear_channel_prob > 0.0
                     && self.rng.gen_bool(plan.clear_channel_prob.clamp(0.0, 1.0))
                 {
-                    let ch = net.channel_mut(v, l);
+                    let mut ch = net.channel_mut(v, l);
                     if !ch.is_empty() {
                         report.messages_dropped += ch.len();
                     }

@@ -16,7 +16,21 @@
 //! process a *tick* (one pass over the bottom-of-loop actions: request issuing, critical
 //! section entry/exit, timeouts).  Fair schedulers ([`scheduler::RoundRobin`],
 //! [`scheduler::RandomFair`]) guarantee the paper's fairness assumption; the
+//! [`scheduler::Synchronous`] daemon serializes lock-step rounds; the
 //! [`scheduler::Adversarial`] scheduler exercises bounded unfairness to stress waiting times.
+//!
+//! # Two execution engines
+//!
+//! Every daemon exists in two flavours with **bit-identical semantics** (same activation
+//! sequences, traces and metrics):
+//!
+//! * the **event-driven engine** ([`engine`]) — the default: the network incrementally
+//!   maintains the set of enabled delivery guards (non-empty channels), daemons read it in
+//!   O(1), and the fused loop [`engine::run`] monomorphizes daemon + network into one
+//!   allocation-free hot loop;
+//! * the **scan-based baseline** ([`scheduler::baseline`]) — the original engine that
+//!   re-derives channel occupancy on every step, retained as the executable specification
+//!   for the trace-equivalence suite and the `BENCH_treenet.json` comparison.
 //!
 //! Transient faults are modelled by [`fault::FaultInjector`], which corrupts local process
 //! state (through the [`fault::Corruptible`] trait), injects bounded channel garbage
@@ -36,6 +50,7 @@
 
 pub mod app;
 pub mod channel;
+pub mod engine;
 pub mod fault;
 pub mod metrics;
 pub mod network;
@@ -46,12 +61,16 @@ pub mod trace;
 
 pub use app::{AppDriver, CsState};
 pub use channel::Channel;
+pub use engine::{EnabledSet, EnabledShape, EventScheduler};
 pub use fault::{ArbitraryMessage, Corruptible, FaultInjector, FaultPlan, FaultReport, Restartable};
 pub use metrics::Metrics;
-pub use network::{Network, NetworkView};
+pub use network::{ChannelMut, EnabledView, Network, NetworkView};
 pub use process::{Context, Event, MessageKind, Process};
 pub use runner::{run_for, run_until, run_until_quiescent, RunOutcome};
-pub use scheduler::{Activation, Adversarial, RandomFair, RoundRobin, Scheduler};
+pub use scheduler::{
+    Activation, Adversarial, AdversarialDaemon, CentralDaemon, DistributedDaemon, RandomFair,
+    RoundRobin, Scheduler, Synchronous, SynchronousDaemon,
+};
 pub use trace::{Trace, TracedEvent};
 
 /// Re-export of the node identifier type used throughout.

@@ -1,6 +1,12 @@
 //! The network engine: nodes, channels, and step execution.
+//!
+//! The network is the keeper of the *enabled-set invariant* documented in [`crate::engine`]:
+//! every mutation of a channel (delivery, send, injection, or direct surgery through
+//! [`Network::channel_mut`]) immediately updates the maintained [`EnabledSet`], so
+//! event-driven daemons can read "which guards are enabled" in O(1) instead of rescanning.
 
 use crate::channel::Channel;
+use crate::engine::{EnabledSet, EnabledShape, EventScheduler};
 use crate::metrics::Metrics;
 use crate::process::{Context, MessageKind, Process};
 use crate::scheduler::{Activation, Scheduler};
@@ -32,6 +38,84 @@ pub trait NetworkView {
     }
 }
 
+/// The enabled-set extension of [`NetworkView`]: O(1) answers to "which guards are enabled".
+///
+/// [`Network`] overrides every method with a constant-time read of its maintained
+/// [`EnabledSet`]; the provided defaults fall back to scanning through [`NetworkView`], so
+/// any view (e.g. the fakes used in scheduler unit tests) satisfies the trait — at scan
+/// cost — by declaring an empty `impl`.  Both implementations return identical answers,
+/// which is exactly the enabled-set invariant the equivalence proptest checks.
+pub trait EnabledView: NetworkView {
+    /// Number of non-empty incoming channels of `node`.
+    fn deliverable_count(&self, node: NodeId) -> usize {
+        (0..self.degree(node)).filter(|&c| self.channel_len(node, c) > 0).count()
+    }
+
+    /// The first non-empty channel of `node` at or cyclically after `start % degree`, or
+    /// `None` when the node has no deliverable message.
+    fn next_deliverable_from(&self, node: NodeId, start: ChannelLabel) -> Option<ChannelLabel> {
+        let degree = self.degree(node);
+        if degree == 0 {
+            return None;
+        }
+        let start = start % degree;
+        (0..degree).map(|off| (start + off) % degree).find(|&c| self.channel_len(node, c) > 0)
+    }
+
+    /// The `idx`-th non-empty channel of `node` in ascending label order, or `None` when
+    /// fewer than `idx + 1` channels are non-empty.
+    fn nth_deliverable(&self, node: NodeId, idx: usize) -> Option<ChannelLabel> {
+        (0..self.degree(node)).filter(|&c| self.channel_len(node, c) > 0).nth(idx)
+    }
+
+    /// Fills `round` with, per node, the lowest non-empty incoming channel (or `None`) —
+    /// the round-boundary snapshot taken by the [`crate::Synchronous`] daemon.
+    ///
+    /// The default scans every node; [`Network`] overrides it to visit only the
+    /// delivery-enabled nodes of its maintained dense list (O(enabled) per round).  Both
+    /// fill the same slots, so the snapshots are identical.
+    fn snapshot_deliverable(&self, round: &mut Vec<Option<ChannelLabel>>) {
+        round.clear();
+        round.resize(self.num_nodes(), None);
+        for (v, slot) in round.iter_mut().enumerate() {
+            if self.deliverable_count(v) > 0 {
+                *slot = self.next_deliverable_from(v, 0);
+            }
+        }
+    }
+}
+
+/// Mutable access to one incoming channel, returned by [`Network::channel_mut`].
+///
+/// Dereferences to [`Channel`]; when the guard is dropped, the enabled set is
+/// re-synchronized with the channel's (possibly changed) length, so direct channel surgery
+/// by fault injectors and the exhaustive checker cannot break the enabled-set invariant.
+pub struct ChannelMut<'a, M> {
+    channel: &'a mut Channel<M>,
+    enabled: &'a mut EnabledSet,
+    node: NodeId,
+    label: ChannelLabel,
+}
+
+impl<M> std::ops::Deref for ChannelMut<'_, M> {
+    type Target = Channel<M>;
+    fn deref(&self) -> &Channel<M> {
+        self.channel
+    }
+}
+
+impl<M> std::ops::DerefMut for ChannelMut<'_, M> {
+    fn deref_mut(&mut self) -> &mut Channel<M> {
+        self.channel
+    }
+}
+
+impl<M> Drop for ChannelMut<'_, M> {
+    fn drop(&mut self) {
+        self.enabled.note_len(self.node, self.label, self.channel.len());
+    }
+}
+
 /// A simulated network: a topology, one process per node, and one FIFO channel per directed
 /// link.
 ///
@@ -41,6 +125,7 @@ pub struct Network<P: Process, T: Topology> {
     topo: T,
     nodes: Vec<P>,
     channels: Vec<Vec<Channel<P::Msg>>>,
+    enabled: EnabledSet,
     now: u64,
     trace: Trace,
     metrics: Metrics,
@@ -60,10 +145,12 @@ impl<P: Process, T: Topology> Network<P, T> {
         let nodes: Vec<P> = (0..n).map(&mut make_node).collect();
         let channels: Vec<Vec<Channel<P::Msg>>> =
             (0..n).map(|v| (0..topo.degree(v)).map(|_| Channel::new()).collect()).collect();
+        let degrees: Vec<usize> = (0..n).map(|v| topo.degree(v)).collect();
         Network {
             topo,
             nodes,
             channels,
+            enabled: EnabledSet::new(&degrees),
             now: 0,
             trace: Trace::new(),
             metrics: Metrics::new(n),
@@ -137,9 +224,15 @@ impl<P: Process, T: Topology> Network<P, T> {
         })
     }
 
-    /// Total number of in-flight messages.
+    /// Total number of in-flight messages, maintained in O(1) by the enabled set.
     pub fn in_flight(&self) -> usize {
-        self.channels.iter().map(|c| c.iter().map(Channel::len).sum::<usize>()).sum()
+        self.enabled.in_flight() as usize
+    }
+
+    /// Read-only access to the maintained enabled set (diagnostics, tests, and the
+    /// brute-force consistency proptest).
+    pub fn enabled_set(&self) -> &EnabledSet {
+        &self.enabled
     }
 
     /// Direct access to one incoming channel (fault injection and tests).
@@ -148,8 +241,16 @@ impl<P: Process, T: Topology> Network<P, T> {
     }
 
     /// Mutable access to one incoming channel (fault injection and tests).
-    pub fn channel_mut(&mut self, node: NodeId, label: ChannelLabel) -> &mut Channel<P::Msg> {
-        &mut self.channels[node][label]
+    ///
+    /// The returned guard re-synchronizes the enabled set on drop, so arbitrary surgery
+    /// (clear, insert, remove) keeps the enabled-set invariant.
+    pub fn channel_mut(&mut self, node: NodeId, label: ChannelLabel) -> ChannelMut<'_, P::Msg> {
+        ChannelMut {
+            channel: &mut self.channels[node][label],
+            enabled: &mut self.enabled,
+            node,
+            label,
+        }
     }
 
     /// Enqueues `msg` as if `from_node` had sent it on its channel `label`; bypasses the
@@ -157,12 +258,16 @@ impl<P: Process, T: Topology> Network<P, T> {
     pub fn inject_from(&mut self, from_node: NodeId, label: ChannelLabel, msg: P::Msg) {
         let (dest, dest_label) = self.topo.endpoint(from_node, label);
         self.metrics.record_send(from_node, msg.kind());
-        self.channels[dest][dest_label].push(msg);
+        let channel = &mut self.channels[dest][dest_label];
+        channel.push(msg);
+        self.enabled.note_len(dest, dest_label, channel.len());
     }
 
     /// Enqueues `msg` directly onto `node`'s incoming channel `label` (fault injection).
     pub fn inject_into(&mut self, node: NodeId, label: ChannelLabel, msg: P::Msg) {
-        self.channels[node][label].push(msg);
+        let channel = &mut self.channels[node][label];
+        channel.push(msg);
+        self.enabled.note_len(node, label, channel.len());
     }
 
     /// Executes one activation chosen by `scheduler`. Returns the activation executed.
@@ -170,6 +275,33 @@ impl<P: Process, T: Topology> Network<P, T> {
         let activation = scheduler.next_activation(self);
         self.execute(activation);
         activation
+    }
+
+    /// Executes one activation chosen by `daemon` through the fused event-driven path: the
+    /// daemon reads the maintained enabled set directly, with no virtual dispatch.
+    ///
+    /// Produces exactly the same activation as [`Network::step`] with the same daemon (the
+    /// bundled daemons share one decision function between both paths).
+    pub fn step_event<S: EventScheduler>(&mut self, daemon: &mut S) -> Activation {
+        let activation = daemon.next_event(&EnabledShape::new(&self.enabled));
+        self.execute(activation);
+        activation
+    }
+
+    /// The fused event-driven run loop: `steps` activations chosen by `daemon` against the
+    /// maintained enabled set, with `observer` invoked after each.  Monomorphized over the
+    /// daemon and the observer so the whole step inlines into one allocation-free loop.
+    pub(crate) fn run_event<S: EventScheduler>(
+        &mut self,
+        daemon: &mut S,
+        steps: u64,
+        mut observer: impl FnMut(Activation),
+    ) {
+        for _ in 0..steps {
+            let activation = daemon.next_event(&EnabledShape::new(&self.enabled));
+            self.execute(activation);
+            observer(activation);
+        }
     }
 
     /// Executes a specific activation (exposed so tests can drive precise interleavings).
@@ -181,6 +313,7 @@ impl<P: Process, T: Topology> Network<P, T> {
                 let msg = self.channels[node][channel].pop();
                 match msg {
                     Some(msg) => {
+                        self.enabled.note_len(node, channel, self.channels[node][channel].len());
                         self.metrics.deliveries += 1;
                         self.run_node(node, Some((channel, msg)));
                     }
@@ -216,17 +349,27 @@ impl<P: Process, T: Topology> Network<P, T> {
             }
             proc.on_tick(&mut ctx);
         }
-        // Flush sends: route each buffered message through the topology.
-        let outbox = std::mem::take(&mut self.outbox);
-        for (label, msg) in outbox {
-            let (dest, dest_label) = self.topo.endpoint(node, label);
-            self.metrics.record_send(node, msg.kind());
-            self.channels[dest][dest_label].push(msg);
+        // Flush sends: route each buffered message through the topology.  The scratch
+        // buffers are drained in place and handed back, so their capacity is reused and the
+        // (dominant) tick-only steps touch nothing beyond the two emptiness checks.
+        if !self.outbox.is_empty() {
+            let mut outbox = std::mem::take(&mut self.outbox);
+            for (label, msg) in outbox.drain(..) {
+                let (dest, dest_label) = self.topo.endpoint(node, label);
+                self.metrics.record_send(node, msg.kind());
+                let channel = &mut self.channels[dest][dest_label];
+                channel.push(msg);
+                self.enabled.note_len(dest, dest_label, channel.len());
+            }
+            self.outbox = outbox;
         }
         // Flush events into the trace.
-        let events = std::mem::take(&mut self.event_buf);
-        for ev in events {
-            self.trace.push(self.now, node, ev);
+        if !self.event_buf.is_empty() {
+            let mut events = std::mem::take(&mut self.event_buf);
+            for ev in events.drain(..) {
+                self.trace.push(self.now, node, ev);
+            }
+            self.event_buf = events;
         }
     }
 }
@@ -246,6 +389,33 @@ impl<P: Process, T: Topology> NetworkView for Network<P, T> {
 
     fn now(&self) -> u64 {
         self.now
+    }
+
+    fn messages_in_flight(&self) -> usize {
+        self.enabled.in_flight() as usize
+    }
+}
+
+impl<P: Process, T: Topology> EnabledView for Network<P, T> {
+    fn deliverable_count(&self, node: NodeId) -> usize {
+        self.enabled.deliverable_count(node)
+    }
+
+    fn next_deliverable_from(&self, node: NodeId, start: ChannelLabel) -> Option<ChannelLabel> {
+        self.enabled.next_deliverable_from(node, start)
+    }
+
+    fn nth_deliverable(&self, node: NodeId, idx: usize) -> Option<ChannelLabel> {
+        self.enabled.nth_deliverable(node, idx)
+    }
+
+    fn snapshot_deliverable(&self, round: &mut Vec<Option<ChannelLabel>>) {
+        round.clear();
+        round.resize(self.enabled.num_nodes(), None);
+        for i in 0..self.enabled.enabled_len() {
+            let v = self.enabled.enabled_node(i);
+            round[v] = self.enabled.next_deliverable_from(v, 0);
+        }
     }
 }
 

@@ -1,4 +1,11 @@
 //! Convenience run loops: run for a fixed horizon, until a predicate holds, or to quiescence.
+//!
+//! These loops drive any [`Scheduler`] through the dynamically dispatched path; with the
+//! (default) event-driven daemons each scheduling decision is still O(1) against the
+//! maintained enabled set.  For long unconditional runs the fused loop [`crate::engine::run`]
+//! is faster still (no virtual dispatch at all) and produces the identical execution.
+//! [`run_until_quiescent`] relies on [`crate::Network::in_flight`], which the enabled set
+//! maintains in O(1) — quiescence detection adds nothing to the per-step cost.
 
 use crate::network::Network;
 use crate::process::Process;

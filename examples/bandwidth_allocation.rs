@@ -6,6 +6,9 @@
 //! cargo run --release --example bandwidth_allocation
 //! ```
 //!
+//! **Paper scenario:** the introduction's motivating application — heterogeneous requests
+//! of 1..k units (audio vs video bandwidth) served by one k-out-of-ℓ exclusion instance.
+//!
 //! A backbone link offers 8 bandwidth units.  Audio calls need 1 unit, standard video needs
 //! 2, high-definition video needs 4.  Nodes of a binary distribution tree issue a mix of
 //! these requests; an adversarial scheduler slows down the deepest node to show that even the

@@ -7,6 +7,9 @@
 //! cargo run --release --example distributed_spanning_tree
 //! ```
 //!
+//! **Paper scenario:** the conclusion's extension to arbitrary rooted networks, here with
+//! the spanning tree itself built by a self-stabilizing protocol in the same model.
+//!
 //! The run has three acts: the beacon protocol constructs a BFS spanning tree of a 20-node
 //! mesh; the k-out-of-ℓ exclusion protocol stabilizes on the constructed tree; and finally the
 //! spanning-tree layer is hit by a transient fault (all distance estimates corrupted) to show

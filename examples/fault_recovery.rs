@@ -4,6 +4,9 @@
 //! cargo run --release --example fault_recovery
 //! ```
 //!
+//! **Paper scenario:** Theorem 1 — convergence to a legitimate configuration from an
+//! arbitrary (catastrophically corrupted) configuration.
+//!
 //! The network is stabilized, then hit with a catastrophic transient fault: every process's
 //! local state is overwritten with arbitrary values and every channel is refilled with up to
 //! CMAX arbitrary messages (forged tokens, forged controllers, garbage).  The example prints

@@ -7,6 +7,9 @@
 //! cargo run --release --example general_network
 //! ```
 //!
+//! **Paper scenario:** the conclusion's extension to arbitrary rooted networks via
+//! composition with a spanning-tree construction (offline extraction variant).
+//!
 //! A random connected graph (a mesh with redundant links) is reduced to a BFS spanning tree
 //! rooted at the distinguished process; the k-out-of-ℓ exclusion protocol then runs on that
 //! tree.  Links outside the spanning tree simply carry no protocol traffic.

@@ -5,6 +5,9 @@
 //! cargo run --release --example ip_address_pool
 //! ```
 //!
+//! **Paper scenario:** the introduction's resource-allocation framing — ℓ identical units
+//! of a shared resource (an address pool) with per-request demands up to k.
+//!
 //! A small campus network is organised as a tree (routers with hosts hanging off them).  A
 //! pool of 6 addresses is shared; a host may lease up to 2 addresses at a time (e.g. one per
 //! interface).  Hosts issue leases at random times and keep them for random durations.  The

@@ -4,6 +4,9 @@
 //! cargo run --release --example model_checking
 //! ```
 //!
+//! **Paper scenario:** the Figure-2 deadlock and Figure-3 livelock anomalies, plus the
+//! safety and closure halves of Definition 1, verified exhaustively on small instances.
+//!
 //! The simulation experiments sample executions; this example instead *enumerates* every
 //! reachable configuration of small instances under every possible scheduling and checks:
 //!

@@ -4,6 +4,9 @@
 //! cargo run --release --example quickstart
 //! ```
 //!
+//! **Paper scenario:** Algorithms 1 & 2 on the Figure-1 tree (Sections 3-4) under the
+//! saturated workload of the waiting-time analysis.
+//!
 //! Every process repeatedly requests 2 of the 5 resource units.  The example shows the three
 //! phases a user of the library sees: bootstrap (the controller creates the tokens),
 //! steady-state service, and the measurements that can be extracted from the trace.

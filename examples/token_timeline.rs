@@ -5,6 +5,9 @@
 //! cargo run --release --example token_timeline
 //! ```
 //!
+//! **Paper scenario:** the Figure-1 tree and its DFS virtual ring (Figure 4), plus the
+//! token census (ℓ,1,1) that defines legitimacy, before and after a transient fault.
+//!
 //! Three renderings are printed:
 //!
 //! * the virtual ring of the Figure-1 tree (the path every token follows);

@@ -58,7 +58,8 @@ pub mod prelude {
     };
     pub use topology::{OrientedTree, Ring, Topology, VirtualRing};
     pub use treenet::{
-        run_for, run_until, run_until_quiescent, Adversarial, AppDriver, CsState, Event,
+        engine, run_for, run_until, run_until_quiescent, Adversarial, AppDriver, CsState, Event,
         FaultInjector, FaultPlan, Network, RandomFair, Restartable, RoundRobin, Scheduler,
+        Synchronous,
     };
 }
