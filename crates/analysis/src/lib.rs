@@ -15,8 +15,11 @@
 //! * [`histogram`] — bucketed distributions (waiting-time and convergence-time spreads);
 //! * [`timeline`] — terminal renderings of executions: per-process activity lanes, the
 //!   virtual ring, and token-census sparklines;
-//! * [`scenarios`] — the exact configurations of the paper's figures, shared by tests,
-//!   examples and benchmark binaries;
+//! * [`scenario`] — the unified declarative scenario API: one serde-serializable
+//!   [`scenario::ScenarioSpec`] drives the simulator, the sharded trial harness, and the
+//!   bounded-exhaustive checker (plus the `klex` CLI in the `bench` crate);
+//! * [`scenarios`] — the exact configurations of the paper's figures (now thin wrappers over
+//!   [`scenario::preset`]s), shared by tests, examples and benchmark binaries;
 //! * [`harness`] — parameter sweeps, repeated trials (optionally in parallel) and
 //!   markdown/JSONL/CSV rendering of result tables for `EXPERIMENTS.md`.
 
@@ -29,6 +32,7 @@ pub mod fairness;
 pub mod harness;
 pub mod histogram;
 pub mod invariants;
+pub mod scenario;
 pub mod scenarios;
 pub mod stats;
 pub mod timeline;
@@ -40,6 +44,7 @@ pub use fairness::{jains_index, FairnessReport};
 pub use harness::{render_csv, render_markdown_table, ExperimentRow, Trial};
 pub use histogram::Histogram;
 pub use invariants::{SafetyMonitor, SafetyViolation};
+pub use scenario::{CompiledScenario, Scenario, ScenarioError, ScenarioSpec};
 pub use stats::Summary;
 pub use timeline::{render_activity_gantt, render_virtual_ring, CensusRecorder};
 pub use waiting::{waiting_times, WaitingRecord};

@@ -1,0 +1,152 @@
+//! The bounded-exhaustive checking backend: lowering a scenario into the `checker` crate.
+//!
+//! Small instances of a compiled scenario can be verified instead of simulated: the explorer
+//! enumerates **every** reachable configuration under **every** scheduling and checks the
+//! spec's properties on all of them.  The lowering imposes the checker's soundness
+//! requirements:
+//!
+//! * **stateless drivers** — only workloads expressible as pure functions of the observable
+//!   request state lower ([`WorkloadSpec::Idle`], [`WorkloadSpec::Saturated`],
+//!   [`WorkloadSpec::Needs`]); the stateful [`WorkloadSpec::Uniform`] is rejected.
+//!   A `hold` of 0 lowers to an instantaneous critical section
+//!   ([`checker::drivers::AlwaysRequest`]); any non-zero hold lowers to the shortest
+//!   *visible* critical section ([`checker::drivers::HoldOneActivation`]);
+//! * **no hidden timers** — the self-stabilizing protocol is built with its root timeout
+//!   disabled ([`checker::scenarios::DISABLED_TIMEOUT`]), and unless the spec injects its own
+//!   initial messages the controller message the first timeout would have produced is
+//!   injected so the protocol can still bootstrap;
+//! * the daemon, warmup, fault and stop condition of the spec do not apply — exploration
+//!   covers all schedules from the (init-adjusted) initial configuration, bounded by
+//!   [`super::spec::CheckSpec`].
+
+use super::compile::{CompiledScenario, ScenarioNode};
+use super::spec::{ProtocolSpec, WorkloadSpec};
+use super::ScenarioError;
+use checker::snapshot::CheckableNode;
+use checker::{drivers, properties, ExplorationReport, Explorer, Limits};
+use klex_core::{naive, nonstab, pusher, ss, KlConfig, Message};
+use topology::{OrientedTree, Topology};
+use treenet::app::BoxedDriver;
+use treenet::{Network, NodeId};
+
+impl CompiledScenario {
+    /// Exhaustively explores the scenario's reachable configuration space (bounded by the
+    /// spec's [`super::spec::CheckSpec`]) and checks the selected properties on every
+    /// configuration.
+    ///
+    /// Returns an error when the scenario cannot be lowered soundly: the ring baseline has no
+    /// snapshot support, and stateful workloads would break the explorer's state abstraction.
+    pub fn check(&self) -> Result<ExplorationReport, ScenarioError> {
+        let spec = self.spec();
+        match spec.protocol {
+            ProtocolSpec::Naive => self.check_net(self.lowered_net(|t, c, d| naive::network(t, c, d))?),
+            ProtocolSpec::Pusher => self.check_net(self.lowered_net(|t, c, d| pusher::network(t, c, d))?),
+            ProtocolSpec::NonStab => {
+                self.check_net(self.lowered_net(|t, c, d| nonstab::network(t, c, d))?)
+            }
+            ProtocolSpec::Ss => {
+                let mut net = self.lowered_net(|t, c, d| {
+                    ss::network(t, c.with_timeout(checker::scenarios::DISABLED_TIMEOUT), d)
+                })?;
+                // Without its timer the protocol cannot bootstrap on its own; hand it the
+                // controller message the first timeout would have sent — unless the spec
+                // already places its own messages in flight.
+                let inject_bootstrap =
+                    spec.init.as_ref().is_none_or(|init| init.inject.is_empty());
+                if inject_bootstrap {
+                    let root = 0;
+                    net.inject_from(root, 0, Message::Ctrl { c: 0, r: false, pt: 0, ppr: 0 });
+                }
+                self.check_net(net)
+            }
+            ProtocolSpec::Ring => Err(ScenarioError::NotCheckable(
+                "the ring baseline has no checker snapshot support".to_string(),
+            )),
+        }
+    }
+
+    /// Builds the network with checker-lowered (stateless) drivers and init overrides.
+    fn lowered_net<P, F>(&self, construct: F) -> Result<Network<P, OrientedTree>, ScenarioError>
+    where
+        P: ScenarioNode,
+        F: FnOnce(
+            OrientedTree,
+            KlConfig,
+            &mut dyn FnMut(NodeId) -> BoxedDriver,
+        ) -> Network<P, OrientedTree>,
+    {
+        let spec = self.spec();
+        let tree = spec.topology.build(0);
+        let cfg = spec.config.to_kl(tree.len());
+        let mut drivers = lower_workload(&spec.workload)?;
+        let mut net = construct(tree, cfg, &mut *drivers);
+        self.apply_init(&mut net);
+        Ok(net)
+    }
+
+    /// Runs the explorer over `net` with the spec's limits and properties.
+    fn check_net<P>(
+        &self,
+        mut net: Network<P, OrientedTree>,
+    ) -> Result<ExplorationReport, ScenarioError>
+    where
+        P: CheckableNode,
+    {
+        let spec = self.spec();
+        let cfg = spec.config.to_kl(net.len());
+        let limits = Limits {
+            max_configurations: spec.check.max_configurations,
+            max_depth: if spec.check.max_depth == 0 { usize::MAX } else { spec.check.max_depth },
+        };
+        let mut explorer = Explorer::new(&mut net).with_limits(limits);
+        for property in &spec.check.properties {
+            explorer = explorer.with_property(match property.as_str() {
+                "safety" => properties::safety(cfg),
+                "exact-census" => properties::exact_census(cfg),
+                "no-garbage" => properties::no_garbage(),
+                "legitimate" => properties::legitimate(cfg),
+                _ => unreachable!("property names are validated at compile time"),
+            });
+        }
+        Ok(explorer.run())
+    }
+}
+
+/// Lowers a workload spec into the checker's stateless drivers.
+fn lower_workload(
+    workload: &WorkloadSpec,
+) -> Result<Box<dyn FnMut(NodeId) -> BoxedDriver + '_>, ScenarioError> {
+    match workload {
+        WorkloadSpec::Idle => Ok(Box::new(|_| drivers::NeverRequest::boxed())),
+        WorkloadSpec::Saturated { units, hold } => {
+            let (units, hold) = (*units, *hold);
+            Ok(Box::new(move |_| {
+                if hold == 0 {
+                    drivers::AlwaysRequest::boxed(units)
+                } else {
+                    drivers::HoldOneActivation::boxed(units)
+                }
+            }))
+        }
+        WorkloadSpec::Needs { needs, hold } => {
+            let hold = *hold;
+            Ok(Box::new(move |node| {
+                let units = needs.get(node).copied().unwrap_or(0);
+                if units == 0 {
+                    drivers::NeverRequest::boxed()
+                } else if hold == 0 {
+                    drivers::AlwaysRequest::boxed(units)
+                } else {
+                    drivers::HoldOneActivation::boxed(units)
+                }
+            }))
+        }
+        WorkloadSpec::Uniform { .. } | WorkloadSpec::LeafUniform { .. } => {
+            Err(ScenarioError::NotCheckable(
+                "the Uniform/LeafUniform workloads are stateful (per-node RNG) and cannot be \
+                 lowered into the checker's stateless-driver abstraction; use Saturated or Needs"
+                    .to_string(),
+            ))
+        }
+    }
+}

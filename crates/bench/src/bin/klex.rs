@@ -1,0 +1,245 @@
+//! `klex` — the scenario CLI: run any declarative scenario (a JSON [`ScenarioSpec`] file or
+//! a named preset) through any backend, and render the result as markdown, JSON lines or
+//! CSV.
+//!
+//! ```text
+//! klex list                               # named presets and experiments
+//! klex run figure2                        # preset through the simulator
+//! klex run figure2 --backend all          # simulator + sharded harness + checker
+//! klex run spec.json --format jsonl       # JSON spec file, machine-readable output
+//! klex show figure2                       # print a preset's JSON (a template for specs)
+//! klex experiment e5                      # a full experiment table (KLEX_SCALE=quick|full)
+//! ```
+//!
+//! Backends (`--backend`, default `sim`):
+//!
+//! * `sim` — one simulated execution (trial 0: the spec's seeds verbatim);
+//! * `harness` — the spec's trial plan, sharded across cores (`--shards N` to override);
+//! * `check` — bounded-exhaustive exploration of the spec's instance;
+//! * `all` — all three, one rendered row each.
+
+use analysis::harness::{auto_shards, render_csv, render_jsonl, render_markdown_table};
+use analysis::scenario::{preset, CompiledScenario, ScenarioSpec, PRESET_NAMES};
+use analysis::ExperimentRow;
+use bench::experiments;
+use bench::{ExperimentReport, Scale};
+use std::process::ExitCode;
+
+const EXPERIMENTS: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+    "e15",
+];
+
+fn usage() -> &'static str {
+    "klex — one declarative scenario spec, three backends\n\
+     \n\
+     USAGE:\n\
+       klex list                                     list presets and experiments\n\
+       klex show <preset>                            print a preset's JSON spec\n\
+       klex run <spec.json | preset> [options]       run a scenario\n\
+       klex experiment <e1..e15 | all>               run a full experiment table\n\
+     \n\
+     OPTIONS (run):\n\
+       --backend sim|harness|check|all               backend selection (default: sim)\n\
+       --format markdown|jsonl|csv                   output rendering (default: markdown)\n\
+       --shards N                                    harness worker threads (default: cores)\n\
+     \n\
+     ENVIRONMENT:\n\
+       KLEX_SCALE=quick|full                         experiment scale (default: full)"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("presets:");
+            for name in PRESET_NAMES {
+                println!("  {name}");
+            }
+            println!("experiments:");
+            for name in EXPERIMENTS {
+                println!("  {name}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("show") => match args.get(1) {
+            Some(name) => match preset(name) {
+                Some(spec) => {
+                    println!("{}", spec.to_json());
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    eprintln!("unknown preset `{name}` (try `klex list`)");
+                    ExitCode::FAILURE
+                }
+            },
+            None => {
+                eprintln!("{}", usage());
+                ExitCode::FAILURE
+            }
+        },
+        Some("run") => run_command(&args[1..]),
+        Some("experiment") => experiment_command(&args[1..]),
+        _ => {
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Resolves a scenario source: a named preset, or a path to a JSON spec file.
+fn load_scenario(source: &str) -> Result<CompiledScenario, String> {
+    let spec = if let Some(spec) = preset(source) {
+        spec
+    } else {
+        let text = std::fs::read_to_string(source)
+            .map_err(|e| format!("`{source}` is neither a preset (try `klex list`) nor a readable file: {e}"))?;
+        ScenarioSpec::from_json(&text).map_err(|e| e.to_string())?
+    };
+    spec.compile().map_err(|e| e.to_string())
+}
+
+fn run_command(args: &[String]) -> ExitCode {
+    let Some(source) = args.first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let mut backend = "sim".to_string();
+    let mut format = "markdown".to_string();
+    let mut shards = auto_shards();
+    let mut iter = args[1..].iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        let result = match arg.as_str() {
+            "--backend" => value("--backend").map(|v| backend = v),
+            "--format" => value("--format").map(|v| format = v),
+            "--shards" => value("--shards").and_then(|v| {
+                v.parse::<usize>().map(|v| shards = v.max(1)).map_err(|e| e.to_string())
+            }),
+            other => Err(format!("unknown option `{other}`")),
+        };
+        if let Err(message) = result {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if !["sim", "harness", "check", "all"].contains(&backend.as_str()) {
+        eprintln!("unknown backend `{backend}` (sim|harness|check|all)");
+        return ExitCode::FAILURE;
+    }
+    if !["markdown", "jsonl", "csv"].contains(&format.as_str()) {
+        // Validated before any backend runs: a typo'd format must not cost a full run.
+        eprintln!("unknown format `{format}` (markdown|jsonl|csv)");
+        return ExitCode::FAILURE;
+    }
+
+    let scenario = match load_scenario(source) {
+        Ok(scenario) => scenario,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut rows: Vec<ExperimentRow> = Vec::new();
+    if backend == "sim" || backend == "all" {
+        let outcome = scenario.run();
+        let mut row =
+            ExperimentRow::new(format!("{} [sim]", scenario.spec().name));
+        for (metric, value) in &outcome.metrics {
+            row = row.with(metric, *value);
+        }
+        rows.push(row);
+    }
+    if backend == "harness" || backend == "all" {
+        let report = scenario.run_harness(shards);
+        let mut row = report.row();
+        row.label = format!("{} [harness x{}]", scenario.spec().name, scenario.spec().trials);
+        rows.push(row);
+    }
+    if backend == "check" || backend == "all" {
+        match scenario.check() {
+            Ok(report) => {
+                rows.push(
+                    ExperimentRow::new(format!("{} [check]", scenario.spec().name))
+                        .with("configurations", report.configurations as f64)
+                        .with("transitions", report.transitions as f64)
+                        .with("max_depth", report.max_depth as f64)
+                        .with("exhaustive", f64::from(u8::from(report.exhaustive())))
+                        .with("violations", report.violations.len() as f64)
+                        .with("deadlocks", report.deadlocks.len() as f64),
+                );
+            }
+            // Under --backend all, an uncheckable spec (stateful workload, ring baseline)
+            // must not throw away the sim/harness results already computed — warn and render
+            // what ran.  An explicit --backend check still fails hard.
+            Err(message) if backend == "all" => eprintln!("skipping checker backend: {message}"),
+            Err(message) => {
+                eprintln!("{message}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    match format.as_str() {
+        "markdown" => print!("{}", render_markdown_table(&scenario.spec().name, &rows)),
+        "jsonl" => println!("{}", render_jsonl(&rows)),
+        "csv" => print!("{}", render_csv(&rows)),
+        _ => unreachable!("the format was validated before the backends ran"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn experiment_command(args: &[String]) -> ExitCode {
+    let Some(name) = args.first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let scale = match std::env::var("KLEX_SCALE").as_deref() {
+        Ok("quick") => Scale::quick(),
+        _ => Scale::full(),
+    };
+    let json = args.iter().any(|a| a == "--json");
+    let run = |name: &str, scale: Scale| -> Option<ExperimentReport> {
+        Some(match name {
+            "e1" => experiments::figures::e1_dfs_circulation(scale),
+            "e2" => experiments::figures::e2_deadlock(scale),
+            "e3" => experiments::figures::e3_livelock(scale),
+            "e4" => experiments::figures::e4_virtual_ring(scale),
+            "e5" => experiments::theorem1::e5_convergence(scale),
+            "e6" => experiments::theorem2::e6_waiting_time(scale),
+            "e7" => experiments::liveness::e7_kl_liveness(scale),
+            "e8" => experiments::comparison::e8_tree_vs_ring(scale),
+            "e9" => experiments::comparison::e9_throughput(scale),
+            "e10" => experiments::ablation::e10_ablation(scale),
+            "e11" => experiments::general::e11_general_networks(scale),
+            "e12" => experiments::exhaustive::e12_exhaustive(scale),
+            "e13" => experiments::timeout::e13_timeout_sweep(scale),
+            "e14" => experiments::unbounded::e14_unbounded_counter(scale),
+            "e15" => experiments::crash::e15_crash_recovery(scale),
+            _ => return None,
+        })
+    };
+    let names: Vec<&str> = if name == "all" {
+        EXPERIMENTS.to_vec()
+    } else {
+        vec![name.as_str()]
+    };
+    for name in names {
+        match run(name, scale.clone()) {
+            Some(report) => {
+                println!("{}", report.to_markdown());
+                if json {
+                    println!("{}", report.to_jsonl());
+                }
+            }
+            None => {
+                eprintln!("unknown experiment `{name}` (e1..e15 or `all`)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,75 +1,84 @@
 //! Experiment E5 — Theorem 1: convergence from arbitrary configurations.
 
-use crate::support::{scheduler, Scale, TreeShape};
+use crate::support::{Scale, TreeShape};
 use crate::ExperimentReport;
-use analysis::convergence::{default_window, measure_convergence};
-use analysis::harness::{auto_shards, run_sharded};
+use analysis::convergence::default_window;
+use analysis::harness::auto_shards;
+use analysis::scenario::{
+    DaemonSpec, FaultPlanSpec, ProtocolSpec, ScenarioSpec, StopSpec, TopologySpec, WorkloadSpec,
+};
 use analysis::{ExperimentRow, Summary};
-use klex_core::{ss, KlConfig};
-use treenet::{FaultInjector, FaultPlan};
-use workloads::all_uniform;
+
+/// The E5 regime for one parameter point, as a declarative scenario: stabilize under a fair
+/// daemon, inject the transient fault, and measure the activations until legitimacy is
+/// sustained again.
+fn e5_spec(
+    label: String,
+    topology: TopologySpec,
+    k: usize,
+    l: usize,
+    plan: FaultPlanSpec,
+    scale: &Scale,
+) -> ScenarioSpec {
+    let n = topology.len();
+    ScenarioSpec::builder(label)
+        .topology(topology)
+        .protocol(ProtocolSpec::Ss)
+        .kl(k, l)
+        .workload(WorkloadSpec::Uniform { seed: 0, p_request: 0.01, max_units: k, max_hold: 20 })
+        .daemon(DaemonSpec::RandomFair { seed: 50 })
+        .warmup(scale.max_steps)
+        .fault(900, plan)
+        .stop(StopSpec::Predicate {
+            name: "legitimate".into(),
+            max_steps: scale.max_steps,
+            sustained_for: default_window(n),
+        })
+        .metrics(&["converged", "convergence_activations", "warmup_activations"])
+        .trials(scale.trials)
+        .spec()
+}
 
 /// E5 — convergence time of the self-stabilizing protocol.
 ///
 /// For every tree shape and size, the network is first stabilized, then hit with a transient
 /// fault of the given severity (catastrophic = every local state corrupted and channels
 /// refilled with ≤ CMAX garbage; moderate = half the nodes corrupted plus message
-/// loss/duplication; token-surplus = extra forged tokens only), and the time until legitimacy
-/// is sustained again is measured, in activations.  Theorem 1 claims convergence always
-/// happens; the table reports the measured distribution and the fraction of trials that
-/// converged within the step budget.
+/// loss/duplication; message-only = forged/duplicated/lost messages), and the time until
+/// legitimacy is sustained again is measured, in activations.  Theorem 1 claims convergence
+/// always happens; the table reports the measured distribution and the fraction of trials
+/// that converged within the step budget.
+///
+/// Each parameter point is one [`ScenarioSpec`] run through the sharded harness backend
+/// (per-trial seeds are a function of the trial index alone, so the table is identical at any
+/// shard count).
 pub fn e5_convergence(scale: Scale) -> ExperimentReport {
     let mut rows = Vec::new();
-    type Severity = (&'static str, fn(usize) -> FaultPlan);
-    let severities: [Severity; 3] = [
-        ("catastrophic", |cmax| FaultPlan::catastrophic(cmax)),
-        ("moderate", |cmax| FaultPlan::moderate(cmax)),
-        ("message-only", |_| FaultPlan::message_only()),
+    let severities: [(&str, FaultPlanSpec); 3] = [
+        ("catastrophic", FaultPlanSpec::Catastrophic),
+        ("moderate", FaultPlanSpec::Moderate),
+        ("message-only", FaultPlanSpec::MessageOnly),
     ];
     for shape in [TreeShape::Chain, TreeShape::Star, TreeShape::Random] {
         for &n in &scale.sizes {
             let l = (n / 2).clamp(2, 6);
             let k = (l / 2).max(1);
-            for (sev_label, plan_of) in severities {
-                // One trial per seed, sharded across cores; seeds are a function of the
-                // trial index alone, so the table is identical at any shard count.
-                let outcomes: Vec<Option<f64>> =
-                    run_sharded(scale.trials, 0, auto_shards(), |seed, _stream| {
-                        let cfg = KlConfig::new(k, l, n);
-                        let tree = shape.build(n, seed);
-                        let mut sched = scheduler(50 + seed);
-                        let mut net = ss::network(tree, cfg, all_uniform(seed, 0.01, k, 20));
-                        // Phase 1: bootstrap to legitimacy.
-                        let boot = measure_convergence(
-                            &mut net,
-                            &mut sched,
-                            &cfg,
-                            scale.max_steps,
-                            default_window(n),
-                        );
-                        if !boot.converged() {
-                            return None;
-                        }
-                        // Phase 2: inject the fault and measure re-convergence.
-                        let fault_at = net.now();
-                        let mut injector = FaultInjector::new(900 + seed);
-                        injector.inject(&mut net, &plan_of(cfg.cmax));
-                        let out = measure_convergence(
-                            &mut net,
-                            &mut sched,
-                            &cfg,
-                            scale.max_steps,
-                            default_window(n),
-                        );
-                        out.stabilization_time().map(|t| (t - fault_at) as f64)
-                    });
-                let times: Vec<f64> = outcomes.iter().flatten().copied().collect();
-                let converged = times.len() as u64;
-                let summary = Summary::of(&times);
+            for (sev_label, plan) in severities {
+                let topology = shape.to_spec(n, 0);
+                let label = format!("{} n={n} l={l} {sev_label}", shape.label());
+                let scenario = e5_spec(label, topology, k, l, plan, &scale)
+                    .compile()
+                    .expect("the E5 scenario validates");
+                let report = scenario.run_harness(auto_shards());
+                let times: Vec<f64> = report
+                    .per_trial
+                    .iter()
+                    .filter_map(|trial| trial.get("convergence_activations").copied())
+                    .collect();
                 rows.push(
-                    ExperimentRow::new(format!("{} n={n} l={l} {}", shape.label(), sev_label))
-                        .with("converged_fraction", converged as f64 / scale.trials as f64)
-                        .with_summary("convergence_activations", &summary),
+                    ExperimentRow::new(report.label.clone())
+                        .with("converged_fraction", report.fraction("converged"))
+                        .with_summary("convergence_activations", &Summary::of(&times)),
                 );
             }
         }

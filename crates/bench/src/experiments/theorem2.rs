@@ -1,14 +1,46 @@
 //! Experiment E6 — Theorem 2: waiting time versus the ℓ(2n−3)² bound.
 
-use crate::support::{scheduler, stabilized_ss_network, Scale, TreeShape};
+use crate::support::{Scale, TreeShape};
 use crate::ExperimentReport;
-use analysis::harness::{auto_shards, run_sharded};
-use analysis::waiting::{max_waiting, waiting_times};
-use analysis::{ExperimentRow, Summary};
-use klex_core::KlConfig;
+use analysis::harness::auto_shards;
+use analysis::scenario::{
+    DaemonSpec, ProtocolSpec, ScenarioSpec, StopSpec, TopologySpec, WarmupSpec, WorkloadSpec,
+};
+use analysis::ExperimentRow;
 use topology::euler::theorem2_waiting_bound;
-use treenet::Adversarial;
-use workloads::all_saturated;
+
+/// The E6 regime for one parameter point: saturate every process, stabilize under a fair
+/// daemon, then measure waiting times under either the fair daemon or the bounded-unfairness
+/// adversary targeting the deepest node (an empty adversarial victim list).
+fn e6_spec(
+    label: String,
+    topology: TopologySpec,
+    l: usize,
+    adversarial: bool,
+    trials: u64,
+    scale: &Scale,
+) -> ScenarioSpec {
+    let daemon = if adversarial {
+        DaemonSpec::Adversarial { victims: vec![], patience: 8 }
+    } else {
+        DaemonSpec::RandomFair { seed: 700 }
+    };
+    ScenarioSpec::builder(label)
+        .topology(topology)
+        .protocol(ProtocolSpec::Ss)
+        .kl(1, l)
+        .workload(WorkloadSpec::Saturated { units: 1, hold: 3 })
+        .daemon(daemon)
+        .warmup_spec(WarmupSpec {
+            max_steps: scale.max_steps,
+            window: None,
+            daemon: Some(DaemonSpec::RandomFair { seed: 300 }),
+        })
+        .stop(StopSpec::Steps { steps: scale.measure_steps })
+        .metrics(&["waiting_max", "waiting_mean", "converged"])
+        .trials(trials)
+        .spec()
+}
 
 /// E6 — measured waiting time under saturation versus the analytical worst-case bound.
 ///
@@ -18,59 +50,37 @@ use workloads::all_saturated;
 /// of critical sections entered by other processes in between (the paper's definition).  The
 /// table compares the worst observed value with the bound ℓ(2n−3)², under both a fair random
 /// scheduler and an adversarial scheduler that starves the deepest node.
+///
+/// Each parameter point is one [`ScenarioSpec`] run through the sharded harness backend.
 pub fn e6_waiting_time(scale: Scale) -> ExperimentReport {
     let mut rows = Vec::new();
     for shape in TreeShape::all() {
         for &n in &scale.sizes {
             let l = (n / 3).clamp(2, 5);
-            let k = 1usize;
-            let cfg = KlConfig::new(k, l, n);
             let bound = theorem2_waiting_bound(l, n) as f64;
-
             for (sched_label, adversarial) in [("fair", false), ("adversarial", true)] {
-                // One saturation trial per seed, sharded across cores (seed = trial index,
-                // so the table is identical at any shard count).
-                let outcomes: Vec<Option<(f64, f64)>> =
-                    run_sharded(scale.trials, 0, auto_shards(), |seed, _stream| {
-                        let tree = shape.build(n, seed);
-                        // The victim of the adversarial scheduler: the deepest node.
-                        let victim = (0..n).max_by_key(|&v| tree.depth(v)).unwrap_or(n - 1);
-                        let mut boot_sched = scheduler(300 + seed);
-                        let mut net = stabilized_ss_network(
-                            tree,
-                            cfg,
-                            all_saturated(1, 3),
-                            &mut boot_sched,
-                            scale.max_steps,
-                        )?;
-                        if adversarial {
-                            let mut sched = Adversarial::new(vec![victim], 8);
-                            treenet::run_for(&mut net, &mut sched, scale.measure_steps);
-                        } else {
-                            let mut sched = scheduler(700 + seed);
-                            treenet::run_for(&mut net, &mut sched, scale.measure_steps);
-                        }
-                        let records = waiting_times(net.trace());
-                        if records.is_empty() {
-                            return None;
-                        }
-                        let mean = records.iter().map(|r| r.cs_entries_waited as f64).sum::<f64>()
-                            / records.len() as f64;
-                        Some((max_waiting(&records) as f64, mean))
-                    });
-                let worst: Vec<f64> = outcomes.iter().flatten().map(|(w, _)| *w).collect();
-                let means: Vec<f64> = outcomes.iter().flatten().map(|(_, m)| *m).collect();
-                let worst_summary = Summary::of(&worst);
-                let mean_summary = Summary::of(&means);
+                let topology = shape.to_spec(n, 0);
+                let label = format!("{} n={n} l={l} ({sched_label} scheduler)", shape.label());
+                let scenario = e6_spec(label, topology, l, adversarial, scale.trials, &scale)
+                    .compile()
+                    .expect("the E6 scenario validates");
+                let report = scenario.run_harness(auto_shards());
+                let worst = report
+                    .summaries
+                    .get("waiting_max")
+                    .map(|summary| summary.max)
+                    .unwrap_or(0.0);
+                let mean = report
+                    .summaries
+                    .get("waiting_mean")
+                    .map(|summary| summary.mean)
+                    .unwrap_or(0.0);
                 rows.push(
-                    ExperimentRow::new(format!(
-                        "{} n={n} l={l} ({sched_label} scheduler)",
-                        shape.label()
-                    ))
-                    .with("bound_l(2n-3)^2", bound)
-                    .with("waiting_worst_observed", worst_summary.max)
-                    .with("waiting_mean", mean_summary.mean)
-                    .with("bound_ratio", if bound > 0.0 { worst_summary.max / bound } else { 0.0 }),
+                    ExperimentRow::new(report.label)
+                        .with("bound_l(2n-3)^2", bound)
+                        .with("waiting_worst_observed", worst)
+                        .with("waiting_mean", mean)
+                        .with("bound_ratio", if bound > 0.0 { worst / bound } else { 0.0 }),
                 );
             }
         }

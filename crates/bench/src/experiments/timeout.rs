@@ -14,14 +14,16 @@
 //! For each interval the table reports steady-state controller traffic and timeout events,
 //! and the re-convergence time after every in-flight controller message is deleted.
 
-use crate::support::{scheduler, Scale};
+use crate::support::Scale;
 use crate::ExperimentReport;
 use analysis::convergence::{default_window, measure_convergence};
+use analysis::scenario::{
+    ConfigSpec, DaemonSpec, ProtocolSpec, ScenarioSpec, TopologySpec, WorkloadSpec,
+};
 use analysis::{ExperimentRow, Summary};
 use klex_core::{ss, KlConfig, Message};
 use topology::Topology;
 use treenet::Event;
-use workloads::all_saturated;
 
 /// Deletes every in-flight controller message — the fault class the timeout exists for.
 fn drop_all_controllers(
@@ -69,10 +71,20 @@ pub fn e13_timeout_sweep(scale: Scale) -> ExperimentReport {
         let mut recovered = 0u64;
         let mut converged = 0u64;
         for seed in 0..scale.trials {
-            let cfg = KlConfig::new(k, l, n).with_timeout(interval);
-            let tree = topology::builders::random_tree(n, 7_000 + seed);
-            let mut sched = scheduler(2_300 + seed);
-            let mut net = ss::network(tree, cfg, all_saturated(1, 8));
+            // The regime of this trial as a declarative scenario; the custom two-phase
+            // measurement below (steady-state traffic, then controller loss) drives the
+            // compiled network by hand.
+            let scenario = ScenarioSpec::builder(format!("e13 timeout={label} seed={seed}"))
+                .topology(TopologySpec::Random { n, seed: 7_000 + seed })
+                .protocol(ProtocolSpec::Ss)
+                .config(ConfigSpec::new(k, l).with_timeout(interval))
+                .workload(WorkloadSpec::Saturated { units: 1, hold: 8 })
+                .daemon(DaemonSpec::RandomFair { seed: 2_300 + seed })
+                .build()
+                .expect("the E13 scenario validates");
+            let cfg = scenario.spec().config.to_kl(n);
+            let mut sched = scenario.make_daemon();
+            let mut net = scenario.build_ss().expect("E13 runs the full protocol");
             let boot =
                 measure_convergence(&mut net, &mut sched, &cfg, scale.max_steps, default_window(n));
             if !boot.converged() {

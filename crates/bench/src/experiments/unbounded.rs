@@ -1,14 +1,16 @@
 //! Experiment E14 — the conclusion's unbounded-memory adaptation: bounded vs unbounded
 //! counter-flushing domains when the CMAX assumption is violated.
 
-use crate::support::{scheduler, Scale, TreeShape};
+use crate::support::{Scale, TreeShape};
 use crate::ExperimentReport;
 use analysis::convergence::{default_window, measure_convergence};
+use analysis::scenario::{
+    ConfigSpec, DaemonSpec, ProtocolSpec, ScenarioSpec, WorkloadSpec,
+};
 use analysis::{ExperimentRow, Summary};
 use klex_core::{ss, KlConfig, Message};
 use topology::Topology;
 use treenet::Event;
-use workloads::all_uniform;
 
 /// How the counter-flushing domain is sized in one E14 variant.
 #[derive(Clone, Copy, Debug)]
@@ -33,11 +35,11 @@ impl Domain {
         }
     }
 
-    fn config(self, k: usize, l: usize, n: usize, garbage_per_channel: usize) -> KlConfig {
+    fn config(self, k: usize, l: usize, garbage_per_channel: usize) -> ConfigSpec {
         match self {
-            Domain::BoundedHonest => KlConfig::new(k, l, n).with_cmax(garbage_per_channel),
-            Domain::BoundedViolated => KlConfig::new(k, l, n).with_cmax(0),
-            Domain::Unbounded => KlConfig::new(k, l, n).with_cmax(0).with_unbounded_counter(true),
+            Domain::BoundedHonest => ConfigSpec::new(k, l).with_cmax(garbage_per_channel),
+            Domain::BoundedViolated => ConfigSpec::new(k, l).with_cmax(0),
+            Domain::Unbounded => ConfigSpec::new(k, l).with_cmax(0).with_unbounded_counter(true),
         }
     }
 }
@@ -90,14 +92,33 @@ pub fn e14_unbounded_counter(scale: Scale) -> ExperimentReport {
                 let mut resets = Vec::new();
                 let mut converged = 0u64;
                 for seed in 0..scale.trials {
-                    let cfg = domain.config(k, l, n, garbage_per_channel);
+                    // The regime of this trial as a declarative scenario; the adversarial
+                    // garbage flood below is experiment-specific and stays hand-driven.
+                    let topology = shape.to_spec(n, seed);
+                    let scenario = ScenarioSpec::builder(format!(
+                        "e14 {} n={n} {} seed={seed}",
+                        shape.label(),
+                        domain.label()
+                    ))
+                    .topology(topology)
+                    .protocol(ProtocolSpec::Ss)
+                    .config(domain.config(k, l, garbage_per_channel))
+                    .workload(WorkloadSpec::Uniform {
+                        seed,
+                        p_request: 0.01,
+                        max_units: k,
+                        max_hold: 20,
+                    })
+                    .daemon(DaemonSpec::RandomFair { seed: 1_400 + seed })
+                    .build()
+                    .expect("the E14 scenario validates");
+                    let cfg = scenario.spec().config.to_kl(n);
                     // The stamps of the forged controllers are drawn from the domain a
                     // *violated* bounded configuration would use, which is the aliasing
                     // worst case for that configuration.
                     let bounded_modulus = KlConfig::new(k, l, n).with_cmax(0).counter_modulus(n);
-                    let tree = shape.build(n, seed);
-                    let mut sched = scheduler(1_400 + seed);
-                    let mut net = ss::network(tree, cfg, all_uniform(seed, 0.01, k, 20));
+                    let mut sched = scenario.make_daemon();
+                    let mut net = scenario.build_ss().expect("E14 runs the full protocol");
                     let boot = measure_convergence(
                         &mut net,
                         &mut sched,

@@ -70,6 +70,18 @@ impl TreeShape {
             TreeShape::Random => "random",
         }
     }
+
+    /// The declarative topology spec of this shape (`seed` only matters for
+    /// [`TreeShape::Random`]; harness runs additionally offset it by the trial index).
+    pub fn to_spec(self, n: usize, seed: u64) -> analysis::scenario::TopologySpec {
+        use analysis::scenario::TopologySpec;
+        match self {
+            TreeShape::Chain => TopologySpec::Chain { n },
+            TreeShape::Star => TopologySpec::Star { n },
+            TreeShape::Binary => TopologySpec::Binary { n },
+            TreeShape::Random => TopologySpec::Random { n, seed },
+        }
+    }
 }
 
 /// Builds a self-stabilizing network and runs it until it has been legitimate for a full

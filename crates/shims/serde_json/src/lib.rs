@@ -35,8 +35,11 @@ pub enum Value {
     Null,
     /// A boolean.
     Bool(bool),
-    /// Any number (stored as `f64`, which covers every value the workspace emits).
+    /// A non-integer (or out-of-range) number, stored as `f64`.
     Number(f64),
+    /// An integer literal, stored exactly (`i128` covers the full `u64` and `i64` ranges, so
+    /// 64-bit seeds round-trip without the 2⁵³ precision loss of `f64`).
+    Integer(i128),
     /// A string.
     String(String),
     /// An array.
@@ -56,10 +59,35 @@ impl Value {
         }
     }
 
-    /// The numeric content, when this is a number.
+    /// The numeric content, when this is a number (lossy for integers beyond 2⁵³).
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Value::Number(n) => Some(*n),
+            Value::Integer(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The exact unsigned-integer content, when this is an in-range integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Integer(i) => u64::try_from(*i).ok(),
+            Value::Number(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= (1u64 << 53) as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The exact signed-integer content, when this is an in-range integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Integer(i) => i64::try_from(*i).ok(),
+            Value::Number(n)
+                if n.fract() == 0.0 && n.abs() <= (1u64 << 53) as f64 =>
+            {
+                Some(*n as i64)
+            }
             _ => None,
         }
     }
@@ -128,7 +156,11 @@ macro_rules! impl_value_int_eq {
     ($($t:ty),*) => {$(
         impl PartialEq<$t> for Value {
             fn eq(&self, other: &$t) -> bool {
-                self.as_f64() == Some(*other as f64)
+                match self {
+                    Value::Integer(i) => *i == *other as i128,
+                    Value::Number(n) => *n == *other as f64,
+                    _ => false,
+                }
             }
         }
     )*};
@@ -286,6 +318,12 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
     }
     let text = std::str::from_utf8(&bytes[start..*pos])
         .map_err(|_| Error("invalid number".into()))?;
+    // Integer literals are kept exact (f64 would corrupt 64-bit values beyond 2^53).
+    if !text.contains(['.', 'e', 'E']) {
+        if let Ok(i) = text.parse::<i128>() {
+            return Ok(Value::Integer(i));
+        }
+    }
     text.parse::<f64>()
         .map(Value::Number)
         .map_err(|_| Error(format!("invalid number `{text}`")))
@@ -327,5 +365,22 @@ mod tests {
     fn parses_strings_with_escapes() {
         let v = from_str(r#""a\"bA\n""#).unwrap();
         assert_eq!(v, "a\"bA\n");
+    }
+
+    #[test]
+    fn integers_beyond_f64_precision_round_trip_exactly() {
+        // 2^63 + 1 is not representable in f64; the Integer variant keeps it exact.
+        let big: u64 = (1 << 63) + 1;
+        let v = from_str(&to_string(&big).unwrap()).unwrap();
+        assert_eq!(v.as_u64(), Some(big));
+        assert_eq!(v, big);
+        // Negative integers and plain floats keep working.
+        assert_eq!(from_str("-42").unwrap().as_i64(), Some(-42));
+        assert_eq!(from_str("-42").unwrap().as_f64(), Some(-42.0));
+        assert_eq!(from_str("2.5").unwrap().as_f64(), Some(2.5));
+        assert_eq!(from_str("3").unwrap().as_f64(), Some(3.0));
+        // Exponent literals parse as floats but still convert when integral and in range.
+        assert_eq!(from_str("1e3").unwrap().as_u64(), Some(1000));
+        assert_eq!(from_str("2.5").unwrap().as_u64(), None);
     }
 }

@@ -357,7 +357,7 @@ pub fn run_until<P: Process, T: Topology, S: EventScheduler>(
             return RunOutcome::Satisfied(net.now());
         }
     }
-    RunOutcome::Exhausted
+    RunOutcome::Exhausted(net.now())
 }
 
 #[cfg(test)]

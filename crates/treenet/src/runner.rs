@@ -17,24 +17,39 @@ use topology::Topology;
 pub enum RunOutcome {
     /// The stop predicate became true at the reported logical time.
     Satisfied(u64),
-    /// The step budget was exhausted before the predicate held.
-    Exhausted,
+    /// The step budget was exhausted before the predicate held; carries the logical time at
+    /// which the budget ran out, so callers can report *when* they gave up.
+    Exhausted(u64),
     /// The network became quiescent (no message in flight) at the reported logical time.
     Quiescent(u64),
 }
 
 impl RunOutcome {
-    /// The logical time at which the run stopped, if it stopped for a definite reason.
+    /// The logical time at which the run stopped for a definite reason (the predicate held or
+    /// the network went quiescent); `None` when the budget merely ran out.
     pub fn time(&self) -> Option<u64> {
         match self {
             RunOutcome::Satisfied(t) | RunOutcome::Quiescent(t) => Some(*t),
-            RunOutcome::Exhausted => None,
+            RunOutcome::Exhausted(_) => None,
+        }
+    }
+
+    /// The logical time at which the run stopped, for *any* reason — including budget
+    /// exhaustion.
+    pub fn at(&self) -> u64 {
+        match self {
+            RunOutcome::Satisfied(t) | RunOutcome::Quiescent(t) | RunOutcome::Exhausted(t) => *t,
         }
     }
 
     /// True when the predicate was satisfied.
     pub fn is_satisfied(&self) -> bool {
         matches!(self, RunOutcome::Satisfied(_))
+    }
+
+    /// True when the step budget ran out before the run stopped for a definite reason.
+    pub fn is_exhausted(&self) -> bool {
+        matches!(self, RunOutcome::Exhausted(_))
     }
 }
 
@@ -66,7 +81,7 @@ pub fn run_until<P: Process, T: Topology>(
             return RunOutcome::Satisfied(net.now());
         }
     }
-    RunOutcome::Exhausted
+    RunOutcome::Exhausted(net.now())
 }
 
 /// Runs until no message is in flight for a full sweep of `grace` consecutive activations
@@ -97,7 +112,7 @@ pub fn run_until_quiescent<P: Process, T: Topology>(
     if net.in_flight() == 0 {
         RunOutcome::Quiescent(net.now())
     } else {
-        RunOutcome::Exhausted
+        RunOutcome::Exhausted(net.now())
     }
 }
 
@@ -174,8 +189,10 @@ mod tests {
         let mut n = net();
         let mut s = RoundRobin::new();
         let out = run_until(&mut n, &mut s, 50, |net| net.node(4).seen >= 100);
-        assert_eq!(out, RunOutcome::Exhausted);
+        assert_eq!(out, RunOutcome::Exhausted(50));
         assert_eq!(out.time(), None);
+        assert_eq!(out.at(), 50);
+        assert!(out.is_exhausted());
     }
 
     #[test]

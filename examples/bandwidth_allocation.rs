@@ -11,60 +11,63 @@
 //!
 //! A backbone link offers 8 bandwidth units.  Audio calls need 1 unit, standard video needs
 //! 2, high-definition video needs 4.  Nodes of a binary distribution tree issue a mix of
-//! these requests; an adversarial scheduler slows down the deepest node to show that even the
-//! disadvantaged requester keeps being served (fairness), and the waiting times are compared
-//! with the Theorem-2 bound.
+//! these requests.  The whole regime is one [`ScenarioSpec`]: the heterogeneous traffic mix
+//! is a [`WorkloadSpec::Needs`] table, stabilization runs under a fair daemon (the warmup
+//! override), and the measurement phase runs under the bounded-unfairness adversary that
+//! starves the deepest node — which the spec selects declaratively with an empty victim
+//! list.  Even the disadvantaged requester keeps being served (fairness), and waiting times
+//! are compared with the Theorem-2 bound.
 
 use kl_exclusion::prelude::*;
 
 fn main() {
-    let tree = topology::builders::binary(15);
-    let n = tree.len();
-    let cfg = KlConfig::new(4, 8, n); // k = 4 (HD video), l = 8 units of bandwidth
+    let n = 15usize;
+    // Traffic mix per node id: HD video (4 units) on nodes divisible by 5, standard video
+    // (2) on even nodes, audio (1) elsewhere; every stream stays open for 20 activations.
+    let needs: Vec<usize> =
+        (0..n).map(|id| if id % 5 == 0 { 4 } else if id % 2 == 0 { 2 } else { 1 }).collect();
 
-    // Traffic mix per node id: HD video on nodes divisible by 5, video on even nodes, audio
-    // elsewhere.  Every node keeps a stream open for 20 activations, then asks again.
-    let mut net = protocol::ss::network(tree, cfg, |id| {
-        let units = if id % 5 == 0 {
-            4
-        } else if id % 2 == 0 {
-            2
-        } else {
-            1
-        };
-        Box::new(workloads::Saturated { units, hold: 20 }) as Box<dyn AppDriver + Send>
-    });
+    let scenario = Scenario::builder("bandwidth allocation")
+        .topology(TopologySpec::Binary { n })
+        .protocol(ProtocolSpec::Ss)
+        .kl(4, 8) // k = 4 (HD video), ℓ = 8 units of bandwidth
+        .workload(WorkloadSpec::Needs { needs: needs.clone(), hold: 20 })
+        // Measurement runs under the adversary; an empty victim list targets the deepest
+        // node of the tree.
+        .daemon(DaemonSpec::Adversarial { victims: vec![], patience: 6 })
+        // Stabilization happens under a fair daemon — the adversary alone cannot bootstrap
+        // the token population quickly.
+        .warmup_spec(WarmupSpec {
+            max_steps: 3_000_000,
+            window: Some(2_000),
+            daemon: Some(DaemonSpec::RandomFair { seed: 99 }),
+        })
+        .stop(StopSpec::Steps { steps: 400_000 })
+        .metrics(&["cs_entries", "jain_index", "waiting_max", "waiting_mean"])
+        .build()
+        .expect("the bandwidth scenario validates");
 
-    // Bootstrap under a fair scheduler.
-    let mut fair = RandomFair::new(99);
-    let boot = measure_convergence(&mut net, &mut fair, &cfg, 3_000_000, 2_000);
-    assert!(boot.converged());
-    net.trace_mut().clear();
-    net.metrics_mut().reset();
+    let outcome = scenario.run();
+    assert!(outcome.warmup_activations.is_some(), "the protocol must bootstrap");
 
-    // Measurement phase under an adversarial scheduler that starves the deepest node.
-    let victim = (0..n).max_by_key(|&v| {
-        // depth of v
-        net.topology().depth(v)
-    }).unwrap();
-    let mut adversary = Adversarial::new(vec![victim], 6);
-    run_for(&mut net, &mut adversary, 400_000);
-
-    let fairness = FairnessReport::from_trace(net.trace(), n);
-    let waits = waiting_times(net.trace());
-    let worst = waits.iter().map(|w| w.cs_entries_waited).max().unwrap_or(0);
+    let fairness = FairnessReport::from_trace(&outcome.trace, n);
+    let victim = analysis::scenario::deepest_node(&scenario.spec().topology.build(0));
+    let waits = waiting_times(&outcome.trace);
     let victim_waits: Vec<u64> = analysis::waiting::of_node(&waits, victim);
 
     println!("bandwidth pool: 8 units; requests of 1 (audio), 2 (video), 4 (HD video)");
     println!("streams admitted per node: {:?}", fairness.entries_per_node);
-    println!("victim node {victim} admitted {} streams", fairness.entries_per_node[victim]);
+    println!(
+        "victim node {victim} (starved by the adversary, needs {} units) admitted {} streams",
+        needs[victim], fairness.entries_per_node[victim]
+    );
     println!(
         "victim worst waiting time: {} CS entries (bound: {})",
         victim_waits.iter().max().copied().unwrap_or(0),
-        topology::euler::theorem2_waiting_bound(cfg.l, n)
+        topology::euler::theorem2_waiting_bound(scenario.spec().config.l, n)
     );
-    println!("system-wide worst waiting time: {worst}");
-    println!("Jain fairness index: {:.3}", fairness.jain_index);
+    println!("system-wide worst waiting time: {}", outcome.metric("waiting_max").unwrap());
+    println!("Jain fairness index: {:.3}", outcome.metric("jain_index").unwrap());
     assert!(
         fairness.entries_per_node[victim] > 0,
         "even the adversarially-delayed node must be served"

@@ -14,6 +14,12 @@
 //! mesh; the k-out-of-ℓ exclusion protocol stabilizes on the constructed tree; and finally the
 //! spanning-tree layer is hit by a transient fault (all distance estimates corrupted) to show
 //! that it re-converges to the same tree.
+//!
+//! This is the one example that drives the simulator *below* the declarative scenario API:
+//! the composition layers two protocols in one network, which a single-protocol
+//! [`kl_exclusion::prelude::ScenarioSpec`] does not describe.  The offline-extraction
+//! variant of the same composition **is** declarative — `TopologySpec::SpanningTree` — and
+//! the `general_network` example runs it end-to-end through `Scenario::run`.
 
 use kl_exclusion::prelude::*;
 

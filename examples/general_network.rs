@@ -12,13 +12,18 @@
 //!
 //! A random connected graph (a mesh with redundant links) is reduced to a BFS spanning tree
 //! rooted at the distinguished process; the k-out-of-ℓ exclusion protocol then runs on that
-//! tree.  Links outside the spanning tree simply carry no protocol traffic.
+//! tree.  Links outside the spanning tree simply carry no protocol traffic.  The whole
+//! composition is one declarative scenario: [`TopologySpec::SpanningTree`] builds the mesh
+//! and extracts the BFS tree, and the rest of the spec describes the exclusion regime on
+//! top of it.
 
 use kl_exclusion::prelude::*;
 use topology::{RootedGraph, SpanningTreeMethod};
 
 fn main() {
-    // A 24-node mesh: a random connected graph with 12 extra redundant links.
+    // A 24-node mesh: a random connected graph with 12 extra redundant links.  (Rebuilt here
+    // only to print its shape and the graph→tree id mapping — the scenario below constructs
+    // the identical tree from the same parameters.)
     let graph = RootedGraph::random_connected(24, 12, 42);
     println!(
         "mesh: {} nodes, {} links ({} redundant beyond a spanning tree)",
@@ -26,9 +31,6 @@ fn main() {
         graph.edge_count(),
         graph.edge_count() - (graph.len() - 1)
     );
-
-    // Extract the spanning tree (BFS keeps the tree shallow, which keeps the virtual ring
-    // short and the waiting-time bound small).
     let (tree, mapping) = graph.spanning_tree(SpanningTreeMethod::Bfs);
     println!(
         "BFS spanning tree: height {}, virtual ring length {}",
@@ -36,20 +38,27 @@ fn main() {
         VirtualRing::of(&tree).len()
     );
 
-    // Run 2-out-of-4 exclusion over the spanning tree.
-    let n = tree.len();
-    let cfg = KlConfig::new(2, 4, n);
-    let mut net = protocol::ss::network(tree, cfg, workloads::all_uniform(3, 0.015, 2, 12));
-    let mut sched = RandomFair::new(7);
+    // Run 2-out-of-4 exclusion over the spanning tree of that mesh — the topology spec *is*
+    // the offline composition of the paper's conclusion.
+    let n = graph.len();
+    let scenario = Scenario::builder("general network")
+        .topology(TopologySpec::SpanningTree { n, extra_edges: 12, seed: 42 })
+        .protocol(ProtocolSpec::Ss)
+        .kl(2, 4)
+        .workload(WorkloadSpec::Uniform { seed: 3, p_request: 0.015, max_units: 2, max_hold: 12 })
+        .daemon(DaemonSpec::RandomFair { seed: 7 })
+        .warmup_spec(WarmupSpec { max_steps: 4_000_000, window: Some(2_000), daemon: None })
+        .stop(StopSpec::Steps { steps: 300_000 })
+        .metrics(&["cs_entries", "jain_index", "resource_tokens", "census_matches"])
+        .build()
+        .expect("the composed scenario validates");
 
-    let boot = measure_convergence(&mut net, &mut sched, &cfg, 4_000_000, 2_000);
-    assert!(boot.converged(), "the composed system must stabilize");
-    net.trace_mut().clear();
-    run_for(&mut net, &mut sched, 300_000);
+    let outcome = scenario.run();
+    assert!(outcome.warmup_activations.is_some(), "the composed system must stabilize");
 
-    let fairness = FairnessReport::from_trace(net.trace(), n);
+    let fairness = FairnessReport::from_trace(&outcome.trace, n);
     println!("critical sections per (tree-id) node: {:?}", fairness.entries_per_node);
-    println!("Jain fairness index: {:.3}", fairness.jain_index);
+    println!("Jain fairness index: {:.3}", outcome.metric("jain_index").unwrap());
 
     // Translate a few statistics back to the original graph ids for the operator.
     let graph_root = graph.root();
@@ -59,5 +68,6 @@ fn main() {
         mapping[graph_root],
         fairness.entries_per_node[mapping[graph_root]]
     );
-    assert!(count_tokens(&net).matches(cfg.l));
+    assert_eq!(outcome.metric("resource_tokens"), Some(4.0), "census must match l = 4");
+    assert_eq!(outcome.metric("census_matches"), Some(1.0), "exactly (ℓ, 1, 1) tokens");
 }

@@ -10,43 +10,49 @@
 //!
 //! A small campus network is organised as a tree (routers with hosts hanging off them).  A
 //! pool of 6 addresses is shared; a host may lease up to 2 addresses at a time (e.g. one per
-//! interface).  Hosts issue leases at random times and keep them for random durations.  The
-//! example prints per-host service statistics and verifies the safety property (no address
-//! double-booked, pool never over-committed) throughout the run.
+//! interface).  The regime is one declarative [`ScenarioSpec`]: the
+//! [`WorkloadSpec::LeafUniform`] workload makes exactly the *hosts* (leaf nodes) issue
+//! leases at random times while the routers only forward.  The example replays the compiled
+//! scenario by hand so a [`SafetyMonitor`] can verify the safety property continuously (no
+//! address double-booked, pool never over-committed) while lease traffic runs.
 
 use kl_exclusion::prelude::*;
 
 fn main() {
-    // A two-level "campus" tree: a core router (root), 3 distribution routers, 8 hosts.
-    let tree = topology::builders::caterpillar(4, 2); // 4 spine routers, 2 hosts each = 12 nodes
-    let n = tree.len();
     let pool_size = 6; // ℓ: addresses in the pool
     let max_lease = 2; // k: addresses a single host may hold
-    let cfg = KlConfig::new(max_lease, pool_size, n);
 
-    // Hosts (leaf nodes) request leases at random; routers never do.
-    let leaves: Vec<bool> = (0..n).map(|v| tree.is_leaf(v)).collect();
-    let mut net = protocol::ss::network(tree, cfg, move |id| {
-        if leaves[id] {
-            Box::new(workloads::UniformRandom::new(7_000 + id as u64, 0.01, max_lease, 60))
-                as Box<dyn AppDriver + Send>
-        } else {
-            Box::new(workloads::Heterogeneous { units: 0, hold: 1 })
-                as Box<dyn AppDriver + Send>
-        }
-    });
-    let mut sched = RandomFair::new(31);
+    // A two-level "campus" tree: 4 spine routers with 2 hosts each = 12 nodes.
+    let scenario = Scenario::builder("ip address pool")
+        .topology(TopologySpec::Caterpillar { spine: 4, legs: 2 })
+        .protocol(ProtocolSpec::Ss)
+        .kl(max_lease, pool_size)
+        .workload(WorkloadSpec::LeafUniform {
+            seed: 7_000,
+            p_request: 0.01,
+            max_units: max_lease,
+            max_hold: 60,
+        })
+        .daemon(DaemonSpec::RandomFair { seed: 31 })
+        .build()
+        .expect("the address-pool scenario validates");
+
+    let cfg = scenario.spec().config.to_kl(scenario.spec().topology.len());
+    let mut net = scenario.build_ss().expect("ss scenario");
+    let mut sched = scenario.make_daemon();
+    let n = net.len();
 
     // Bootstrap the pool.
     let boot = measure_convergence(&mut net, &mut sched, &cfg, 3_000_000, 2_000);
     assert!(boot.converged(), "the address pool must come up");
     net.trace_mut().clear();
 
-    // Lease traffic with continuous safety checking.
+    // Lease traffic with continuous safety checking (the reason this example drives the
+    // compiled network by hand instead of calling `scenario.run()`).
     let mut monitor = SafetyMonitor::new(cfg).with_conservation();
     for _ in 0..400_000u64 {
         net.step(&mut sched);
-        if net.now() % 64 == 0 {
+        if net.now().is_multiple_of(64) {
             monitor.check(&net);
         }
     }
@@ -58,6 +64,14 @@ fn main() {
     println!("requests issued per node: {:?}", fairness.requests_per_node);
     println!("starved hosts: {:?}", fairness.starved);
     println!("safety checks performed: {} (all clean)", monitor.checks());
+
+    // Routers (interior nodes) never lease: the LeafUniform workload keeps them passive.
+    let tree = scenario.spec().topology.build(0);
+    for v in 0..n {
+        if !tree.is_leaf(v) {
+            assert_eq!(fairness.requests_per_node[v], 0, "router {v} must not lease");
+        }
+    }
 
     let waits = waiting_times(net.trace());
     if !waits.is_empty() {

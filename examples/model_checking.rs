@@ -10,11 +10,14 @@
 //! The simulation experiments sample executions; this example instead *enumerates* every
 //! reachable configuration of small instances under every possible scheduling and checks:
 //!
-//! 1. the naive ℓ-token circulation reaches a Figure-2-style deadlock;
+//! 1. the naive ℓ-token circulation reaches a Figure-2-style deadlock — expressed as a
+//!    declarative scenario and lowered into the checker by the unified scenario API;
 //! 2. the pusher-only protocol has a reachable starvation cycle on the exact Figure-3
-//!    instance (the paper's livelock), and the priority token removes it;
+//!    instance (the paper's livelock), and the priority token removes it (the cycle search
+//!    needs the recorded state graph, so this part drives the explorer directly);
 //! 3. the self-stabilizing protocol satisfies *closure*: from a legitimate configuration,
-//!    every reachable configuration is again legitimate and safe.
+//!    every reachable configuration is again legitimate and safe (the legitimate starting
+//!    configuration comes from a stabilization run, so this part too drives the explorer).
 
 use kl_exclusion::prelude::*;
 
@@ -23,14 +26,18 @@ use checker::{cycles, drivers, properties, scenarios, Explorer, Limits};
 fn main() {
     // ---------------------------------------------------------------- 1. Figure-2 deadlock
     // Minimal instance of the Figure-2 phenomenon: two requesters that each need both of the
-    // ℓ = 2 tokens.  Exploration covers every interleaving from the clean initial state.
-    let tree = topology::builders::chain(3);
-    let cfg = KlConfig::new(2, 2, 3);
-    let needs = [0usize, 2, 2];
-    let mut naive = protocol::naive::network(tree, cfg, drivers::from_needs(&needs));
-    let report = Explorer::new(&mut naive)
-        .with_limits(Limits { max_configurations: 500_000, max_depth: usize::MAX })
-        .run();
+    // ℓ = 2 tokens.  The regime is a declarative scenario; `check()` lowers it into the
+    // explorer (stateless drivers, every interleaving from the clean initial state).
+    let report = Scenario::builder("naive deadlock, minimal instance")
+        .topology(TopologySpec::Chain { n: 3 })
+        .protocol(ProtocolSpec::Naive)
+        .kl(2, 2)
+        .workload(WorkloadSpec::Needs { needs: vec![0, 2, 2], hold: 0 })
+        .check(CheckSpec { max_configurations: 500_000, max_depth: 0, properties: vec![] })
+        .build()
+        .expect("the checking scenario validates")
+        .check()
+        .expect("the naive rung lowers into the checker");
     println!("naive protocol, 3-node chain, l=2, needs 2+2:");
     println!(
         "  {} configurations explored exhaustively ({} transitions)",

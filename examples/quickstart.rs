@@ -7,56 +7,66 @@
 //! **Paper scenario:** Algorithms 1 & 2 on the Figure-1 tree (Sections 3-4) under the
 //! saturated workload of the waiting-time analysis.
 //!
-//! Every process repeatedly requests 2 of the 5 resource units.  The example shows the three
-//! phases a user of the library sees: bootstrap (the controller creates the tokens),
-//! steady-state service, and the measurements that can be extracted from the trace.
+//! The whole regime is one declarative [`ScenarioSpec`]: topology, protocol, (k, ℓ),
+//! workload, daemon, warmup and stop condition.  The compiled scenario bootstraps the
+//! protocol (the controller creates the tokens), runs a steady-state measurement window, and
+//! hands back the selected metrics plus the raw trace for anything bespoke.  The identical
+//! spec also drives the sharded multi-trial harness and — for small instances — the
+//! exhaustive checker, and is what `klex run quickstart` executes.
 
 use kl_exclusion::prelude::*;
 
 fn main() {
-    // 1. Topology: the 8-process oriented tree of the paper's Figure 1.
-    let tree = topology::builders::figure1_tree();
-    let n = tree.len();
+    // 1. The regime, declaratively: the 8-process Figure-1 tree, any process may ask for up
+    //    to k = 3 of the ℓ = 5 units, every process keeps requesting 2 units and holds them
+    //    for 10 activations, under a seeded asynchronous-but-fair daemon.  Stabilize first
+    //    (warmup), then measure 200k activations.
+    let scenario = Scenario::builder("quickstart")
+        .topology(TopologySpec::Figure1)
+        .protocol(ProtocolSpec::Ss)
+        .kl(3, 5)
+        .workload(WorkloadSpec::Saturated { units: 2, hold: 10 })
+        .daemon(DaemonSpec::RandomFair { seed: 2024 })
+        .warmup_spec(WarmupSpec { max_steps: 2_000_000, window: Some(2_000), daemon: None })
+        .stop(StopSpec::Steps { steps: 200_000 })
+        .metrics(&[
+            "cs_entries",
+            "messages_sent",
+            "jain_index",
+            "waiting_max",
+            "resource_tokens",
+        ])
+        .build()
+        .expect("the quickstart scenario validates");
 
-    // 2. Protocol parameters: any process may ask for up to k = 3 of the l = 5 units.
-    let cfg = KlConfig::new(3, 5, n);
-
-    // 3. Application workload: every process keeps requesting 2 units and holds them for 10
-    //    activations per critical section.
-    let mut net = protocol::ss::network(tree, cfg, workloads::all_saturated(2, 10));
-
-    // 4. An asynchronous-but-fair scheduler (seeded, so the run is reproducible).
-    let mut sched = RandomFair::new(2024);
-
-    // 5. Let the protocol bootstrap: from the empty configuration the root's controller
-    //    detects the token deficit and creates exactly l resource tokens, one pusher and one
-    //    priority token.
-    let converged = measure_convergence(&mut net, &mut sched, &cfg, 2_000_000, 2_000);
-    println!("bootstrap: {:?}", converged);
-    let census = count_tokens(&net);
+    // 2. Run it.  (The same spec value also feeds `run_harness` and `check`.)
+    let outcome = scenario.run();
     println!(
-        "token census after bootstrap: {} resource, {} pusher, {} priority",
-        census.resource, census.pusher, census.priority
+        "bootstrap: stabilized after {} activations",
+        outcome.warmup_activations.expect("the protocol must bootstrap")
+    );
+    println!(
+        "token census after bootstrap/measurement: {} resource tokens (ℓ = 5)",
+        outcome.metric("resource_tokens").unwrap()
     );
 
-    // 6. Measure a steady-state window.
-    net.trace_mut().clear();
-    net.metrics_mut().reset();
-    run_for(&mut net, &mut sched, 200_000);
-
-    let entries = net.trace().cs_entries(None);
-    let messages = net.metrics().messages_sent;
-    let fairness = FairnessReport::from_trace(net.trace(), n);
-    let waits = waiting_times(net.trace());
-    let worst_wait = waits.iter().map(|w| w.cs_entries_waited).max().unwrap_or(0);
-
+    // 3. The selected metrics of the measurement window.
+    let entries = outcome.metric("cs_entries").unwrap();
+    let messages = outcome.metric("messages_sent").unwrap();
     println!("critical sections entered in 200k activations: {entries}");
-    println!("messages per critical section: {:.1}", messages as f64 / entries.max(1) as f64);
-    println!("critical sections per process: {:?}", fairness.entries_per_node);
-    println!("Jain fairness index: {:.3}", fairness.jain_index);
+    println!("messages per critical section: {:.1}", messages / entries.max(1.0));
+    println!("Jain fairness index: {:.3}", outcome.metric("jain_index").unwrap());
     println!(
-        "worst observed waiting time: {worst_wait} CS entries (Theorem 2 bound: {})",
-        topology::euler::theorem2_waiting_bound(cfg.l, n)
+        "worst observed waiting time: {} CS entries (Theorem 2 bound: {})",
+        outcome.metric("waiting_max").unwrap(),
+        topology::euler::theorem2_waiting_bound(
+            scenario.spec().config.l,
+            scenario.spec().topology.len()
+        )
     );
+
+    // 4. The raw trace is still there for anything the metric set does not cover.
+    let fairness = FairnessReport::from_trace(&outcome.trace, 8);
+    println!("critical sections per process: {:?}", fairness.entries_per_node);
     assert!(fairness.starvation_free(), "no requester may starve once stabilized");
 }

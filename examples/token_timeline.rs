@@ -12,7 +12,7 @@
 //!
 //! * the virtual ring of the Figure-1 tree (the path every token follows);
 //! * an activity "Gantt" of the steady state — `·` idle, `r` waiting, `#` in the critical
-//!   section;
+//!   section — rendered straight from the trace of a declarative scenario run;
 //! * census sparklines around a transient fault that duplicates resource tokens and forges a
 //!   priority token: the counts deviate from (ℓ, 1, 1) and return once the controller has
 //!   repaired the population.
@@ -25,27 +25,41 @@ use protocol::Message;
 fn main() {
     let tree = topology::builders::figure1_tree();
     let n = tree.len();
-    let cfg = KlConfig::new(2, 4, n);
 
     println!("virtual ring of the Figure-1 tree (node ids):");
     println!("  {}\n", render_virtual_ring(&tree));
 
-    // Heterogeneous workload: some big requesters, some small, two passive processes.
-    let needs = [1usize, 2, 1, 0, 2, 1, 0, 1];
-    let mut net = protocol::ss::network(tree, cfg, workloads::from_needs(&needs, 25));
-    let mut sched = RandomFair::new(31);
+    // Heterogeneous workload: some big requesters, some small, two passive processes —
+    // declaratively, as a per-node needs table.  Stabilize (warmup), then record a 60k
+    // steady-state window.
+    let scenario = Scenario::builder("token timeline")
+        .topology(TopologySpec::Figure1)
+        .protocol(ProtocolSpec::Ss)
+        .kl(2, 4)
+        .workload(WorkloadSpec::Needs { needs: vec![1, 2, 1, 0, 2, 1, 0, 1], hold: 25 })
+        .daemon(DaemonSpec::RandomFair { seed: 31 })
+        .warmup_spec(WarmupSpec { max_steps: 2_000_000, window: Some(2_000), daemon: None })
+        .stop(StopSpec::Steps { steps: 60_000 })
+        .build()
+        .expect("the timeline scenario validates");
 
-    // Bootstrap, then record a steady-state window.
-    let outcome = measure_convergence(&mut net, &mut sched, &cfg, 2_000_000, 2_000);
-    assert!(outcome.converged(), "bootstrap must converge");
-    net.trace_mut().clear();
-    let window_start = net.now();
-    run_for(&mut net, &mut sched, 60_000);
+    let outcome = scenario.run();
+    assert!(outcome.warmup_activations.is_some(), "bootstrap must converge");
     println!("steady state ({} activations, one lane per process):", 60_000);
-    print!("{}", render_activity_gantt(net.trace(), n, window_start, net.now(), 72));
+    print!(
+        "{}",
+        render_activity_gantt(&outcome.trace, n, outcome.started_at, outcome.ended_at, 72)
+    );
     println!("  legend: · idle   r waiting   # in critical section\n");
 
-    // Inject a fault mid-run: duplicate two resource tokens and forge a priority token.
+    // Act 2: replay the same spec by hand and inject a fault mid-run — the census recorder
+    // needs to observe the live network while it recovers.
+    let cfg = scenario.spec().config.to_kl(n);
+    let mut net = scenario.build_ss().expect("ss scenario");
+    let mut sched = scenario.make_daemon();
+    let boot = measure_convergence(&mut net, &mut sched, &cfg, 2_000_000, 2_000);
+    assert!(boot.converged());
+
     let mut recorder = CensusRecorder::new();
     net.inject_into(1, 0, Message::ResT);
     net.inject_into(4, 0, Message::ResT);

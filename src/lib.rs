@@ -20,19 +20,32 @@
 //!
 //! # Quickstart
 //!
+//! One declarative [`ScenarioSpec`](analysis::scenario::ScenarioSpec) describes the whole
+//! regime — topology, protocol rung, (k, ℓ), workload, daemon, stop condition — and drives
+//! the simulator, the sharded trial harness, and the bounded-exhaustive checker:
+//!
 //! ```
 //! use kl_exclusion::prelude::*;
 //!
 //! // 3-out-of-5 exclusion on the paper's Figure-1 tree, every process requesting.
-//! let tree = topology::builders::figure1_tree();
-//! let cfg = KlConfig::new(3, 5, tree.len());
-//! let mut net = protocol::ss::network(tree, cfg, workloads::all_saturated(2, 10));
-//! let mut sched = RandomFair::new(42);
+//! let scenario = Scenario::builder("quickstart")
+//!     .topology(TopologySpec::Figure1)
+//!     .kl(3, 5)
+//!     .workload(WorkloadSpec::Saturated { units: 2, hold: 10 })
+//!     .daemon(DaemonSpec::RandomFair { seed: 42 })
+//!     .stop(StopSpec::CsEntries { entries: 20, max_steps: 2_000_000 })
+//!     .build()
+//!     .expect("the scenario validates");
 //!
 //! // Run until the protocol has bootstrapped and serves requests.
-//! let outcome = run_until(&mut net, &mut sched, 2_000_000, |n| n.trace().cs_entries(None) >= 20);
-//! assert!(outcome.is_satisfied());
+//! let outcome = scenario.run();
+//! assert!(outcome.outcome.is_satisfied());
+//! assert!(outcome.metric("cs_entries").unwrap() >= 20.0);
 //! ```
+//!
+//! The same spec value feeds `scenario.run_harness(shards)` (N seeded trials, sharded across
+//! cores) and `scenario.check()` (exhaustive exploration of small instances), and the `klex`
+//! CLI runs any spec from JSON: `klex run figure2 --backend all`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,6 +62,11 @@ pub use workloads;
 /// The most common imports, bundled for examples and downstream users.
 pub mod prelude {
     pub use crate::{analysis, baselines, checker, protocol, stree, topology, treenet, workloads};
+    pub use analysis::scenario::{
+        preset, CheckSpec, CompiledScenario, ConfigSpec, DaemonSpec, FaultPlanSpec, InitSpec,
+        ProtocolSpec, Scenario, ScenarioError, ScenarioOutcome, ScenarioSpec, StopSpec,
+        TopologySpec, WarmupSpec, WorkloadSpec,
+    };
     pub use analysis::{
         measure_convergence, render_markdown_table, waiting_times, CensusRecorder, ExperimentRow,
         FairnessReport, Histogram, SafetyMonitor, Summary,
