@@ -135,24 +135,54 @@ where
     R: Send,
     F: Fn(u64, u64) -> R + Sync,
 {
+    run_sharded_with(trials, base_seed, shards, || (), |(), index, seed| run(index, seed))
+}
+
+/// [`run_sharded`] with **worker-local reusable state**: each worker thread calls `init`
+/// once and hands the resulting value mutably to every trial it executes.
+///
+/// This is the trial-reuse hook of the scenario harness: the worker state holds a simulated
+/// network (wrapped in `Option`, built on first use) that subsequent trials reset in place
+/// ([`treenet::Network::reset_trial`]) instead of rebuilding, eliminating the per-trial
+/// allocation of channels, enabled-set arrays, traces and metrics.  Because the state is
+/// per-*worker* while seeds stay per-*trial*, the reuse is invisible to results: the
+/// returned vector is still identical for every shard count, provided trials leave no
+/// behaviourally relevant residue in the state (exactly what `reset_trial` guarantees —
+/// asserted by the scenario-level reuse tests).
+pub fn run_sharded_with<W, R, Init, F>(
+    trials: u64,
+    base_seed: u64,
+    shards: usize,
+    init: Init,
+    run: F,
+) -> Vec<R>
+where
+    R: Send,
+    Init: Fn() -> W + Sync,
+    F: Fn(&mut W, u64, u64) -> R + Sync,
+{
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Mutex;
 
     let shards = shards.max(1).min(trials.max(1) as usize);
     if shards == 1 {
-        return (0..trials).map(|i| run(i, trial_seed(base_seed, i))).collect();
+        let mut worker = init();
+        return (0..trials).map(|i| run(&mut worker, i, trial_seed(base_seed, i))).collect();
     }
     let slots: Vec<Mutex<Option<R>>> = (0..trials).map(|_| Mutex::new(None)).collect();
     let next = AtomicU64::new(0);
     std::thread::scope(|scope| {
         for _ in 0..shards {
-            scope.spawn(|| loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                if index >= trials {
-                    break;
+            scope.spawn(|| {
+                let mut worker = init();
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= trials {
+                        break;
+                    }
+                    let result = run(&mut worker, index, trial_seed(base_seed, index));
+                    *slots[index as usize].lock().expect("unpoisoned") = Some(result);
                 }
-                let result = run(index, trial_seed(base_seed, index));
-                *slots[index as usize].lock().expect("unpoisoned") = Some(result);
             });
         }
     });
@@ -353,6 +383,21 @@ mod tests {
         for (i, (index, _)) in sequential.iter().enumerate() {
             assert_eq!(*index, i as u64);
         }
+    }
+
+    #[test]
+    fn worker_local_state_does_not_leak_into_results() {
+        // A worker state that counts the trials it served: results must depend only on the
+        // (index, seed) pair, never on the worker-local counter, for every shard count.
+        let trial = |state: &mut u64, index: u64, seed: u64| {
+            *state += 1; // reused across that worker's trials — must not affect the result
+            (index, seed ^ 0xABCD)
+        };
+        let sequential = run_sharded_with(23, 7, 1, || 0u64, trial);
+        for shards in [2, 5, 16] {
+            assert_eq!(run_sharded_with(23, 7, shards, || 0u64, trial), sequential);
+        }
+        assert_eq!(sequential, run_sharded(23, 7, 4, |i, s| (i, s ^ 0xABCD)));
     }
 
     #[test]

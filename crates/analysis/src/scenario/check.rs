@@ -23,7 +23,7 @@ use super::compile::{CompiledScenario, ScenarioNode};
 use super::spec::{ProtocolSpec, WorkloadSpec};
 use super::ScenarioError;
 use checker::snapshot::CheckableNode;
-use checker::{drivers, properties, ExplorationReport, Explorer, Limits};
+use checker::{drivers, properties, ExplorationReport, ExploreEngine, Explorer, Limits};
 use klex_core::{naive, nonstab, pusher, ss, KlConfig, Message};
 use topology::{OrientedTree, Topology};
 use treenet::app::BoxedDriver;
@@ -32,17 +32,28 @@ use treenet::{Network, NodeId};
 impl CompiledScenario {
     /// Exhaustively explores the scenario's reachable configuration space (bounded by the
     /// spec's [`super::spec::CheckSpec`]) and checks the selected properties on every
-    /// configuration.
+    /// configuration, using the default (delta) exploration engine.
     ///
     /// Returns an error when the scenario cannot be lowered soundly: the ring baseline has no
     /// snapshot support, and stateful workloads would break the explorer's state abstraction.
     pub fn check(&self) -> Result<ExplorationReport, ScenarioError> {
+        self.check_with(ExploreEngine::Delta)
+    }
+
+    /// [`CompiledScenario::check`] with an explicit engine choice — the hook the delta-parity
+    /// suite uses to run the same lowered instance through both sequential engines and
+    /// compare the reports.
+    pub fn check_with(&self, engine: ExploreEngine) -> Result<ExplorationReport, ScenarioError> {
         let spec = self.spec();
         match spec.protocol {
-            ProtocolSpec::Naive => self.check_net(self.lowered_net(|t, c, d| naive::network(t, c, d))?),
-            ProtocolSpec::Pusher => self.check_net(self.lowered_net(|t, c, d| pusher::network(t, c, d))?),
+            ProtocolSpec::Naive => {
+                self.check_net(self.lowered_net(|t, c, d| naive::network(t, c, d))?, engine)
+            }
+            ProtocolSpec::Pusher => {
+                self.check_net(self.lowered_net(|t, c, d| pusher::network(t, c, d))?, engine)
+            }
             ProtocolSpec::NonStab => {
-                self.check_net(self.lowered_net(|t, c, d| nonstab::network(t, c, d))?)
+                self.check_net(self.lowered_net(|t, c, d| nonstab::network(t, c, d))?, engine)
             }
             ProtocolSpec::Ss => {
                 let mut net = self.lowered_net(|t, c, d| {
@@ -57,7 +68,7 @@ impl CompiledScenario {
                     let root = 0;
                     net.inject_from(root, 0, Message::Ctrl { c: 0, r: false, pt: 0, ppr: 0 });
                 }
-                self.check_net(net)
+                self.check_net(net, engine)
             }
             ProtocolSpec::Ring => Err(ScenarioError::NotCheckable(
                 "the ring baseline has no checker snapshot support".to_string(),
@@ -88,6 +99,7 @@ impl CompiledScenario {
     fn check_net<P>(
         &self,
         mut net: Network<P, OrientedTree>,
+        engine: ExploreEngine,
     ) -> Result<ExplorationReport, ScenarioError>
     where
         P: CheckableNode,
@@ -108,7 +120,7 @@ impl CompiledScenario {
                 _ => unreachable!("property names are validated at compile time"),
             });
         }
-        Ok(explorer.run())
+        Ok(explorer.run_with(engine))
     }
 }
 

@@ -131,10 +131,14 @@ impl WorkloadSpec {
 }
 
 /// A protocol node the scenario layer can drive generically: every rung of the ladder plus
-/// the ring baseline.  Adds declarative-init support on top of the inspection interface.
+/// the ring baseline.  Adds declarative-init support and driver replacement (the multi-trial
+/// reuse hook) on top of the inspection interface.
 pub trait ScenarioNode: Process<Msg = Message> + KlInspect + treenet::Corruptible {
     /// Overwrites the request state (the paper's `State`, `Need`, `RSet`).
     fn set_request_state(&mut self, state: CsState, need: usize, rset: Vec<usize>);
+
+    /// Installs a fresh application driver (each reused trial gets its own seeded driver).
+    fn set_driver(&mut self, driver: BoxedDriver);
 
     /// Marks the root as already bootstrapped, where the rung supports it.
     fn mark_bootstrapped(&mut self) {}
@@ -145,6 +149,9 @@ impl ScenarioNode for naive::NaiveNode {
         self.app.state = state;
         self.app.need = need;
         self.app.rset = rset;
+    }
+    fn set_driver(&mut self, driver: BoxedDriver) {
+        self.app.set_driver(driver);
     }
     fn mark_bootstrapped(&mut self) {
         self.bootstrapped = true;
@@ -157,6 +164,9 @@ impl ScenarioNode for pusher::PusherNode {
         self.app.need = need;
         self.app.rset = rset;
     }
+    fn set_driver(&mut self, driver: BoxedDriver) {
+        self.app.set_driver(driver);
+    }
     fn mark_bootstrapped(&mut self) {
         self.bootstrapped = true;
     }
@@ -167,6 +177,9 @@ impl ScenarioNode for nonstab::NonStabNode {
         self.app.state = state;
         self.app.need = need;
         self.app.rset = rset;
+    }
+    fn set_driver(&mut self, driver: BoxedDriver) {
+        self.app.set_driver(driver);
     }
     fn mark_bootstrapped(&mut self) {
         self.bootstrapped = true;
@@ -179,6 +192,9 @@ impl ScenarioNode for ss::SsNode {
         self.app.need = need;
         self.app.rset = rset;
     }
+    fn set_driver(&mut self, driver: BoxedDriver) {
+        self.app.set_driver(driver);
+    }
 }
 
 impl ScenarioNode for baselines::ring::RingSsNode {
@@ -186,6 +202,9 @@ impl ScenarioNode for baselines::ring::RingSsNode {
         self.app.state = state;
         self.app.need = need;
         self.app.rset = rset;
+    }
+    fn set_driver(&mut self, driver: BoxedDriver) {
+        self.app.set_driver(driver);
     }
 }
 
@@ -286,29 +305,29 @@ impl CompiledScenario {
     pub fn run_trial(&self, index: u64, stream: u64) -> ScenarioOutcome {
         match self.spec.protocol {
             ProtocolSpec::Naive => {
-                let (net, victim) =
+                let (mut net, victim) =
                     self.build_tree_net(index, stream, |t, c, d| naive::network(t, c, d));
-                self.drive(net, victim, stream, klex_core::is_legitimate)
+                self.drive(&mut net, victim, stream, klex_core::is_legitimate)
             }
             ProtocolSpec::Pusher => {
-                let (net, victim) =
+                let (mut net, victim) =
                     self.build_tree_net(index, stream, |t, c, d| pusher::network(t, c, d));
-                self.drive(net, victim, stream, klex_core::is_legitimate)
+                self.drive(&mut net, victim, stream, klex_core::is_legitimate)
             }
             ProtocolSpec::NonStab => {
-                let (net, victim) =
+                let (mut net, victim) =
                     self.build_tree_net(index, stream, |t, c, d| nonstab::network(t, c, d));
-                self.drive(net, victim, stream, klex_core::is_legitimate)
+                self.drive(&mut net, victim, stream, klex_core::is_legitimate)
             }
             ProtocolSpec::Ss => {
-                let (net, victim) =
+                let (mut net, victim) =
                     self.build_tree_net(index, stream, |t, c, d| ss::network(t, c, d));
-                self.drive(net, victim, stream, klex_core::is_legitimate)
+                self.drive(&mut net, victim, stream, klex_core::is_legitimate)
             }
             ProtocolSpec::Ring => {
-                let net = self.build_ring_net(stream);
+                let mut net = self.build_ring_net(stream);
                 let victim = net.len() - 1;
-                self.drive(net, victim, stream, baselines::ring::is_legitimate)
+                self.drive(&mut net, victim, stream, baselines::ring::is_legitimate)
             }
         }
     }
@@ -316,16 +335,99 @@ impl CompiledScenario {
     /// Runs the spec's trial plan sharded across up to `shards` worker threads.  Per-trial
     /// seeds are a function of the trial index alone, so the report is identical for every
     /// shard count ([`crate::harness::run_sharded`]'s discipline).
+    ///
+    /// Tree-protocol scenarios on a fixed (non-seeded) topology reuse **one network per
+    /// worker thread** across all its trials: after the first trial the network is reset in
+    /// place ([`treenet::Network::reset_trial`] — processes restarted and re-seeded via
+    /// [`ScenarioNode::set_driver`], every allocation retained) instead of rebuilt.  Reuse
+    /// is behaviourally invisible: a reset network is observationally identical to a fresh
+    /// one, so per-trial results match the rebuild path bit-for-bit (asserted by the
+    /// scenario reuse tests) and remain independent of the shard count.
     pub fn run_harness(&self, shards: usize) -> HarnessReport {
         let trials = self.spec.trials.max(1);
-        let per_trial = harness::run_sharded(trials, self.spec.base_seed, shards, |index, stream| {
-            self.run_trial(index, stream).metrics
-        });
+        let per_trial = match self.spec.protocol {
+            ProtocolSpec::Naive => {
+                self.tree_harness_trials(trials, shards, |t, c, d| naive::network(t, c, d))
+            }
+            ProtocolSpec::Pusher => {
+                self.tree_harness_trials(trials, shards, |t, c, d| pusher::network(t, c, d))
+            }
+            ProtocolSpec::NonStab => {
+                self.tree_harness_trials(trials, shards, |t, c, d| nonstab::network(t, c, d))
+            }
+            ProtocolSpec::Ss => {
+                self.tree_harness_trials(trials, shards, |t, c, d| ss::network(t, c, d))
+            }
+            // The ring baseline has no restart support; its trials rebuild.
+            ProtocolSpec::Ring => {
+                harness::run_sharded(trials, self.spec.base_seed, shards, |index, stream| {
+                    self.run_trial(index, stream).metrics
+                })
+            }
+        };
         HarnessReport {
             label: self.spec.name.clone(),
             summaries: harness::summarize(&per_trial),
             per_trial,
         }
+    }
+
+    /// The tree-protocol harness loop: sharded trials with per-worker network reuse (see
+    /// [`CompiledScenario::run_harness`]).  Falls back to rebuilding when the topology is
+    /// seeded per trial index — there is no fixed shape to reuse.
+    fn tree_harness_trials<P, F>(
+        &self,
+        trials: u64,
+        shards: usize,
+        construct: F,
+    ) -> Vec<BTreeMap<String, f64>>
+    where
+        P: ScenarioNode + treenet::Restartable,
+        F: Fn(
+                OrientedTree,
+                KlConfig,
+                &mut dyn FnMut(NodeId) -> BoxedDriver,
+            ) -> Network<P, OrientedTree>
+            + Sync,
+    {
+        if self.spec.topology.is_seeded() {
+            return harness::run_sharded(trials, self.spec.base_seed, shards, |index, stream| {
+                let (mut net, victim) =
+                    self.build_tree_net(index, stream, |t, c, d| construct(t, c, d));
+                self.drive(&mut net, victim, stream, klex_core::is_legitimate).metrics
+            });
+        }
+        harness::run_sharded_with(
+            trials,
+            self.spec.base_seed,
+            shards,
+            || None::<Network<P, OrientedTree>>,
+            |slot, index, stream| {
+                let victim;
+                let net = match slot {
+                    Some(net) => {
+                        victim = deepest_node(net.topology());
+                        let leaves: Vec<bool> =
+                            (0..net.len()).map(|v| net.topology().is_leaf(v)).collect();
+                        let mut drivers = self.spec.workload.driver_factory(stream, leaves);
+                        net.reset_trial(|v, node| {
+                            node.restart();
+                            node.set_driver(drivers(v));
+                        });
+                        drop(drivers);
+                        self.apply_init(net);
+                        net
+                    }
+                    None => {
+                        let (net, v) =
+                            self.build_tree_net(index, stream, |t, c, d| construct(t, c, d));
+                        victim = v;
+                        slot.insert(net)
+                    }
+                };
+                self.drive(net, victim, stream, klex_core::is_legitimate).metrics
+            },
+        )
     }
 
     /// Builds the scenario's network for the naive rung (trial 0, init applied).
@@ -425,9 +527,12 @@ impl CompiledScenario {
     }
 
     /// Warmup → fault → measured phase → metric collection, generically over the protocol.
+    ///
+    /// Takes the network by `&mut` so harness workers can reuse one network across trials;
+    /// the run-accumulated trace is moved out into the outcome either way.
     fn drive<P, T, L>(
         &self,
-        mut net: Network<P, T>,
+        net: &mut Network<P, T>,
         fallback_victim: NodeId,
         stream: u64,
         legit: L,
@@ -450,7 +555,7 @@ impl CompiledScenario {
                     .as_ref()
                     .unwrap_or(&self.spec.daemon)
                     .instantiate(stream, fallback_victim);
-                run_sustained(&mut net, &mut daemon, warmup.max_steps, window, |net| {
+                run_sustained(&mut *net, &mut daemon, warmup.max_steps, window, |net| {
                     legit(net, &cfg)
                 })
             };
@@ -484,7 +589,7 @@ impl CompiledScenario {
         // Phase 2: optional transient fault.
         if let Some(fault) = &self.spec.fault {
             let mut injector = FaultInjector::new(fault.seed.wrapping_add(stream));
-            injector.inject(&mut net, &fault.plan.to_plan(&cfg));
+            injector.inject(&mut *net, &fault.plan.to_plan(&cfg));
         }
 
         // Phase 3: the measured run.
@@ -497,15 +602,15 @@ impl CompiledScenario {
             requesters.iter().map(|&v| net.trace().cs_entries(Some(v)) as u64).collect();
         let outcome = match &self.spec.stop {
             StopSpec::Steps { steps } => {
-                treenet::engine::run(&mut net, &mut daemon, *steps);
+                treenet::engine::run(&mut *net, &mut daemon, *steps);
                 RunOutcome::Satisfied(net.now())
             }
             StopSpec::Quiescent { max_steps, grace } => {
-                treenet::run_until_quiescent(&mut net, &mut daemon, *max_steps, *grace)
+                treenet::run_until_quiescent(&mut *net, &mut daemon, *max_steps, *grace)
             }
             StopSpec::CsEntries { entries, max_steps } => {
                 let target = base_entries + entries;
-                treenet::run_until(&mut net, &mut daemon, *max_steps, |net| {
+                treenet::run_until(&mut *net, &mut daemon, *max_steps, |net| {
                     net.trace().cs_entries(None) as u64 >= target
                 })
             }
@@ -519,15 +624,15 @@ impl CompiledScenario {
                     _ => unreachable!("predicate names are validated at compile time"),
                 };
                 if *sustained_for > 0 {
-                    run_sustained(&mut net, &mut daemon, *max_steps, *sustained_for, pred)
+                    run_sustained(&mut *net, &mut daemon, *max_steps, *sustained_for, pred)
                 } else {
-                    treenet::run_until(&mut net, &mut daemon, *max_steps, pred)
+                    treenet::run_until(&mut *net, &mut daemon, *max_steps, pred)
                 }
             }
         };
 
         let metrics =
-            self.collect(&net, &cfg, outcome, phase_start, warmup_activations, base_entries);
+            self.collect(&*net, &cfg, outcome, phase_start, warmup_activations, base_entries);
         let ended_at = net.now();
         ScenarioOutcome {
             outcome,

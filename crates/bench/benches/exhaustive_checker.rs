@@ -4,14 +4,17 @@
 //!
 //! * `baseline` — the pre-interning loop retained in `checker::explore::baseline`
 //!   (SipHash-keyed `HashMap<Configuration, usize>`, full configuration clones);
-//! * `interned` — the packed/interned sequential engine (`Explorer::run`);
+//! * `interned` — the packed/interned sequential engine (`Explorer::run_interned`), the
+//!   delta engine's oracle;
+//! * `delta` — the undo-log delta successor engine (`Explorer::run`, the default);
 //! * `parallel` — per-depth parallel frontier expansion (`Explorer::run_parallel`).
 //!
 //! The comparison group also writes `BENCH_explorer.json` at the workspace root recording
 //! states/second for each engine and the resulting speedups, so the gain over the
-//! pre-interning engine is tracked as a checked-in baseline.
+//! pre-interning engine is tracked as a checked-in baseline (schema documented in
+//! README.md § Benchmarks).
 
-use checker::{drivers, explore::baseline, Explorer, Limits};
+use checker::{drivers, explore::baseline, ExploreEngine, Explorer, Limits};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use klex_core::KlConfig;
 use std::time::Instant;
@@ -77,6 +80,17 @@ fn bench_engine_comparison(c: &mut Criterion) {
     });
 
     group.bench_function(BenchmarkId::new("interned", "pusher_star5"), |b| {
+        b.iter(|| {
+            let mut net = comparison_net();
+            let report = Explorer::new(&mut net)
+                .with_limits(explore_limits())
+                .run_with(ExploreEngine::Interned);
+            assert!(report.exhaustive());
+            report.configurations
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("delta", "pusher_star5"), |b| {
         b.iter(|| {
             let mut net = comparison_net();
             let report = Explorer::new(&mut net).with_limits(explore_limits()).run();
@@ -151,6 +165,13 @@ fn emit_engine_baseline(_c: &mut Criterion) {
     });
     let (interned_rate, interned_configs) = states_per_sec(rounds, || {
         let mut net = comparison_net();
+        Explorer::new(&mut net)
+            .with_limits(limits)
+            .run_with(ExploreEngine::Interned)
+            .configurations
+    });
+    let (delta_rate, delta_configs) = states_per_sec(rounds, || {
+        let mut net = comparison_net();
         Explorer::new(&mut net).with_limits(limits).run().configurations
     });
     let threads = worker_threads();
@@ -162,12 +183,15 @@ fn emit_engine_baseline(_c: &mut Criterion) {
             .configurations
     });
     assert_eq!(configurations, interned_configs, "engines must agree on the state space");
+    assert_eq!(configurations, delta_configs, "engines must agree on the state space");
     assert_eq!(configurations, parallel_configs, "engines must agree on the state space");
 
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let json = format!(
-        "{{\n  \"bench\": \"exhaustive_checker\",\n  \"instance\": \"pusher_star5 (k=2, l=3, n=5, holding needs 0+2+1+2+1)\",\n  \"configurations\": {configurations},\n  \"baseline_states_per_sec\": {baseline_rate:.0},\n  \"interned_states_per_sec\": {interned_rate:.0},\n  \"parallel_states_per_sec\": {parallel_rate:.0},\n  \"parallel_threads\": {threads},\n  \"host_cores\": {cores},\n  \"speedup_interned_vs_baseline\": {:.2},\n  \"speedup_parallel_vs_baseline\": {:.2}\n}}\n",
+        "{{\n  \"bench\": \"exhaustive_checker\",\n  \"instance\": \"pusher_star5 (k=2, l=3, n=5, holding needs 0+2+1+2+1)\",\n  \"configurations\": {configurations},\n  \"baseline_states_per_sec\": {baseline_rate:.0},\n  \"interned_states_per_sec\": {interned_rate:.0},\n  \"delta_states_per_sec\": {delta_rate:.0},\n  \"parallel_states_per_sec\": {parallel_rate:.0},\n  \"parallel_threads\": {threads},\n  \"host_cores\": {cores},\n  \"speedup_interned_vs_baseline\": {:.2},\n  \"speedup_delta_vs_baseline\": {:.2},\n  \"speedup_delta_vs_interned\": {:.2},\n  \"speedup_parallel_vs_baseline\": {:.2}\n}}\n",
         interned_rate / baseline_rate,
+        delta_rate / baseline_rate,
+        delta_rate / interned_rate,
         parallel_rate / baseline_rate,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explorer.json");

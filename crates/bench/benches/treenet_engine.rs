@@ -15,6 +15,12 @@
 //! steps/second for each engine×daemon and the resulting speedups, so the gain over the
 //! scan engine is tracked as a checked-in baseline.  Override the measured horizon with
 //! `TREENET_BENCH_STEPS` (used by the CI smoke run).
+//!
+//! A second comparison measures the **multi-trial reuse path**: many short seeded trials of
+//! the same instance, once rebuilding the network per trial and once resetting one network
+//! in place (`Network::reset_trial` — restart every process, install the trial's driver,
+//! keep all allocations).  Both paths must produce identical per-trial metrics; the
+//! recorded speedup is the allocation traffic saved per trial.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use klex_core::{ss, KlConfig, SsNode};
@@ -22,7 +28,7 @@ use std::time::Instant;
 use topology::OrientedTree;
 use treenet::app::BoxedDriver;
 use treenet::scheduler::baseline;
-use treenet::{engine, run_for, Network, RandomFair, RoundRobin, Synchronous};
+use treenet::{engine, run_for, Network, RandomFair, Restartable, RoundRobin, Synchronous};
 use workloads::UniformRandom;
 
 const NODES: usize = 1023;
@@ -99,6 +105,57 @@ fn bench_step_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// The per-trial driver of the reuse comparison: the trial's stream seeds the workload the
+/// same way for both paths, so their executions are identical step for step.
+fn trial_driver(trial: u64, id: usize) -> BoxedDriver {
+    Box::new(UniformRandom::new(1_000 + trial * 100_000 + id as u64, 0.05, 3, 20)) as BoxedDriver
+}
+
+fn trial_net(trial: u64) -> Network<SsNode, OrientedTree> {
+    let tree = topology::builders::binary(NODES);
+    let cfg = KlConfig::new(3, 5, NODES).with_timeout(500);
+    ss::network(tree, cfg, |id| trial_driver(trial, id))
+}
+
+/// One trial's execution: run and return a comparable fingerprint of what happened.
+fn run_trial(net: &mut Network<SsNode, OrientedTree>, trial: u64, steps: u64) -> (u64, u64, u64) {
+    let mut daemon = RandomFair::new(42 + trial);
+    engine::run(net, &mut daemon, steps);
+    (net.metrics().activations, net.metrics().messages_sent, net.in_flight() as u64)
+}
+
+/// Measures the multi-trial comparison: rebuild-per-trial versus reset-in-place, returning
+/// (trials/sec rebuild, trials/sec reuse).  Asserts both paths produce identical per-trial
+/// fingerprints.
+fn measure_trial_reuse(trials: u64, steps_per_trial: u64) -> (f64, f64) {
+    let start = Instant::now();
+    let rebuilt: Vec<_> = (0..trials)
+        .map(|t| {
+            let mut net = trial_net(t);
+            run_trial(&mut net, t, steps_per_trial)
+        })
+        .collect();
+    let rebuild_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let mut net = trial_net(0);
+    let reused: Vec<_> = (0..trials)
+        .map(|t| {
+            if t > 0 {
+                net.reset_trial(|id, node| {
+                    node.restart();
+                    node.app.set_driver(trial_driver(t, id));
+                });
+            }
+            run_trial(&mut net, t, steps_per_trial)
+        })
+        .collect();
+    let reuse_secs = start.elapsed().as_secs_f64();
+
+    assert_eq!(rebuilt, reused, "reuse must be observationally identical to rebuilding");
+    (trials as f64 / rebuild_secs, trials as f64 / reuse_secs)
+}
+
 /// Records the engine comparison to `BENCH_treenet.json` at the workspace root.
 fn emit_engine_baseline(_c: &mut Criterion) {
     let (warmup, steps) = steps_budget();
@@ -148,13 +205,22 @@ fn emit_engine_baseline(_c: &mut Criterion) {
         &mut |net, n| engine::run(net, &mut f_sy, n),
     );
 
+    // Multi-trial reuse comparison: many *short* seeded trials — the regime where per-trial
+    // construction cost is a real fraction of the trial (long trials amortize the build away
+    // and both paths converge; the harness's short convergence probes and smoke sweeps are
+    // exactly this short-trial shape).
+    let reuse_trials = (steps / 31_250).clamp(16, 256);
+    let steps_per_trial = 4_096u64;
+    let (rebuild_rate, reuse_rate) = measure_trial_reuse(reuse_trials, steps_per_trial);
+
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let headline = rf.2 / rf.0;
     let json = format!(
-        "{{\n  \"bench\": \"treenet_engine\",\n  \"instance\": \"ss k=3 l=5 on binary tree n={NODES}, UniformRandom(p=0.05, units<=3, hold<=20)\",\n  \"measured_steps\": {steps},\n  \"random_fair\": {{ \"baseline_steps_per_sec\": {:.0}, \"event_steps_per_sec\": {:.0}, \"fused_steps_per_sec\": {:.0}, \"speedup_event_vs_baseline\": {:.2}, \"speedup_fused_vs_baseline\": {:.2} }},\n  \"round_robin\": {{ \"baseline_steps_per_sec\": {:.0}, \"event_steps_per_sec\": {:.0}, \"fused_steps_per_sec\": {:.0}, \"speedup_fused_vs_baseline\": {:.2} }},\n  \"synchronous\": {{ \"baseline_steps_per_sec\": {:.0}, \"event_steps_per_sec\": {:.0}, \"fused_steps_per_sec\": {:.0}, \"speedup_fused_vs_baseline\": {:.2} }},\n  \"host_cores\": {cores},\n  \"headline_speedup\": {headline:.2}\n}}\n",
+        "{{\n  \"bench\": \"treenet_engine\",\n  \"instance\": \"ss k=3 l=5 on binary tree n={NODES}, UniformRandom(p=0.05, units<=3, hold<=20)\",\n  \"measured_steps\": {steps},\n  \"random_fair\": {{ \"baseline_steps_per_sec\": {:.0}, \"event_steps_per_sec\": {:.0}, \"fused_steps_per_sec\": {:.0}, \"speedup_event_vs_baseline\": {:.2}, \"speedup_fused_vs_baseline\": {:.2} }},\n  \"round_robin\": {{ \"baseline_steps_per_sec\": {:.0}, \"event_steps_per_sec\": {:.0}, \"fused_steps_per_sec\": {:.0}, \"speedup_fused_vs_baseline\": {:.2} }},\n  \"synchronous\": {{ \"baseline_steps_per_sec\": {:.0}, \"event_steps_per_sec\": {:.0}, \"fused_steps_per_sec\": {:.0}, \"speedup_fused_vs_baseline\": {:.2} }},\n  \"trial_reuse\": {{ \"trials\": {reuse_trials}, \"steps_per_trial\": {steps_per_trial}, \"rebuild_trials_per_sec\": {:.2}, \"reuse_trials_per_sec\": {:.2}, \"speedup_reuse_vs_rebuild\": {:.2} }},\n  \"host_cores\": {cores},\n  \"headline_speedup\": {headline:.2}\n}}\n",
         rf.0, rf.1, rf.2, rf.1 / rf.0, rf.2 / rf.0,
         rr.0, rr.1, rr.2, rr.2 / rr.0,
         sy.0, sy.1, sy.2, sy.2 / sy.0,
+        rebuild_rate, reuse_rate, reuse_rate / rebuild_rate,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_treenet.json");
     std::fs::write(path, &json).expect("write BENCH_treenet.json");

@@ -43,6 +43,8 @@ fn usage() -> &'static str {
        --backend sim|harness|check|all               backend selection (default: sim)\n\
        --format markdown|jsonl|csv                   output rendering (default: markdown)\n\
        --shards N                                    harness worker threads (default: cores)\n\
+       --bench                                       add checker throughput columns\n\
+                                                     (states_per_sec, arena_bytes)\n\
      \n\
      ENVIRONMENT:\n\
        KLEX_SCALE=quick|full                         experiment scale (default: full)"
@@ -107,6 +109,7 @@ fn run_command(args: &[String]) -> ExitCode {
     let mut backend = "sim".to_string();
     let mut format = "markdown".to_string();
     let mut shards = auto_shards();
+    let mut bench = false;
     let mut iter = args[1..].iter();
     while let Some(arg) = iter.next() {
         let mut value = |flag: &str| {
@@ -118,6 +121,10 @@ fn run_command(args: &[String]) -> ExitCode {
             "--shards" => value("--shards").and_then(|v| {
                 v.parse::<usize>().map(|v| shards = v.max(1)).map_err(|e| e.to_string())
             }),
+            "--bench" => {
+                bench = true;
+                Ok(())
+            }
             other => Err(format!("unknown option `{other}`")),
         };
         if let Err(message) = result {
@@ -160,17 +167,25 @@ fn run_command(args: &[String]) -> ExitCode {
         rows.push(row);
     }
     if backend == "check" || backend == "all" {
+        let started = std::time::Instant::now();
         match scenario.check() {
             Ok(report) => {
-                rows.push(
-                    ExperimentRow::new(format!("{} [check]", scenario.spec().name))
-                        .with("configurations", report.configurations as f64)
-                        .with("transitions", report.transitions as f64)
-                        .with("max_depth", report.max_depth as f64)
-                        .with("exhaustive", f64::from(u8::from(report.exhaustive())))
-                        .with("violations", report.violations.len() as f64)
-                        .with("deadlocks", report.deadlocks.len() as f64),
-                );
+                let elapsed = started.elapsed().as_secs_f64();
+                let mut row = ExperimentRow::new(format!("{} [check]", scenario.spec().name))
+                    .with("configurations", report.configurations as f64)
+                    .with("transitions", report.transitions as f64)
+                    .with("max_depth", report.max_depth as f64)
+                    .with("exhaustive", f64::from(u8::from(report.exhaustive())))
+                    .with("violations", report.violations.len() as f64)
+                    .with("deadlocks", report.deadlocks.len() as f64);
+                if bench {
+                    // Checker throughput: reachable states per wall-clock second of this
+                    // run, and the arena's peak packed-state footprint.
+                    row = row
+                        .with("states_per_sec", (report.configurations as f64 / elapsed).round())
+                        .with("arena_bytes", report.arena_bytes as f64);
+                }
+                rows.push(row);
             }
             // Under --backend all, an uncheckable spec (stateful workload, ring baseline)
             // must not throw away the sim/harness results already computed — warn and render

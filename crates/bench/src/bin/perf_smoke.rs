@@ -1,0 +1,74 @@
+//! `perf_smoke` — the CI regression gate for the exploration hot path.
+//!
+//! Runs the delta and interned sequential engines head-to-head on a tiny instance (the
+//! Figure-3 pusher scenario: ~4k reachable configurations, well under a second per run) and
+//! **fails** (exit code 1) when the delta engine's states/second drops below the interned
+//! engine's.  This is a regression *gate*, not a benchmark: the committed speedup on a real
+//! instance lives in `BENCH_explorer.json` (delta ≈ 2.5× interned on `pusher_star5`); the
+//! gate only catches changes that destroy the delta advantage outright, with a 1.0×
+//! threshold loose enough to be noise-proof on shared CI runners.
+//!
+//! The gate also re-asserts report parity on every run — a delta engine that got fast by
+//! being wrong must fail the gate, not pass it.
+
+use checker::{drivers, ExploreEngine, Explorer, Limits};
+use klex_core::KlConfig;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn instance() -> treenet::Network<klex_core::pusher::PusherNode, topology::OrientedTree> {
+    let tree = topology::builders::figure3_tree();
+    let cfg = KlConfig::new(2, 3, 3);
+    klex_core::pusher::network(tree, cfg, drivers::from_needs_holding(&[1usize, 2, 1]))
+}
+
+fn limits() -> Limits {
+    Limits { max_configurations: 2_000_000, max_depth: usize::MAX }
+}
+
+/// Best-of-`rounds` states/second for one engine, plus the last report for parity checks.
+fn measure(engine: ExploreEngine, rounds: usize) -> (f64, checker::ExplorationReport) {
+    let mut best = 0.0f64;
+    let mut last = None;
+    for _ in 0..rounds {
+        let mut net = instance();
+        let start = Instant::now();
+        let report = Explorer::new(&mut net).with_limits(limits()).run_with(engine);
+        let rate = report.configurations as f64 / start.elapsed().as_secs_f64();
+        best = best.max(rate);
+        last = Some(report);
+    }
+    (best, last.expect("at least one round"))
+}
+
+fn main() -> ExitCode {
+    let rounds = 5;
+    let (interned_rate, interned) = measure(ExploreEngine::Interned, rounds);
+    let (delta_rate, delta) = measure(ExploreEngine::Delta, rounds);
+
+    if delta.configurations != interned.configurations
+        || delta.transitions != interned.transitions
+        || delta.max_depth != interned.max_depth
+        || delta.frontier_sizes != interned.frontier_sizes
+    {
+        eprintln!(
+            "perf_smoke: PARITY FAILURE — delta {}cfg/{}tr vs interned {}cfg/{}tr",
+            delta.configurations, delta.transitions, interned.configurations, interned.transitions
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let ratio = delta_rate / interned_rate;
+    println!(
+        "perf_smoke: figure3-pusher ({} configurations) — delta {:.0} states/s, interned {:.0} states/s, ratio {:.2}x",
+        delta.configurations, delta_rate, interned_rate, ratio
+    );
+    if ratio < 1.0 {
+        eprintln!(
+            "perf_smoke: REGRESSION — delta engine at {ratio:.2}x interned (threshold 1.0x); \
+             the delta successor path has lost its advantage"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -6,6 +6,16 @@
 //! therefore restricted to pure functions of the observable request state: the drivers in
 //! this module carry no mutable state and ignore the logical clock.
 //!
+//! Statelessness matters twice over for the delta engine ([`crate::ExploreEngine::Delta`]):
+//! it derives every sibling successor by executing in place and *reverting* — the revert
+//! restores the captured node state and channel contents, but a driver's hidden mutable
+//! state (if it had any) would not be rewound, and the logical clock deliberately keeps
+//! advancing across apply/revert pairs.  A driver whose answers depend on call count or on
+//! `now` would therefore make the two engines (and successive siblings within one engine)
+//! diverge.  The [`HoldOneActivation`] comparison `now > entered_at` is the one sanctioned
+//! use of the clock: with `entered_at` normalized to 0 by every restore path, its value is a
+//! pure function of the captured configuration and the activation being executed.
+//!
 //! | Driver | `next_request` | `release_cs` | models |
 //! |---|---|---|---|
 //! | [`AlwaysRequest`] | always `Some(units)` | immediately | a saturated requester whose critical section is instantaneous |

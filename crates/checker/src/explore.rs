@@ -7,20 +7,34 @@
 //! first time.  Exploration is breadth-first, so any counterexample trace it reports is a
 //! shortest one (in number of activations).
 //!
-//! # The interned-state engine
+//! # The delta successor engine
 //!
 //! Configurations never flow through the hot loop as [`Configuration`] values.  Each visited
 //! configuration is held exactly once, in packed form, by a [`StateArena`]
-//! (see [`crate::snapshot`]) and addressed by a dense [`StateId`]:
+//! (see [`crate::snapshot`]) and addressed by a dense [`StateId`].  The default sequential
+//! engine ([`Explorer::run`], aka [`ExploreEngine::Delta`]) additionally eliminates the
+//! per-transition full-state traffic:
 //!
-//! * restoring a frontier state **borrows** its packed bytes straight from the arena
-//!   ([`crate::snapshot::restore_packed`]) — nothing is cloned;
-//! * successors are captured directly into a reusable scratch buffer
-//!   ([`crate::snapshot::capture_packed`]) and interned with one fx-hash table probe;
+//! * the parent configuration is restored into the network **once per state**
+//!   ([`crate::snapshot::restore_packed_mapped`], which also records every segment's byte
+//!   span for free);
+//! * each transition executes **in place** with an undo log
+//!   ([`treenet::Network::execute_undoable`]): one node snapshot, the consumed message, and
+//!   the pushed channels are the entire record;
+//! * the successor's packed bytes are produced by **patching only the dirty segments** of
+//!   the parent's bytes, and its hash by re-mixing only those segments'
+//!   [`crate::snapshot::segment_term`]s — a tick that changed nothing is recognized from the
+//!   dirty segments alone and skips interning entirely;
+//! * the undo log then **reverts** the network to the parent for the next sibling;
 //! * per-state bookkeeping (parent links, depths, recorded edges) lives in flat vectors
 //!   indexed by state id, shared by the report and the recorded [`StateGraph`];
 //! * full [`Configuration`] values are only decoded on cold paths: property checks on newly
 //!   discovered states, and violation/deadlock witnesses.
+//!
+//! The pre-delta sequential engine — restore, execute, full capture, full hash, per
+//! transition — is retained verbatim as [`Explorer::run_interned`]: it is the executable
+//! oracle the delta-parity test suite checks the delta engine against (identical reachable
+//! sets, frontier sizes per level, violation and deadlock reports).
 //!
 //! # Parallel frontier expansion
 //!
@@ -39,10 +53,31 @@
 
 use crate::properties::Property;
 use crate::snapshot::{capture_packed, restore_packed, CheckableNode, Configuration};
+use crate::snapshot::{
+    encode_channel_segment, encode_node_segment, restore_packed_mapped, segment_term,
+    SegmentMap,
+};
 use crate::snapshot::{InternOutcome, StateArena, StateId};
 use std::collections::VecDeque;
 use topology::Topology;
-use treenet::{Activation, Network, NodeId};
+use treenet::{Activation, Network, NodeId, StepUndo};
+
+/// Which sequential exploration engine an [`Explorer`] run uses.
+///
+/// Both engines visit the identical reachable space in the identical BFS order and return
+/// identical reports (the delta-parity test suite asserts it); they differ only in how a
+/// successor configuration is produced from its parent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExploreEngine {
+    /// Per transition: restore the parent's packed bytes into the network, execute, capture
+    /// and fx-hash the full successor.  Retained as the executable oracle the delta engine
+    /// is checked against.
+    Interned,
+    /// Per transition: execute in place with an undo log, re-pack only the dirty segments of
+    /// the parent's packed bytes, patch the segmented hash incrementally, and revert.  The
+    /// default engine.
+    Delta,
+}
 
 /// Exploration bounds.
 #[derive(Clone, Copy, Debug)]
@@ -167,6 +202,13 @@ pub struct ExplorationReport {
     pub violations: Vec<Violation>,
     /// Deadlocked configurations discovered.
     pub deadlocks: Vec<DeadlockWitness>,
+    /// Number of configurations first discovered at each BFS depth (`frontier_sizes[d]` is
+    /// the size of level `d`; the entries sum to `configurations`).  Identical across
+    /// engines and thread counts — the per-level fingerprint the parity tests compare.
+    pub frontier_sizes: Vec<usize>,
+    /// Bytes of packed configuration data held by the state arena when the run finished
+    /// (its peak: the arena only grows during a run).
+    pub arena_bytes: usize,
 }
 
 impl ExplorationReport {
@@ -244,8 +286,202 @@ impl<'a, P: CheckableNode, T: Topology> Explorer<'a, P, T> {
         self.graph
     }
 
-    /// Runs the exploration on the current thread and returns its report.
+    /// Runs the exploration on the current thread with the default ([`ExploreEngine::Delta`])
+    /// engine and returns its report.
     pub fn run(&mut self) -> ExplorationReport {
+        self.run_delta()
+    }
+
+    /// Runs the exploration with an explicit engine choice (parity tests and benchmarks).
+    pub fn run_with(&mut self, engine: ExploreEngine) -> ExplorationReport {
+        match engine {
+            ExploreEngine::Interned => self.run_interned(),
+            ExploreEngine::Delta => self.run_delta(),
+        }
+    }
+
+    /// The delta successor engine: the sequential hot path.
+    ///
+    /// Per popped state the parent is restored **once** (recording its [`SegmentMap`] and
+    /// per-segment hash terms); each transition then
+    ///
+    /// 1. snapshots the one activated node and executes in place, recording channel effects
+    ///    in a [`StepUndo`] log;
+    /// 2. re-encodes only the dirty segments (the activated node's state, the delivered
+    ///    channel, each pushed channel) and compares them to the parent's — if none changed,
+    ///    the transition is a self-loop and skips interning entirely;
+    /// 3. otherwise patches the parent's segmented hash per dirty segment, splices the dirty
+    ///    segments into a copy of the parent's packed bytes (straight memcpy of the
+    ///    unchanged spans), and interns the successor with the precomputed hash;
+    /// 4. reverts: pushed messages pop back off channel tails, the delivered message returns
+    ///    to its head, and the saved node state is restored — the network is back in the
+    ///    parent configuration for the next sibling.
+    ///
+    /// The restore → full capture → full hash triple of the interned engine is gone from the
+    /// per-transition cost; what remains is O(touched state) work plus one memcpy.
+    pub fn run_delta(&mut self) -> ExplorationReport {
+        let net = &mut *self.net;
+        let n = net.len();
+        // Flat channel ids: channel (v, l) has flat index chan_base[v] + l.
+        let mut chan_base = Vec::with_capacity(n + 1);
+        let mut total_channels = 0usize;
+        chan_base.push(0usize);
+        for v in 0..n {
+            total_channels += net.topology().degree(v);
+            chan_base.push(total_channels);
+        }
+        let mut chan_pos = Vec::with_capacity(total_channels);
+        for v in 0..n {
+            for l in 0..net.topology().degree(v) {
+                chan_pos.push((v, l));
+            }
+        }
+
+        let mut engine =
+            Engine::new(self.limits, &self.properties, self.record_graph, self.stop_on_violation);
+
+        let mut parent_buf = Vec::new();
+        let mut map = SegmentMap::default();
+        let mut terms: Vec<u64> = Vec::new();
+        capture_packed(net, &mut parent_buf);
+        restore_packed_mapped(net, &parent_buf, &mut map);
+        let h_initial = compute_terms(&parent_buf, &map, &mut terms);
+        engine.admit_initial_hashed(&parent_buf, h_initial);
+
+        let mut queue: VecDeque<StateId> = VecDeque::new();
+        queue.push_back(0);
+
+        let mut undo: StepUndo<klex_core::Message> = StepUndo::new();
+        let mut activations: Vec<Activation> = Vec::new();
+        let mut dirty_chans: Vec<usize> = Vec::new();
+        // Dirty-segment patches: (segment index, span of the re-encoded bytes in seg_buf),
+        // in ascending parent-span order.
+        let mut patches: Vec<(usize, usize, usize)> = Vec::new();
+        let mut seg_buf: Vec<u8> = Vec::new();
+        let mut succ_buf: Vec<u8> = Vec::new();
+
+        'outer: while let Some(id) = queue.pop_front() {
+            let depth = engine.depths[id as usize] as usize;
+            engine.report.max_depth = engine.report.max_depth.max(depth);
+            if depth >= engine.limits.max_depth {
+                engine.report.truncated = true;
+                continue;
+            }
+            engine.begin_expansion(id);
+
+            // Load the parent once; all siblings are derived in place and reverted.
+            parent_buf.clear();
+            parent_buf.extend_from_slice(engine.arena.get(id));
+            restore_packed_mapped(net, &parent_buf, &mut map);
+            let h_parent = compute_terms(&parent_buf, &map, &mut terms);
+
+            activations.clear();
+            for v in 0..n {
+                for l in 0..net.topology().degree(v) {
+                    if !net.channel(v, l).is_empty() {
+                        activations.push(Activation::Deliver { node: v, channel: l });
+                    }
+                }
+            }
+            let first_tick = activations.len();
+            for v in 0..n {
+                activations.push(Activation::Tick { node: v });
+            }
+
+            let mut every_tick_is_self_loop = true;
+            for idx in 0..activations.len() {
+                let act = activations[idx];
+                let node = match act {
+                    Activation::Deliver { node, .. } | Activation::Tick { node } => node,
+                };
+                net.trace_mut().clear();
+                let saved_state = net.node(node).capture_state();
+                net.execute_undoable(act, &mut undo);
+
+                dirty_chans.clear();
+                if let Some((dn, dl)) = undo.delivered_channel() {
+                    dirty_chans.push(chan_base[dn] + dl);
+                }
+                for &(sn, sl) in undo.sent_channels() {
+                    dirty_chans.push(chan_base[sn] + sl);
+                }
+                dirty_chans.sort_unstable();
+                dirty_chans.dedup();
+
+                // Re-encode the dirty segments; node segments precede channel segments in
+                // the packed layout and dirty_chans is ascending, so pushing the node
+                // segment first keeps `patches` in ascending span order for the splice.
+                seg_buf.clear();
+                patches.clear();
+                let node_seg = map.node_segment(node);
+                let start = seg_buf.len();
+                encode_node_segment(&mut seg_buf, &net.node(node).capture_state());
+                if seg_buf[start..] != *map.segment(&parent_buf, node_seg) {
+                    patches.push((node_seg, start, seg_buf.len()));
+                }
+                for &flat in &dirty_chans {
+                    let seg = map.channel_segment(flat);
+                    let (cv, cl) = chan_pos[flat];
+                    let start = seg_buf.len();
+                    let channel = net.channel(cv, cl);
+                    encode_channel_segment(&mut seg_buf, channel.len(), channel.iter());
+                    if seg_buf[start..] != *map.segment(&parent_buf, seg) {
+                        patches.push((seg, start, seg_buf.len()));
+                    }
+                }
+
+                let same_as_parent = patches.is_empty();
+                if idx >= first_tick && !same_as_parent {
+                    every_tick_is_self_loop = false;
+                }
+                let cs_entries =
+                    if self.record_graph { collect_cs_entries(net) } else { Vec::new() };
+
+                if same_as_parent {
+                    // The successor *is* the parent: no splice, no hash, no arena probe.
+                    engine.on_known_transition(act, id, cs_entries);
+                } else {
+                    let mut hash = h_parent;
+                    succ_buf.clear();
+                    let mut cursor = 0usize;
+                    for &(seg, s, e) in &patches {
+                        hash ^= terms[seg] ^ segment_term(seg, &seg_buf[s..e]);
+                        let (span_start, span_end) = map.span(seg);
+                        succ_buf.extend_from_slice(&parent_buf[cursor..span_start]);
+                        succ_buf.extend_from_slice(&seg_buf[s..e]);
+                        cursor = span_end;
+                    }
+                    succ_buf.extend_from_slice(&parent_buf[cursor..]);
+                    let admitted =
+                        engine.on_transition_hashed(id, act, &succ_buf, hash, cs_entries);
+                    if let Some(new_id) = admitted {
+                        queue.push_back(new_id);
+                    }
+                }
+
+                // Revert to the parent configuration for the next sibling.
+                net.revert(&mut undo);
+                net.node_mut(node).restore_state(&saved_state);
+
+                if engine.stopped {
+                    break 'outer;
+                }
+            }
+
+            if first_tick == 0 && every_tick_is_self_loop {
+                engine.on_quiescent(id);
+            }
+        }
+
+        let (report, graph) = engine.finish();
+        self.graph = graph;
+        report
+    }
+
+    /// The interned reference engine: per transition, restore the parent's packed bytes,
+    /// execute, capture and hash the full successor.  Retained as the oracle the delta
+    /// engine's parity suite runs against.
+    pub fn run_interned(&mut self) -> ExplorationReport {
         let net = &mut *self.net;
         let mut engine =
             Engine::new(self.limits, &self.properties, self.record_graph, self.stop_on_violation);
@@ -374,6 +610,19 @@ fn enumerate_activations<P: CheckableNode, T: Topology>(
         activations.push(Activation::Tick { node: v });
     }
     (activations, first_tick)
+}
+
+/// Fills `terms` with every segment's hash term of `packed` and returns their XOR — the
+/// [`crate::snapshot::segmented_hash`], kept term-by-term so the delta loop can patch it.
+fn compute_terms(packed: &[u8], map: &SegmentMap, terms: &mut Vec<u64>) -> u64 {
+    terms.clear();
+    let mut hash = 0u64;
+    for seg in 0..map.segments() {
+        let term = segment_term(seg, map.segment(packed, seg));
+        terms.push(term);
+        hash ^= term;
+    }
+    hash
 }
 
 fn collect_cs_entries<P: CheckableNode, T: Topology>(net: &Network<P, T>) -> Vec<NodeId> {
@@ -637,11 +886,21 @@ impl<'p> Engine<'p> {
     }
 
     fn admit_initial(&mut self, packed: &[u8]) {
-        let (id, fresh) = self.arena.intern(packed);
-        debug_assert!(fresh && id == 0, "the initial configuration must be the first interned");
+        self.admit_initial_hashed(packed, crate::snapshot::fx_hash(packed));
+    }
+
+    /// [`Engine::admit_initial`] with a caller-supplied hash.  A run must feed the engine
+    /// one hash scheme throughout (see [`StateArena::intern_capped_hashed`]): the interned
+    /// engine always passes fx hashes, the delta engine always passes segmented hashes.
+    fn admit_initial_hashed(&mut self, packed: &[u8], hash: u64) {
+        let outcome = self.arena.intern_capped_hashed(packed, hash, usize::MAX);
+        debug_assert!(
+            outcome == InternOutcome::Inserted(0),
+            "the initial configuration must be the first interned"
+        );
         self.parents.push((0, Activation::Tick { node: 0 }));
         self.depths.push(0);
-        self.check_properties(id);
+        self.check_properties(0);
     }
 
     /// Marks the start of `id`'s expansion (edge bookkeeping relies on id order).
@@ -669,8 +928,22 @@ impl<'p> Engine<'p> {
         packed: &[u8],
         cs_entries: Vec<NodeId>,
     ) -> Option<StateId> {
+        self.on_transition_hashed(parent, action, packed, crate::snapshot::fx_hash(packed), cs_entries)
+    }
+
+    /// [`Engine::on_transition`] with a caller-supplied hash (the delta engine's
+    /// incrementally patched segmented hash).
+    fn on_transition_hashed(
+        &mut self,
+        parent: StateId,
+        action: Activation,
+        packed: &[u8],
+        hash: u64,
+        cs_entries: Vec<NodeId>,
+    ) -> Option<StateId> {
         self.report.transitions += 1;
-        let outcome = self.arena.intern_capped(packed, self.limits.max_configurations);
+        let outcome =
+            self.arena.intern_capped_hashed(packed, hash, self.limits.max_configurations);
         let (target, admitted) = match outcome {
             InternOutcome::Existing(id) => (Some(id), None),
             InternOutcome::Full => {
@@ -745,6 +1018,14 @@ impl<'p> Engine<'p> {
 
     fn finish(mut self) -> (ExplorationReport, StateGraph) {
         self.report.configurations = self.arena.len();
+        self.report.arena_bytes = self.arena.bytes_used();
+        self.report.frontier_sizes = {
+            let mut sizes = vec![0usize; self.depths.iter().max().map_or(0, |&d| d as usize + 1)];
+            for &d in &self.depths {
+                sizes[d as usize] += 1;
+            }
+            sizes
+        };
         let graph = if self.record_graph {
             // States that were never expanded (beyond the depth limit, or abandoned after an
             // early stop) get empty edge ranges.
@@ -1113,6 +1394,77 @@ mod tests {
         assert_eq!(parallel.configurations, sequential.configurations);
         assert_eq!(parallel.transitions, sequential.transitions);
         assert_eq!(parallel.max_depth, sequential.max_depth);
+    }
+
+    #[test]
+    fn delta_and_interned_engines_produce_identical_reports() {
+        let limits = Limits { max_configurations: 200_000, max_depth: usize::MAX };
+        let cfg = KlConfig::new(2, 2, 3);
+        let needs = [0usize, 2, 2];
+        let make = || {
+            klex_core::naive::network(
+                topology::builders::chain(3),
+                cfg,
+                drivers::from_needs(&needs),
+            )
+        };
+
+        let mut net = make();
+        let mut interned_explorer =
+            Explorer::new(&mut net).with_limits(limits).record_graph(true);
+        let interned = interned_explorer.run_with(ExploreEngine::Interned);
+        let interned_graph = interned_explorer.into_graph();
+
+        let mut net = make();
+        let mut delta_explorer = Explorer::new(&mut net).with_limits(limits).record_graph(true);
+        let delta = delta_explorer.run_with(ExploreEngine::Delta);
+        let delta_graph = delta_explorer.into_graph();
+
+        assert_eq!(delta.configurations, interned.configurations);
+        assert_eq!(delta.transitions, interned.transitions);
+        assert_eq!(delta.max_depth, interned.max_depth);
+        assert_eq!(delta.frontier_sizes, interned.frontier_sizes);
+        assert_eq!(delta.truncated, interned.truncated);
+        assert_eq!(delta.deadlocks.len(), interned.deadlocks.len());
+        for (d, i) in delta.deadlocks.iter().zip(&interned.deadlocks) {
+            assert_eq!(d.depth, i.depth);
+            assert_eq!(d.blocked, i.blocked);
+            assert_eq!(d.trace, i.trace);
+            assert_eq!(d.config, i.config);
+        }
+        // Identical graphs, id for id: same packed states, same edges.
+        assert_eq!(delta_graph.len(), interned_graph.len());
+        assert_eq!(delta_graph.transition_count(), interned_graph.transition_count());
+        for id in 0..delta_graph.len() {
+            assert_eq!(delta_graph.packed(id), interned_graph.packed(id), "state {id}");
+            let de = delta_graph.edges(id);
+            let ie = interned_graph.edges(id);
+            assert_eq!(de.len(), ie.len());
+            for (d, i) in de.iter().zip(ie) {
+                assert_eq!(d.action, i.action);
+                assert_eq!(d.target, i.target);
+                assert_eq!(d.cs_entries, i.cs_entries);
+            }
+        }
+    }
+
+    #[test]
+    fn delta_engine_respects_truncation_limits_identically() {
+        let cfg = KlConfig::new(1, 1, 2);
+        let make = || {
+            klex_core::naive::network(topology::builders::chain(2), cfg, |_| {
+                drivers::AlwaysRequest::boxed(1)
+            })
+        };
+        let limits = Limits { max_configurations: 7, max_depth: usize::MAX };
+        let mut net = make();
+        let interned = Explorer::new(&mut net).with_limits(limits).run_with(ExploreEngine::Interned);
+        let mut net = make();
+        let delta = Explorer::new(&mut net).with_limits(limits).run_with(ExploreEngine::Delta);
+        assert!(interned.truncated && delta.truncated);
+        assert_eq!(delta.configurations, interned.configurations);
+        assert_eq!(delta.transitions, interned.transitions);
+        assert_eq!(delta.frontier_sizes, interned.frontier_sizes);
     }
 
     #[test]

@@ -83,10 +83,12 @@ pub mod snapshot;
 
 pub use cycles::{find_progress_cycle, CycleWitness};
 pub use explore::{
-    DeadlockWitness, Edge, ExplorationReport, Explorer, Limits, StateGraph, Violation,
+    DeadlockWitness, Edge, ExplorationReport, ExploreEngine, Explorer, Limits, StateGraph,
+    Violation,
 };
 pub use properties::Property;
 pub use snapshot::{
-    capture, capture_packed, pack_configuration, restore, restore_packed, unpack_configuration,
-    CheckableNode, Configuration, CtrlState, InternOutcome, NodeState, StateArena, StateId,
+    capture, capture_packed, pack_configuration, restore, restore_packed,
+    restore_packed_mapped, segment_term, segmented_hash, unpack_configuration, CheckableNode,
+    Configuration, CtrlState, InternOutcome, NodeState, SegmentMap, StateArena, StateId,
 };

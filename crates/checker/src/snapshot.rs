@@ -37,6 +37,19 @@
 //! `HashMap<Configuration, usize>`.  [`unpack_configuration`] recovers a full
 //! [`Configuration`] on the cold paths that need one (property violations, witnesses, cycle
 //! analysis).
+//!
+//! # Segments and incremental hashing
+//!
+//! The packed encoding is naturally *segmented*: after the constant header, the buffer is a
+//! sequence of per-node state segments followed by per-channel content segments, and a
+//! single transition dirties only the activated node's segment plus the few channels it
+//! touched.  [`SegmentMap`] records every segment's byte span (captured for free by
+//! [`restore_packed_mapped`] during the parse a restore performs anyway), and
+//! [`segmented_hash`] defines a whole-configuration hash as the XOR of per-segment terms
+//! ([`segment_term`]) so it can be patched per dirty segment instead of recomputed over the
+//! whole buffer.  The delta successor engine in [`crate::explore`] builds on exactly these
+//! two primitives, interning through [`StateArena::intern_capped_hashed`] (one hash scheme
+//! per arena — see its docs).
 
 use klex_core::ss::SsRole;
 use klex_core::{Message, SsNode};
@@ -329,7 +342,10 @@ where
         );
         for (l, msgs) in per_node.iter().enumerate() {
             let mut ch = net.channel_mut(v, l);
-            ch.clear();
+            // `reset`, not `clear`: a restore discards run-time state, it does not model
+            // fault-injected message loss, so the `lost` counter must not move (same
+            // discipline as `restore_packed`).
+            ch.reset();
             for m in msgs {
                 ch.push(*m);
             }
@@ -581,16 +597,51 @@ where
 /// # Panics
 ///
 /// Panics if the packed shape (node count or channel degrees) does not match the network.
-pub fn restore_packed<P, T>(net: &mut Network<P, T>, mut bytes: &[u8])
+pub fn restore_packed<P, T>(net: &mut Network<P, T>, bytes: &[u8])
 where
     P: CheckableNode,
     T: Topology,
 {
+    restore_packed_impl::<P, T, false>(net, bytes, &mut SegmentMap::default());
+}
+
+/// Like [`restore_packed`], additionally recording the byte span of every mutable segment
+/// of the encoding into `map` (cleared first) — the per-state setup step of the delta
+/// successor engine, which needs the spans to re-pack only the segments a transition
+/// dirtied.  The parse pass the restore does anyway discovers every boundary, so recording
+/// them is free.
+pub fn restore_packed_mapped<P, T>(net: &mut Network<P, T>, bytes: &[u8], map: &mut SegmentMap)
+where
+    P: CheckableNode,
+    T: Topology,
+{
+    restore_packed_impl::<P, T, true>(net, bytes, map);
+}
+
+fn restore_packed_impl<P, T, const RECORD: bool>(
+    net: &mut Network<P, T>,
+    bytes: &[u8],
+    map: &mut SegmentMap,
+) where
+    P: CheckableNode,
+    T: Topology,
+{
+    let total = bytes.len();
+    let offset_of = |cursor: &[u8]| (total - cursor.len()) as u32;
+    let mut bytes = bytes;
     let cursor = &mut bytes;
+    if RECORD {
+        map.node_spans.clear();
+        map.chan_spans.clear();
+    }
     let n = read_varint(cursor) as usize;
     assert_eq!(n, net.len(), "packed configuration has the wrong number of processes");
     for v in 0..n {
+        let start = offset_of(cursor);
         let state = read_node_state(cursor);
+        if RECORD {
+            map.node_spans.push((start, offset_of(cursor)));
+        }
         net.node_mut(v).restore_state(&state);
     }
     for v in 0..n {
@@ -601,14 +652,129 @@ where
             "packed configuration has the wrong degree for node {v}"
         );
         for l in 0..degree {
+            let start = offset_of(cursor);
             let len = read_varint(cursor) as usize;
             let mut channel = net.channel_mut(v, l);
-            channel.clear();
+            channel.reset();
             for _ in 0..len {
                 channel.push(read_message(cursor));
             }
+            drop(channel);
+            if RECORD {
+                map.chan_spans.push((start, offset_of(cursor)));
+            }
         }
     }
+}
+
+// --------------------------------------------------------------- segment map & delta hashing
+
+/// The byte spans of the **mutable segments** of one packed configuration: one segment per
+/// node state and one per channel content, recorded by [`restore_packed_mapped`].
+///
+/// The remaining bytes of the encoding — the leading process count and the per-node degree
+/// varints — are functions of the network *shape*, identical in every configuration of one
+/// exploration, so they belong to no segment: a transition can never dirty them.
+///
+/// Segments are addressed by a single flat index: segment `s < n` is node `s`'s state,
+/// segment `n + c` is the flat channel `c` (channels in `(node, label)` order).  This is the
+/// index the incremental hash mixes into each segment's contribution ([`segment_term`]), so
+/// configurations that exchange the contents of two segments hash differently.
+#[derive(Clone, Debug, Default)]
+pub struct SegmentMap {
+    /// `node_spans[v]` is the span of node `v`'s encoded state.
+    node_spans: Vec<(u32, u32)>,
+    /// `chan_spans[c]` is the span of flat channel `c`'s encoding (count varint + messages).
+    chan_spans: Vec<(u32, u32)>,
+}
+
+impl SegmentMap {
+    /// Number of node segments.
+    pub fn nodes(&self) -> usize {
+        self.node_spans.len()
+    }
+
+    /// Number of channel segments.
+    pub fn channels(&self) -> usize {
+        self.chan_spans.len()
+    }
+
+    /// Total number of segments (nodes first, then channels).
+    pub fn segments(&self) -> usize {
+        self.node_spans.len() + self.chan_spans.len()
+    }
+
+    /// The flat segment index of node `v`'s state.
+    pub fn node_segment(&self, v: usize) -> usize {
+        debug_assert!(v < self.node_spans.len());
+        v
+    }
+
+    /// The flat segment index of flat channel `c`.
+    pub fn channel_segment(&self, c: usize) -> usize {
+        self.node_spans.len() + c
+    }
+
+    /// The byte span `[start, end)` of segment `seg`.
+    pub fn span(&self, seg: usize) -> (usize, usize) {
+        let (start, end) = if seg < self.node_spans.len() {
+            self.node_spans[seg]
+        } else {
+            self.chan_spans[seg - self.node_spans.len()]
+        };
+        (start as usize, end as usize)
+    }
+
+    /// The bytes of segment `seg` within `packed`.
+    pub fn segment<'a>(&self, packed: &'a [u8], seg: usize) -> &'a [u8] {
+        let (start, end) = self.span(seg);
+        &packed[start..end]
+    }
+}
+
+/// The contribution of segment `seg` holding `bytes` to the segmented configuration hash:
+/// the fx hash of the segment bytes, mixed with the segment index so position matters.
+///
+/// The whole-configuration hash ([`segmented_hash`]) is the XOR of all segment terms, which
+/// is what makes it *incrementally maintainable*: replacing segment `s`'s bytes updates the
+/// hash as `h ^= segment_term(s, old) ^ segment_term(s, new)` — only dirty segments are
+/// re-mixed, never the whole buffer.  XOR-combining is weaker than sequential mixing, but a
+/// hash collision costs only one extra byte comparison in the arena probe; equality is
+/// always decided on the bytes.
+pub fn segment_term(seg: usize, bytes: &[u8]) -> u64 {
+    const PHI: u64 = 0x9E37_79B9_7F4A_7C15;
+    const K: u64 = 0x517c_c1b7_2722_0a95;
+    (fx_hash(bytes) ^ (seg as u64 + 1).wrapping_mul(PHI)).wrapping_mul(K)
+}
+
+/// The segmented hash of a whole packed configuration: XOR of [`segment_term`] over every
+/// segment of `map`.  This is the hash scheme of the delta successor engine; see
+/// [`StateArena`] for the one-scheme-per-arena rule.
+pub fn segmented_hash(packed: &[u8], map: &SegmentMap) -> u64 {
+    let mut hash = 0u64;
+    for seg in 0..map.segments() {
+        hash ^= segment_term(seg, map.segment(packed, seg));
+    }
+    hash
+}
+
+/// Appends the canonical encoding of one channel segment — the count varint followed by the
+/// messages head-first — exactly as [`capture_packed`] encodes it in place.
+pub(crate) fn encode_channel_segment<'a>(
+    out: &mut Vec<u8>,
+    len: usize,
+    msgs: impl Iterator<Item = &'a Message>,
+) {
+    write_varint(out, len as u64);
+    for msg in msgs {
+        write_message(out, msg);
+    }
+}
+
+/// Appends the canonical encoding of one node-state segment (the delta engine's re-pack of
+/// the single node a transition activated).
+pub(crate) fn encode_node_segment(out: &mut Vec<u8>, state: &NodeState) {
+    write_node_state(out, state);
 }
 
 // ------------------------------------------------------------------------------ state arena
@@ -700,10 +866,16 @@ impl StateArena {
 
     /// Looks up previously interned bytes without modifying the arena.
     pub fn lookup(&self, packed: &[u8]) -> Option<StateId> {
+        self.lookup_hashed(packed, fx_hash(packed))
+    }
+
+    /// Like [`StateArena::lookup`], with the key's hash supplied by the caller (the delta
+    /// engine's incrementally maintained [`segmented_hash`]).  See
+    /// [`StateArena::intern_capped_hashed`] for the one-scheme-per-arena rule.
+    pub fn lookup_hashed(&self, packed: &[u8], hash: u64) -> Option<StateId> {
         if self.slots.is_empty() {
             return None;
         }
-        let hash = fx_hash(packed);
         let mask = self.slots.len() - 1;
         let mut slot = (hash as usize) & mask;
         loop {
@@ -733,12 +905,24 @@ impl StateArena {
     /// and one table probe decide between "already present", "inserted", and "over the cap"
     /// (the hot-loop shape — a separate `lookup` + `intern` would hash and probe twice).
     pub fn intern_capped(&mut self, packed: &[u8], cap: usize) -> InternOutcome {
+        self.intern_capped_hashed(packed, fx_hash(packed), cap)
+    }
+
+    /// Like [`StateArena::intern_capped`], with the key's hash supplied by the caller.
+    ///
+    /// **One hash scheme per arena.**  The table stores whatever hash accompanied each
+    /// insertion and compares it against whatever hash accompanies each probe, so every
+    /// operation on one arena must use the *same* key function: either let every call
+    /// compute the fx hash (the [`StateArena::intern_capped`]/[`StateArena::lookup`]
+    /// wrappers — the interned engine), or supply [`segmented_hash`] values everywhere (the
+    /// delta engine, which maintains them incrementally).  Mixing schemes makes equal
+    /// configurations invisible to each other and silently double-interns them.
+    pub fn intern_capped_hashed(&mut self, packed: &[u8], hash: u64, cap: usize) -> InternOutcome {
         if self.slots.is_empty() {
             self.grow_slots(64);
         } else if (self.len() + 1) * 4 > self.slots.len() * 3 {
             self.grow_slots(self.slots.len() * 2);
         }
-        let hash = fx_hash(packed);
         let mask = self.slots.len() - 1;
         let mut slot = (hash as usize) & mask;
         loop {
@@ -984,6 +1168,110 @@ mod tests {
         assert_eq!(snap, recaptured);
         // And the packed snapshot decodes to exactly the structural capture.
         assert_eq!(unpack_configuration(&snap), capture(&net));
+    }
+
+    #[test]
+    fn segment_map_tiles_the_mutable_bytes_and_reencodes_identically() {
+        let mut net = ss_net();
+        net.inject_from(0, 0, Message::Ctrl { c: 0, r: false, pt: 0, ppr: 0 });
+        let mut sched = RoundRobin::new();
+        for _ in 0..300 {
+            net.step(&mut sched);
+        }
+        let mut packed = Vec::new();
+        capture_packed(&net, &mut packed);
+        let mut map = SegmentMap::default();
+        restore_packed_mapped(&mut net, &packed, &mut map);
+
+        let n = net.len();
+        let total_channels: usize = (0..n).map(|v| net.topology().degree(v)).sum();
+        assert_eq!(map.nodes(), n);
+        assert_eq!(map.channels(), total_channels);
+        assert_eq!(map.segments(), n + total_channels);
+
+        // Spans are ordered, disjoint, in-bounds.
+        let mut prev_end = 0;
+        for seg in 0..map.segments() {
+            let (start, end) = map.span(seg);
+            assert!(start >= prev_end && start <= end && end <= packed.len());
+            prev_end = end;
+        }
+
+        // Re-encoding every segment from the restored network reproduces its bytes.
+        let mut scratch = Vec::new();
+        for v in 0..n {
+            scratch.clear();
+            encode_node_segment(&mut scratch, &net.node(v).capture_state());
+            assert_eq!(&scratch[..], map.segment(&packed, map.node_segment(v)), "node {v}");
+        }
+        let mut flat = 0;
+        for v in 0..n {
+            for l in 0..net.topology().degree(v) {
+                scratch.clear();
+                let channel = net.channel(v, l);
+                encode_channel_segment(&mut scratch, channel.len(), channel.iter());
+                assert_eq!(
+                    &scratch[..],
+                    map.segment(&packed, map.channel_segment(flat)),
+                    "channel ({v}, {l})"
+                );
+                flat += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn segmented_hash_updates_incrementally_per_dirty_segment() {
+        let mut net = ss_net();
+        net.inject_from(0, 0, Message::Ctrl { c: 0, r: false, pt: 0, ppr: 0 });
+        let mut sched = RoundRobin::new();
+        for _ in 0..200 {
+            net.step(&mut sched);
+        }
+        let mut before = Vec::new();
+        capture_packed(&net, &mut before);
+        let mut map = SegmentMap::default();
+        restore_packed_mapped(&mut net, &before, &mut map);
+        let mut h_before = segmented_hash(&before, &map);
+
+        // Execute one activation and recapture; patch the hash only through the dirty
+        // segments and compare with a from-scratch hash of the successor — maintained
+        // across 50 consecutive steps so patching errors compound visibly.
+        for _ in 0..50 {
+            net.step(&mut sched);
+            let mut after = Vec::new();
+            capture_packed(&net, &mut after);
+            let mut after_map = SegmentMap::default();
+            restore_packed_mapped(&mut net, &after, &mut after_map);
+            let mut patched = h_before;
+            // Shape is constant, so segment counts agree; xor out/in only changed segments.
+            for seg in 0..map.segments() {
+                let old = map.segment(&before, seg);
+                let new = after_map.segment(&after, seg);
+                if old != new {
+                    patched ^= segment_term(seg, old) ^ segment_term(seg, new);
+                }
+            }
+            assert_eq!(patched, segmented_hash(&after, &after_map));
+            before.clone_from(&after);
+            map = after_map;
+            h_before = patched;
+        }
+    }
+
+    #[test]
+    fn hashed_arena_ops_agree_with_the_default_scheme_when_given_fx_hashes() {
+        let mut arena = StateArena::new();
+        let keys: Vec<Vec<u8>> =
+            (0..64u32).map(|i| i.to_le_bytes().repeat(3)).collect();
+        for (i, key) in keys.iter().enumerate() {
+            let outcome = arena.intern_capped_hashed(key, fx_hash(key), usize::MAX);
+            assert_eq!(outcome, InternOutcome::Inserted(i as u32));
+        }
+        for (i, key) in keys.iter().enumerate() {
+            assert_eq!(arena.lookup_hashed(key, fx_hash(key)), Some(i as u32));
+            assert_eq!(arena.lookup(key), Some(i as u32));
+        }
     }
 
     #[test]

@@ -114,6 +114,12 @@ impl AppSide {
         }
     }
 
+    /// Replaces the application driver (the multi-trial reuse path: a restarted node gets
+    /// the next trial's freshly seeded driver instead of being rebuilt around it).
+    pub fn set_driver(&mut self, driver: BoxedDriver) {
+        self.driver = driver;
+    }
+
     /// Crash-restart of the request state: `State`, `Need`, `RSet` and the entry timestamp
     /// return to their initial values (the application driver is external to the process and
     /// survives the crash).

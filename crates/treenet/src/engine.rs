@@ -203,6 +203,17 @@ impl EnabledSet {
         None
     }
 
+    /// Returns the set to its all-empty initial state in place, retaining every allocation
+    /// (the trial-reuse path of [`Network::reset_trial`](crate::Network::reset_trial)).
+    pub(crate) fn reset(&mut self) {
+        self.lens.fill(0);
+        self.words.fill(0);
+        self.count.fill(0);
+        self.nodes.clear();
+        self.pos.fill(ABSENT);
+        self.in_flight = 0;
+    }
+
     /// Records that channel `channel` of `node` now holds `new_len` messages, updating the
     /// bitset, counts, dense list and in-flight total.  O(1).
     #[inline]

@@ -64,7 +64,7 @@ pub use channel::Channel;
 pub use engine::{EnabledSet, EnabledShape, EventScheduler};
 pub use fault::{ArbitraryMessage, Corruptible, FaultInjector, FaultPlan, FaultReport, Restartable};
 pub use metrics::Metrics;
-pub use network::{ChannelMut, EnabledView, Network, NetworkView};
+pub use network::{ChannelMut, EnabledView, Network, NetworkView, StepUndo};
 pub use process::{Context, Event, MessageKind, Process};
 pub use runner::{run_for, run_until, run_until_quiescent, RunOutcome};
 pub use scheduler::{

@@ -116,6 +116,85 @@ impl<M> Drop for ChannelMut<'_, M> {
     }
 }
 
+/// The undo record of one activation, captured by [`Network::execute_undoable`] and applied
+/// by [`Network::revert`].
+///
+/// An activation of process `p` can change at most one channel by *consuming* (the delivered
+/// head message of one of `p`'s incoming channels) and finitely many channels by *producing*
+/// (one push per message `p` sent, each onto a neighbour's incoming channel).  The record
+/// stores exactly those effects: the consumed message itself (so it can be put back at the
+/// head) and the ordered list of channels pushed (so the pushes can be popped back off the
+/// tails).  Everything else an activation touches — the logical clock, metrics, the trace —
+/// is *not* recorded: those are run-time accumulators outside the configuration abstraction,
+/// and [`Network::revert`] deliberately leaves them alone.
+///
+/// The record is reusable: `execute_undoable` clears it before recording, and `revert`
+/// drains it, so one `StepUndo` value serves an entire exploration.
+#[derive(Debug, Default)]
+pub struct StepUndo<M> {
+    /// The message popped by a delivery, with the channel it came from.
+    delivered: Option<(NodeId, ChannelLabel, M)>,
+    /// Channels pushed by the activation, in push order.
+    sent: Vec<(NodeId, ChannelLabel)>,
+}
+
+impl<M> StepUndo<M> {
+    /// An empty record.
+    pub fn new() -> Self {
+        StepUndo { delivered: None, sent: Vec::new() }
+    }
+
+    /// The channel whose head was consumed by the recorded activation, if any.
+    pub fn delivered_channel(&self) -> Option<(NodeId, ChannelLabel)> {
+        self.delivered.as_ref().map(|&(node, label, _)| (node, label))
+    }
+
+    /// The channels pushed by the recorded activation, in push order (a channel appears once
+    /// per message pushed onto it).
+    pub fn sent_channels(&self) -> &[(NodeId, ChannelLabel)] {
+        &self.sent
+    }
+
+    fn clear(&mut self) {
+        self.delivered = None;
+        self.sent.clear();
+    }
+}
+
+/// The recording hook threaded through the execution core: [`Network::execute`] instantiates
+/// it with the no-op `()` (compiling to exactly the unrecorded step), while
+/// [`Network::execute_undoable`] instantiates it with a [`StepUndo`].  Monomorphization
+/// keeps the plain path free of both the clone and the journal pushes.
+trait UndoSink<M> {
+    /// Called once when the activation consumes a delivered message.
+    fn record_delivered(&mut self, node: NodeId, label: ChannelLabel, msg: &M);
+
+    /// The journal receiving `(node, label)` per pushed message, when recording.
+    fn journal(&mut self) -> Option<&mut Vec<(NodeId, ChannelLabel)>>;
+}
+
+impl<M> UndoSink<M> for () {
+    #[inline]
+    fn record_delivered(&mut self, _node: NodeId, _label: ChannelLabel, _msg: &M) {}
+
+    #[inline]
+    fn journal(&mut self) -> Option<&mut Vec<(NodeId, ChannelLabel)>> {
+        None
+    }
+}
+
+impl<M: Clone> UndoSink<M> for StepUndo<M> {
+    #[inline]
+    fn record_delivered(&mut self, node: NodeId, label: ChannelLabel, msg: &M) {
+        self.delivered = Some((node, label, msg.clone()));
+    }
+
+    #[inline]
+    fn journal(&mut self) -> Option<&mut Vec<(NodeId, ChannelLabel)>> {
+        Some(&mut self.sent)
+    }
+}
+
 /// A simulated network: a topology, one process per node, and one FIFO channel per directed
 /// link.
 ///
@@ -306,6 +385,50 @@ impl<P: Process, T: Topology> Network<P, T> {
 
     /// Executes a specific activation (exposed so tests can drive precise interleavings).
     pub fn execute(&mut self, activation: Activation) {
+        self.execute_recorded(activation, &mut ());
+    }
+
+    /// Executes `activation` exactly like [`Network::execute`] while recording its channel
+    /// effects into `undo`, so [`Network::revert`] can put the channels back.
+    ///
+    /// The recorded effects are the consumed head message (if the activation was a
+    /// delivery) and every channel pushed.  The activated process's *local state* is not
+    /// recorded — callers that need full-configuration undo (the exhaustive checker's
+    /// delta engine) snapshot the one activated node themselves, which is cheap because an
+    /// activation mutates no other process.
+    pub fn execute_undoable(&mut self, activation: Activation, undo: &mut StepUndo<P::Msg>)
+    where
+        P::Msg: Clone,
+    {
+        undo.clear();
+        self.execute_recorded(activation, undo);
+    }
+
+    /// Reverts the channel effects recorded by [`Network::execute_undoable`], draining
+    /// `undo`: pushed messages are popped back off the channel tails (in reverse push
+    /// order) and the consumed message, if any, returns to the head of its channel.  The
+    /// enabled set is re-synchronized and the channel counters reverse their original
+    /// movement (see [`crate::channel`]), so channels are restored bit-exactly.
+    ///
+    /// The logical clock, metrics and trace are **not** rewound — they are run-time
+    /// accumulators outside the configuration abstraction (the same fields
+    /// checker-style `restore` paths leave untouched).
+    pub fn revert(&mut self, undo: &mut StepUndo<P::Msg>) {
+        for &(node, label) in undo.sent.iter().rev() {
+            let channel = &mut self.channels[node][label];
+            let popped = channel.unpush();
+            debug_assert!(popped.is_some(), "recorded push must still be on the channel");
+            self.enabled.note_len(node, label, channel.len());
+        }
+        undo.sent.clear();
+        if let Some((node, label, msg)) = undo.delivered.take() {
+            let channel = &mut self.channels[node][label];
+            channel.unpop(msg);
+            self.enabled.note_len(node, label, channel.len());
+        }
+    }
+
+    fn execute_recorded<U: UndoSink<P::Msg>>(&mut self, activation: Activation, undo: &mut U) {
         self.now += 1;
         self.metrics.activations += 1;
         match activation {
@@ -315,24 +438,30 @@ impl<P: Process, T: Topology> Network<P, T> {
                     Some(msg) => {
                         self.enabled.note_len(node, channel, self.channels[node][channel].len());
                         self.metrics.deliveries += 1;
-                        self.run_node(node, Some((channel, msg)));
+                        undo.record_delivered(node, channel, &msg);
+                        self.run_node(node, Some((channel, msg)), undo);
                     }
                     None => {
                         // The scheduler raced an empty channel; treat it as a tick so time
                         // still advances and fairness is preserved.
                         self.metrics.ticks += 1;
-                        self.run_node(node, None);
+                        self.run_node(node, None, undo);
                     }
                 }
             }
             Activation::Tick { node } => {
                 self.metrics.ticks += 1;
-                self.run_node(node, None);
+                self.run_node(node, None, undo);
             }
         }
     }
 
-    fn run_node(&mut self, node: NodeId, incoming: Option<(ChannelLabel, P::Msg)>) {
+    fn run_node<U: UndoSink<P::Msg>>(
+        &mut self,
+        node: NodeId,
+        incoming: Option<(ChannelLabel, P::Msg)>,
+        undo: &mut U,
+    ) {
         debug_assert!(self.outbox.is_empty() && self.event_buf.is_empty());
         let degree = self.topo.degree(node);
         {
@@ -360,6 +489,9 @@ impl<P: Process, T: Topology> Network<P, T> {
                 let channel = &mut self.channels[dest][dest_label];
                 channel.push(msg);
                 self.enabled.note_len(dest, dest_label, channel.len());
+                if let Some(journal) = undo.journal() {
+                    journal.push((dest, dest_label));
+                }
             }
             self.outbox = outbox;
         }
@@ -371,6 +503,77 @@ impl<P: Process, T: Topology> Network<P, T> {
             }
             self.event_buf = events;
         }
+    }
+
+    /// Resets the network for a fresh trial **in place**, reusing every allocation: channels
+    /// are emptied with their spill capacity retained, the enabled set, clock, trace and
+    /// metrics return to their boot values, and `reset_node(v, &mut process)` re-initializes
+    /// each process (typically [`crate::Restartable::restart`] plus installing the trial's
+    /// freshly seeded driver).
+    ///
+    /// This is the multi-trial fast path of the experiment harness: after `reset_trial` the
+    /// network is observationally identical to a freshly built one, without re-allocating
+    /// the channel matrix, enabled-set arrays, or metric vectors.
+    pub fn reset_trial(&mut self, mut reset_node: impl FnMut(NodeId, &mut P)) {
+        for (v, node) in self.nodes.iter_mut().enumerate() {
+            reset_node(v, node);
+        }
+        self.reset_runtime();
+    }
+
+    /// Resets this network to match `template` (same topology shape required), reusing every
+    /// allocation: processes are cloned from the template's, channel contents are copied,
+    /// and the clock copies the template's.  The trace and metrics restart at zero, as do
+    /// the per-channel traffic counters — the reset network is a fresh *trial* of the
+    /// template's configuration, not a forensic copy of its history.
+    ///
+    /// Use [`Network::reset_trial`] instead when per-trial state (e.g. a seeded driver)
+    /// cannot be cloned from a template.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `template`'s shape (node count or channel degrees) differs.
+    pub fn reset_from(&mut self, template: &Network<P, T>)
+    where
+        P: Clone,
+        P::Msg: Clone,
+    {
+        assert_eq!(
+            self.nodes.len(),
+            template.nodes.len(),
+            "reset_from requires identically shaped networks"
+        );
+        self.nodes.clone_from(&template.nodes);
+        self.reset_runtime();
+        for (v, per_node) in template.channels.iter().enumerate() {
+            assert_eq!(
+                per_node.len(),
+                self.channels[v].len(),
+                "reset_from requires identical degrees (node {v})"
+            );
+            for (l, src) in per_node.iter().enumerate() {
+                let dst = &mut self.channels[v][l];
+                for msg in src.iter() {
+                    dst.push(msg.clone());
+                }
+                self.enabled.note_len(v, l, dst.len());
+            }
+        }
+        self.now = template.now;
+    }
+
+    /// Zeroes every run-time accumulator in place (channels, enabled set, clock, trace,
+    /// metrics), keeping all allocations.  Process state is untouched.
+    fn reset_runtime(&mut self) {
+        for per_node in &mut self.channels {
+            for channel in per_node {
+                channel.reset();
+            }
+        }
+        self.enabled.reset();
+        self.now = 0;
+        self.trace.clear();
+        self.metrics.reset();
     }
 }
 
@@ -428,6 +631,7 @@ mod tests {
 
     /// A toy protocol: forwards every received number to channel (from+1) mod Δ, incremented.
     /// The root emits one initial message on its first tick.
+    #[derive(Clone)]
     struct Forwarder {
         is_root: bool,
         started: bool,
@@ -515,6 +719,116 @@ mod tests {
         assert_eq!(net.channel(0, 0).len(), 1);
         net.execute(Activation::Deliver { node: 0, channel: 0 });
         assert_eq!(net.node(0).received, vec![41]);
+    }
+
+    #[test]
+    fn execute_undoable_then_revert_restores_all_channels() {
+        let mut net = forwarder_net();
+        // Seed a message so a delivery (which also triggers a forward-send) is available.
+        net.inject_from(1, 0, Num(41));
+        let before: Vec<Vec<Vec<u64>>> = (0..net.len())
+            .map(|v| {
+                (0..net.topology().degree(v))
+                    .map(|l| net.channel(v, l).iter().map(|m| m.0).collect())
+                    .collect()
+            })
+            .collect();
+        let in_flight = net.in_flight();
+
+        let mut undo = StepUndo::new();
+        net.execute_undoable(Activation::Deliver { node: 0, channel: 0 }, &mut undo);
+        assert_eq!(undo.delivered_channel(), Some((0, 0)));
+        // Two pushes: the forwarded token, plus the root's first-tick initial message
+        // (on_tick runs within the same activation).
+        assert_eq!(undo.sent_channels().len(), 2);
+        assert_ne!(net.in_flight(), 0);
+
+        net.revert(&mut undo);
+        let after: Vec<Vec<Vec<u64>>> = (0..net.len())
+            .map(|v| {
+                (0..net.topology().degree(v))
+                    .map(|l| net.channel(v, l).iter().map(|m| m.0).collect())
+                    .collect()
+            })
+            .collect();
+        assert_eq!(after, before, "channel contents are restored bit-exactly");
+        assert_eq!(net.in_flight(), in_flight, "the enabled set is re-synchronized");
+        // The record drained; reverting again is a no-op.
+        assert_eq!(undo.delivered_channel(), None);
+        assert!(undo.sent_channels().is_empty());
+        net.revert(&mut undo);
+        assert_eq!(net.in_flight(), in_flight);
+    }
+
+    #[test]
+    fn execute_undoable_tick_records_only_sends() {
+        let mut net = forwarder_net();
+        let mut undo = StepUndo::new();
+        // The root's first tick emits the initial message.
+        net.execute_undoable(Activation::Tick { node: 0 }, &mut undo);
+        assert_eq!(undo.delivered_channel(), None);
+        assert_eq!(undo.sent_channels().len(), 1);
+        net.revert(&mut undo);
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn reset_trial_matches_a_freshly_built_network() {
+        let mut net = forwarder_net();
+        let mut sched = RoundRobin::new();
+        for _ in 0..500 {
+            net.step(&mut sched);
+        }
+        net.reset_trial(|id, node| {
+            *node = Forwarder { is_root: id == 0, started: false, received: vec![] };
+        });
+        assert_eq!(net.now(), 0);
+        assert_eq!(net.in_flight(), 0);
+        assert_eq!(net.metrics().activations, 0);
+        assert!(net.trace().events().is_empty());
+        for v in 0..net.len() {
+            for l in 0..net.topology().degree(v) {
+                assert!(net.channel(v, l).is_empty());
+                assert_eq!(net.channel(v, l).enqueued(), 0);
+            }
+        }
+        // Re-running from the reset state reproduces a fresh network's execution.
+        let mut fresh = forwarder_net();
+        let mut s1 = RoundRobin::new();
+        let mut s2 = RoundRobin::new();
+        for _ in 0..300 {
+            assert_eq!(net.step(&mut s1), fresh.step(&mut s2));
+        }
+        for v in 0..net.len() {
+            assert_eq!(net.node(v).received, fresh.node(v).received);
+        }
+    }
+
+    #[test]
+    fn reset_from_clones_template_state_and_reuses_the_network() {
+        // Template: a pristine network with one injected message.
+        let mut template = forwarder_net();
+        template.inject_into(4, 0, Num(7));
+        // Worn-out network: run it far away from the template's state.
+        let mut net = forwarder_net();
+        let mut sched = RoundRobin::new();
+        for _ in 0..400 {
+            net.step(&mut sched);
+        }
+        net.reset_from(&template);
+        assert_eq!(net.now(), template.now());
+        assert_eq!(net.in_flight(), 1);
+        assert_eq!(net.channel(4, 0).iter().map(|m| m.0).collect::<Vec<_>>(), vec![7]);
+        assert_eq!(net.metrics().activations, 0, "metrics restart at zero");
+        // Both copies now run identically.
+        let mut s1 = RoundRobin::new();
+        let mut s2 = RoundRobin::new();
+        for _ in 0..300 {
+            assert_eq!(net.step(&mut s1), template.step(&mut s2));
+        }
+        for v in 0..net.len() {
+            assert_eq!(net.node(v).received, template.node(v).received);
+        }
     }
 
     #[test]

@@ -6,6 +6,13 @@
 //! is faster still (no virtual dispatch at all) and produces the identical execution.
 //! [`run_until_quiescent`] relies on [`crate::Network::in_flight`], which the enabled set
 //! maintains in O(1) — quiescence detection adds nothing to the per-step cost.
+//!
+//! Experiments that repeat a run over many seeds should not rebuild the network per trial:
+//! [`crate::Network::reset_trial`] (re-initialize processes in place) and
+//! [`crate::Network::reset_from`] (clone a pristine template) return a run-worn network to
+//! its boot state while reusing every allocation — channel buffers, enabled-set arrays,
+//! trace and metric vectors — which is the multi-trial fast path used by the experiment
+//! harness.
 
 use crate::network::Network;
 use crate::process::Process;
