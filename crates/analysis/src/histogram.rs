@@ -4,8 +4,21 @@
 //! report *distributions* (how waiting times spread relative to the Theorem-2 bound, how
 //! convergence times spread across random faults), which is what [`Histogram`] provides,
 //! together with a terminal-friendly rendering.
+//!
+//! # Exhausted trials
+//!
+//! Multi-trial harness runs can end a trial without producing a measurement at all
+//! ([`treenet::RunOutcome::Exhausted`]: the step budget ran out before the stop condition
+//! was met).  Folding such trials into the overflow (max) bucket would silently
+//! misrepresent the distribution — "took longer than the range" and "never finished" are
+//! different claims.  The histogram therefore carries a dedicated [`Histogram::exhausted`]
+//! counter, fed by [`Histogram::record_exhausted`] /
+//! [`Histogram::record_outcome`]; exhausted trials count towards
+//! [`Histogram::total`] but never towards any value bucket, and quantiles are computed over
+//! the *measured* samples only.
 
 use serde::Serialize;
+use treenet::RunOutcome;
 
 /// A fixed-width-bucket histogram over `u64` samples.
 #[derive(Clone, Debug, Serialize)]
@@ -21,7 +34,10 @@ pub struct Histogram {
     pub counts: Vec<u64>,
     /// Samples `>= high`.
     pub overflow: u64,
-    /// Total number of samples.
+    /// Trials that ended without a measurement (see the [module docs](self)); counted in
+    /// `total` but in no value bucket.
+    pub exhausted: u64,
+    /// Total number of samples, including exhausted trials.
     pub total: u64,
 }
 
@@ -41,6 +57,7 @@ impl Histogram {
             bucket_width,
             counts: vec![0; buckets],
             overflow: 0,
+            exhausted: 0,
             total: 0,
         }
     }
@@ -66,6 +83,28 @@ impl Histogram {
         }
     }
 
+    /// Records one trial that produced no measurement (separately from every value bucket —
+    /// see the [module docs](self)).
+    pub fn record_exhausted(&mut self) {
+        self.total += 1;
+        self.exhausted += 1;
+    }
+
+    /// Records a [`RunOutcome`]: satisfied and quiescent outcomes contribute their time as
+    /// a sample, an exhausted outcome lands in the [`Histogram::exhausted`] counter instead
+    /// of the max bucket.
+    pub fn record_outcome(&mut self, outcome: &RunOutcome) {
+        match outcome {
+            RunOutcome::Exhausted(_) => self.record_exhausted(),
+            _ => self.record(outcome.at()),
+        }
+    }
+
+    /// Number of samples that carried a measurement (`total - exhausted`).
+    pub fn measured(&self) -> u64 {
+        self.total - self.exhausted
+    }
+
     /// Number of samples strictly below `value` (bucket resolution: `value` is rounded down
     /// to a bucket edge).
     pub fn count_below(&self, value: u64) -> u64 {
@@ -73,23 +112,26 @@ impl Histogram {
         self.counts.iter().take(full_buckets).sum()
     }
 
-    /// The fraction of samples strictly below `value` (0 when the histogram is empty).
+    /// The fraction of *measured* samples strictly below `value` (0 when the histogram has
+    /// no measured samples); exhausted trials are excluded — they carry no value to
+    /// compare.
     pub fn fraction_below(&self, value: u64) -> f64 {
-        if self.total == 0 {
+        if self.measured() == 0 {
             0.0
         } else {
-            self.count_below(value) as f64 / self.total as f64
+            self.count_below(value) as f64 / self.measured() as f64
         }
     }
 
-    /// Nearest-rank quantile computed from the buckets (bucket upper edge of the bucket in
-    /// which the quantile falls; overflow reports `high`).
+    /// Nearest-rank quantile over the *measured* samples, computed from the buckets
+    /// (bucket upper edge of the bucket in which the quantile falls; overflow reports
+    /// `high`).  Exhausted trials are excluded.
     pub fn quantile(&self, q: f64) -> u64 {
-        if self.total == 0 {
+        if self.measured() == 0 {
             return 0;
         }
         let q = q.clamp(0.0, 1.0);
-        let rank = (q * self.total as f64).ceil().max(1.0) as u64;
+        let rank = (q * self.measured() as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (idx, &count) in self.counts.iter().enumerate() {
             seen += count;
@@ -117,13 +159,22 @@ impl Histogram {
             *mine += theirs;
         }
         self.overflow += other.overflow;
+        self.exhausted += other.exhausted;
         self.total += other.total;
     }
 
     /// Renders the histogram as aligned ASCII bars, one line per non-empty bucket.
     pub fn render(&self, width: usize) -> String {
         let width = width.max(1);
-        let max_count = self.counts.iter().copied().max().unwrap_or(0).max(self.overflow).max(1);
+        let max_count = self
+            .counts
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .max(self.overflow)
+            .max(self.exhausted)
+            .max(1);
         let mut out = String::new();
         for (idx, &count) in self.counts.iter().enumerate() {
             if count == 0 {
@@ -139,6 +190,12 @@ impl Histogram {
                 ((self.overflow as f64 / max_count as f64) * width as f64).ceil() as usize,
             );
             out.push_str(&format!("[{:>8} ..     +inf) {:>6} {bar}\n", self.high, self.overflow));
+        }
+        if self.exhausted > 0 {
+            let bar = "#".repeat(
+                ((self.exhausted as f64 / max_count as f64) * width as f64).ceil() as usize,
+            );
+            out.push_str(&format!("(exhausted, no value) {:>6} {bar}\n", self.exhausted));
         }
         if out.is_empty() {
             out.push_str("(no samples)\n");
@@ -238,5 +295,42 @@ mod tests {
         let mut a = Histogram::with_range(80, 8);
         let b = Histogram::with_range(100, 8);
         a.merge(&b);
+    }
+
+    #[test]
+    fn exhausted_trials_never_land_in_a_value_bucket() {
+        use treenet::RunOutcome;
+        let mut h = Histogram::with_range(100, 10);
+        h.record_outcome(&RunOutcome::Satisfied(12));
+        h.record_outcome(&RunOutcome::Quiescent(99));
+        h.record_outcome(&RunOutcome::Exhausted(1_000_000));
+        h.record_outcome(&RunOutcome::Exhausted(50));
+        assert_eq!(h.total, 4);
+        assert_eq!(h.exhausted, 2);
+        assert_eq!(h.measured(), 2);
+        // The exhausted outcomes are in neither the regular buckets nor the overflow —
+        // even the one whose (meaningless) time would have fit the range.
+        assert_eq!(h.counts.iter().sum::<u64>(), 2);
+        assert_eq!(h.overflow, 0);
+        // Quantiles and fractions are over the measured samples only.
+        assert_eq!(h.quantile(1.0), 100);
+        assert!((h.fraction_below(50) - 0.5).abs() < f64::EPSILON);
+        // The rendering reports the exhausted bucket explicitly.
+        assert!(h.render(10).contains("exhausted"));
+    }
+
+    #[test]
+    fn merging_preserves_the_exhausted_count() {
+        let mut a = Histogram::with_range(80, 8);
+        let mut b = Histogram::with_range(80, 8);
+        a.record(10);
+        a.record_exhausted();
+        b.record_exhausted();
+        b.record(200);
+        a.merge(&b);
+        assert_eq!(a.exhausted, 2);
+        assert_eq!(a.total, 4);
+        assert_eq!(a.overflow, 1);
+        assert_eq!(a.measured(), 2);
     }
 }

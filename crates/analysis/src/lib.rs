@@ -9,6 +9,9 @@
 //!   sustained legitimacy as the empirical convergence criterion;
 //! * [`invariants`] — continuous safety checking (at most k units per process, at most ℓ in
 //!   use, token conservation) while an execution runs;
+//! * [`monitor`] — streaming temporal monitors (request-eventually-CS, at-most-k-in-CS,
+//!   ℓ-availability, convergence-witnessed) with one verdict abstraction over simulator
+//!   traces and checker lassos;
 //! * [`fairness`] — per-process service counts, starvation detection and Jain's index;
 //! * [`deadlock`] — quiescence-with-unsatisfied-requests detection (the Figure 2 scenario);
 //! * [`stats`] — summary statistics for repeated trials;
@@ -32,6 +35,7 @@ pub mod fairness;
 pub mod harness;
 pub mod histogram;
 pub mod invariants;
+pub mod monitor;
 pub mod scenario;
 pub mod scenarios;
 pub mod stats;
@@ -44,6 +48,7 @@ pub use fairness::{jains_index, FairnessReport};
 pub use harness::{render_csv, render_markdown_table, ExperimentRow, Trial};
 pub use histogram::Histogram;
 pub use invariants::{SafetyMonitor, SafetyViolation};
+pub use monitor::{MonitorReport, TemporalMonitor, Verdict, MONITOR_NAMES};
 pub use scenario::{CompiledScenario, Scenario, ScenarioError, ScenarioSpec};
 pub use stats::Summary;
 pub use timeline::{render_activity_gantt, render_virtual_ring, CensusRecorder};

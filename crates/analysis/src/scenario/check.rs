@@ -55,6 +55,22 @@ impl CompiledScenario {
             ProtocolSpec::NonStab => {
                 self.check_net(self.lowered_net(|t, c, d| nonstab::network(t, c, d))?, engine)
             }
+            ProtocolSpec::Ss if spec.check.from_legitimate => {
+                // Closure checking (Definition 1): stabilize the lowered instance under a
+                // deterministic fair schedule first, then explore from the legitimate
+                // configuration.  Validation guarantees there are no init overrides to
+                // discard.
+                let tree = spec.topology.build(0);
+                let cfg = spec.config.to_kl(tree.len());
+                let mut drivers = lower_workload(&spec.workload)?;
+                let net = checker::scenarios::stabilized_ss(
+                    tree,
+                    cfg,
+                    &mut *drivers,
+                    STABILIZATION_BUDGET,
+                );
+                self.check_net(net, engine)
+            }
             ProtocolSpec::Ss => {
                 let mut net = self.lowered_net(|t, c, d| {
                     ss::network(t, c.with_timeout(checker::scenarios::DISABLED_TIMEOUT), d)
@@ -110,19 +126,29 @@ impl CompiledScenario {
             max_configurations: spec.check.max_configurations,
             max_depth: if spec.check.max_depth == 0 { usize::MAX } else { spec.check.max_depth },
         };
-        let mut explorer = Explorer::new(&mut net).with_limits(limits);
+        let liveness = spec.check.properties.iter().any(|p| p == "liveness");
+        let mut explorer =
+            Explorer::new(&mut net).with_limits(limits).check_liveness(liveness);
         for property in &spec.check.properties {
-            explorer = explorer.with_property(match property.as_str() {
+            let property = match property.as_str() {
                 "safety" => properties::safety(cfg),
                 "exact-census" => properties::exact_census(cfg),
                 "no-garbage" => properties::no_garbage(),
                 "legitimate" => properties::legitimate(cfg),
+                // Temporal, handled by the post-exploration fair-cycle pass above.
+                "liveness" => continue,
                 _ => unreachable!("property names are validated at compile time"),
-            });
+            };
+            explorer = explorer.with_property(property);
         }
         Ok(explorer.run_with(engine))
     }
 }
+
+/// Step budget for the [`CheckSpec::from_legitimate`](super::spec::CheckSpec) stabilization
+/// prelude; the schedule is deterministic, so exceeding it indicates a protocol bug (the
+/// prelude panics), not an unlucky run.
+const STABILIZATION_BUDGET: u64 = 2_000_000;
 
 /// Lowers a workload spec into the checker's stateless drivers.
 fn lower_workload(

@@ -253,6 +253,39 @@ impl HarnessReport {
         row
     }
 
+    /// The distribution of `metric` across the trials, with trials that did not report the
+    /// metric counted in the histogram's dedicated [`crate::Histogram::exhausted`] bucket
+    /// instead of being folded into the max bucket.  (Metrics like
+    /// `convergence_activations` are omitted from a trial's map exactly when the run
+    /// exhausted its budget — see [`CompiledScenario::run`]'s metric collection — so
+    /// "missing" is the per-trial footprint of [`RunOutcome::Exhausted`].)
+    /// # Panics
+    ///
+    /// Panics on a metric name that no scenario can ever report — an absent-but-known
+    /// metric means exhausted trials, an unknown one means a typo at the call site, and
+    /// the two must not look alike.
+    pub fn distribution(&self, metric: &str, buckets: usize) -> crate::Histogram {
+        assert!(
+            super::spec::METRIC_NAMES.contains(&metric),
+            "unknown metric {metric:?} (known: {:?})",
+            super::spec::METRIC_NAMES
+        );
+        let samples: Vec<u64> = self
+            .per_trial
+            .iter()
+            .filter_map(|trial| trial.get(metric).map(|v| v.max(0.0) as u64))
+            .collect();
+        let max = samples.iter().copied().max().unwrap_or(0);
+        let mut histogram = crate::Histogram::with_range(max + 1, buckets.max(1));
+        for trial in &self.per_trial {
+            match trial.get(metric) {
+                Some(value) => histogram.record(value.max(0.0) as u64),
+                None => histogram.record_exhausted(),
+            }
+        }
+        histogram
+    }
+
     /// The fraction of trials in which `metric` was reported with a non-zero value —
     /// `converged`/`satisfied`-style success rates.
     pub fn fraction(&self, metric: &str) -> f64 {
@@ -298,6 +331,44 @@ impl CompiledScenario {
     /// Runs the scenario once (trial 0: the spec's seeds, verbatim).
     pub fn run(&self) -> ScenarioOutcome {
         self.run_trial(0, 0)
+    }
+
+    /// Runs the scenario once and evaluates the spec's declared temporal monitors
+    /// ([`super::spec::ScenarioSpec::properties`]) over the execution — the
+    /// simulator-under-monitors backend of the liveness subsystem.
+    pub fn run_monitored(&self) -> (ScenarioOutcome, Vec<crate::monitor::MonitorReport>) {
+        let outcome = self.run();
+        let reports = self.monitor_outcome(&outcome);
+        (outcome, reports)
+    }
+
+    /// Evaluates the spec's monitors over an already-computed outcome: the measured-phase
+    /// trace becomes the observation stream, a converged warmup (and a satisfied
+    /// `legitimate`-predicate stop) contribute [`crate::monitor::MonitorEvent::Legitimate`]
+    /// observations, and the stream ends finitely at the run's end time.
+    pub fn monitor_outcome(&self, outcome: &ScenarioOutcome) -> Vec<crate::monitor::MonitorReport> {
+        use crate::monitor::{self, MonitorEvent, StreamEnd};
+        let mut monitors: Vec<Box<dyn crate::monitor::TemporalMonitor>> = self
+            .spec
+            .properties
+            .iter()
+            .map(|name| {
+                monitor::monitor_for(name, self.spec.config.k, self.spec.config.l)
+                    .expect("monitor names are validated at compile time")
+            })
+            .collect();
+        if let Some(at) = outcome.warmup_activations {
+            monitor::observe_all(&mut monitors, &MonitorEvent::Legitimate { at });
+        }
+        monitor::feed_trace(&mut monitors, &outcome.trace);
+        if let StopSpec::Predicate { name, .. } = &self.spec.stop {
+            if name == "legitimate" && outcome.outcome.is_satisfied() {
+                if let Some(at) = outcome.outcome.time() {
+                    monitor::observe_all(&mut monitors, &MonitorEvent::Legitimate { at });
+                }
+            }
+        }
+        monitor::finish_all(&mut monitors, StreamEnd::Finite { at: outcome.ended_at })
     }
 
     /// Runs one trial: `index` offsets random-topology seeds, `stream` offsets workload,

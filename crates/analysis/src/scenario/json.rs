@@ -371,6 +371,11 @@ fn check_of(v: &Value) -> Parsed<CheckSpec> {
             .iter()
             .map(|item| string_of(item, ctx))
             .collect::<Parsed<Vec<_>>>()?,
+        // Optional for backward compatibility with pre-liveness spec documents.
+        from_legitimate: match v.get("from_legitimate") {
+            Some(Value::Null) | None => false,
+            Some(field) => bool_of(field, ctx)?,
+        },
     })
 }
 
@@ -402,6 +407,14 @@ pub fn spec_from_value(v: &Value) -> Parsed<ScenarioSpec> {
             Some(field) => array_of(field, "metrics")?
                 .iter()
                 .map(|item| string_of(item, "metrics"))
+                .collect::<Parsed<Vec<_>>>()?,
+        },
+        // Optional for backward compatibility with pre-monitor spec documents.
+        properties: match v.get("properties") {
+            Some(Value::Null) | None => Vec::new(),
+            Some(field) => array_of(field, "properties")?
+                .iter()
+                .map(|item| string_of(item, "properties"))
                 .collect::<Parsed<Vec<_>>>()?,
         },
         trials: u64_of(get(v, "trials", ctx)?, "trials")?,

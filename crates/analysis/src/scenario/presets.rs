@@ -12,7 +12,7 @@ use super::spec::{
 };
 
 /// The names accepted by [`preset`], in presentation order.
-pub const PRESET_NAMES: [&str; 13] = [
+pub const PRESET_NAMES: [&str; 15] = [
     "figure2",
     "figure2-pusher",
     "figure2-ss",
@@ -26,6 +26,8 @@ pub const PRESET_NAMES: [&str; 13] = [
     "unbounded",
     "ring",
     "checker-safety",
+    "checker-liveness",
+    "checker-liveness-nonstab",
 ];
 
 /// Requested units per node in the Figure-2 scenario (`r,a,b,c,d,e,f,g`).
@@ -59,7 +61,12 @@ fn figure2_base(name: &str, protocol: ProtocolSpec) -> ScenarioSpec {
         .kl(3, 5)
         .workload(WorkloadSpec::Needs { needs: FIGURE2_NEEDS.to_vec(), hold: 5 })
         .daemon(DaemonSpec::RoundRobin)
-        .check(CheckSpec { max_configurations: 50_000, max_depth: 0, properties: vec!["safety".into()] })
+        .properties(&["at-most-k-in-cs", "l-availability"])
+        .check(CheckSpec {
+            max_configurations: 50_000,
+            properties: vec!["safety".into()],
+            ..CheckSpec::default()
+        })
         .spec()
 }
 
@@ -72,7 +79,29 @@ fn figure3_base(name: &str, protocol: ProtocolSpec) -> ScenarioSpec {
         .daemon(DaemonSpec::RandomFair { seed: 1_000 })
         .stop(StopSpec::Steps { steps: 60_000 })
         .metrics(&["steps", "satisfied", "cs_entries", "jain_index"])
+        .properties(&["request-eventually-cs", "at-most-k-in-cs", "l-availability"])
         .trials(4)
+        .spec()
+}
+
+/// The shared shape of the two fair-cycle checking presets: the exact Figure-3 liveness
+/// instance (needs r=1, a=2, b=1, critical sections spanning one activation so processes
+/// hold tokens while the pusher passes) with the fair-cycle pass enabled.
+fn checker_liveness_base(name: &str, protocol: ProtocolSpec, max_configs: usize) -> ScenarioSpec {
+    ScenarioSpec::builder(name)
+        .topology(TopologySpec::Figure3)
+        .protocol(protocol)
+        .kl(2, 3)
+        .workload(WorkloadSpec::Needs { needs: FIGURE3_NEEDS.to_vec(), hold: 1 })
+        .daemon(DaemonSpec::RoundRobin)
+        .stop(StopSpec::Steps { steps: 10_000 })
+        .properties(&["request-eventually-cs", "at-most-k-in-cs", "l-availability"])
+        .check(CheckSpec {
+            max_configurations: max_configs,
+            max_depth: 0,
+            properties: vec!["safety".into(), "liveness".into()],
+            from_legitimate: false,
+        })
         .spec()
 }
 
@@ -233,7 +262,8 @@ pub fn preset(name: &str) -> Option<ScenarioSpec> {
             .metrics(&["steps", "satisfied", "cs_entries", "converged"])
             .spec(),
         // A small instance meant for the checking backend: exhaustively verify the safety
-        // bounds of the full protocol on the Figure-3 tree.
+        // bounds *and* (k, ℓ)-liveness (no fair starvation cycle) of the full protocol on
+        // the Figure-3 tree.
         "checker-safety" => ScenarioSpec::builder("checker — safety of ss on the Figure-3 tree")
             .topology(TopologySpec::Figure3)
             .protocol(ProtocolSpec::Ss)
@@ -241,12 +271,28 @@ pub fn preset(name: &str) -> Option<ScenarioSpec> {
             .workload(WorkloadSpec::Saturated { units: 1, hold: 0 })
             .daemon(DaemonSpec::RoundRobin)
             .stop(StopSpec::Steps { steps: 5_000 })
+            .properties(&["request-eventually-cs", "at-most-k-in-cs", "l-availability"])
             .check(CheckSpec {
                 max_configurations: 20_000,
                 max_depth: 0,
-                properties: vec!["safety".into()],
+                properties: vec!["safety".into(), "liveness".into()],
+                from_legitimate: false,
             })
             .spec(),
+        // The Figure-3 livelock as a fair-cycle checking scenario: the pusher-only rung has
+        // a weakly fair lasso starving the 2-unit requester (the checker reports it with a
+        // stem + cycle witness)...
+        "checker-liveness" => checker_liveness_base(
+            "checker — figure3 livelock of the pusher-only rung",
+            ProtocolSpec::Pusher,
+            800_000,
+        ),
+        // ...and the priority token removes it: the same instance one rung up is clean.
+        "checker-liveness-nonstab" => checker_liveness_base(
+            "checker — priority token removes the figure3 livelock",
+            ProtocolSpec::NonStab,
+            1_500_000,
+        ),
         _ => return None,
     })
 }

@@ -508,15 +508,23 @@ pub struct CheckSpec {
     pub max_configurations: usize,
     /// Maximum exploration depth (0 = unbounded).
     pub max_depth: usize,
-    /// Property names to check on every configuration.  Known names: `"safety"`,
-    /// `"exact-census"`, `"no-garbage"`, `"legitimate"`.
+    /// Property names to check.  Per-configuration predicates: `"safety"`,
+    /// `"exact-census"`, `"no-garbage"`, `"legitimate"`.  The temporal name `"liveness"`
+    /// instead enables graph recording plus the fair-cycle pass
+    /// ([`checker::liveness::find_fair_cycles`]), whose lasso witnesses land in
+    /// [`checker::ExplorationReport::liveness`].
     pub properties: Vec<String>,
+    /// Explore from a *stabilized* configuration instead of the clean initial one: the
+    /// lowered network first runs a deterministic fair schedule until sustained legitimacy
+    /// (the closure half of Definition 1).  Only meaningful for the `ss` rung, and
+    /// incompatible with init overrides.
+    pub from_legitimate: bool,
 }
 
 impl CheckSpec {
     /// The names accepted in [`CheckSpec::properties`].
-    pub const PROPERTIES: [&'static str; 4] =
-        ["safety", "exact-census", "no-garbage", "legitimate"];
+    pub const PROPERTIES: [&'static str; 5] =
+        ["safety", "exact-census", "no-garbage", "legitimate", "liveness"];
 }
 
 impl Default for CheckSpec {
@@ -525,6 +533,7 @@ impl Default for CheckSpec {
             max_configurations: 100_000,
             max_depth: 0,
             properties: vec!["safety".to_string()],
+            from_legitimate: false,
         }
     }
 }
@@ -581,6 +590,10 @@ pub struct ScenarioSpec {
     pub stop: StopSpec,
     /// Metric selection (empty = [`DEFAULT_METRICS`]).
     pub metrics: Vec<String>,
+    /// Temporal monitors evaluated on simulator runs ([`crate::monitor::MONITOR_NAMES`]):
+    /// the paper property (or properties) this scenario certifies, as data.  Empty = no
+    /// monitoring.
+    pub properties: Vec<String>,
     /// Number of trials in harness runs.
     pub trials: u64,
     /// Base seed of the per-trial seed streams.
@@ -743,12 +756,36 @@ impl ScenarioSpec {
                 return err(format!("unknown metric {metric:?} (known: {METRIC_NAMES:?})"));
             }
         }
+        for monitor in &self.properties {
+            if !crate::monitor::MONITOR_NAMES.contains(&monitor.as_str()) {
+                return err(format!(
+                    "unknown property monitor {monitor:?} (known: {:?})",
+                    crate::monitor::MONITOR_NAMES
+                ));
+            }
+        }
         for property in &self.check.properties {
             if !CheckSpec::PROPERTIES.contains(&property.as_str()) {
                 return err(format!(
                     "unknown check property {property:?} (known: {:?})",
                     CheckSpec::PROPERTIES
                 ));
+            }
+        }
+        if self.check.from_legitimate {
+            if self.protocol != ProtocolSpec::Ss {
+                return err(format!(
+                    "check.from_legitimate stabilizes the self-stabilizing protocol before \
+                     exploring; the {} rung has no legitimacy to stabilize into",
+                    self.protocol.label()
+                ));
+            }
+            if self.init.is_some() {
+                return err(
+                    "check.from_legitimate replaces the initial configuration with a \
+                     stabilized one; init overrides would be discarded"
+                        .into(),
+                );
             }
         }
         Ok(())
@@ -781,6 +818,7 @@ impl ScenarioBuilder {
                 fault: None,
                 stop: StopSpec::Steps { steps: 10_000 },
                 metrics: Vec::new(),
+                properties: Vec::new(),
                 trials: 1,
                 base_seed: 0,
                 check: CheckSpec::default(),
@@ -858,6 +896,13 @@ impl ScenarioBuilder {
     /// Selects the metrics to compute.
     pub fn metrics(mut self, metrics: &[&str]) -> Self {
         self.spec.metrics = metrics.iter().map(|m| m.to_string()).collect();
+        self
+    }
+
+    /// Selects the temporal monitors ([`crate::monitor::MONITOR_NAMES`]) simulator runs
+    /// evaluate — the paper properties this scenario certifies.
+    pub fn properties(mut self, properties: &[&str]) -> Self {
+        self.spec.properties = properties.iter().map(|p| p.to_string()).collect();
         self
     }
 

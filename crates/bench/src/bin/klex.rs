@@ -38,6 +38,7 @@ fn usage() -> &'static str {
        klex show <preset>                            print a preset's JSON spec\n\
        klex run <spec.json | preset> [options]       run a scenario\n\
        klex experiment <e1..e15 | all>               run a full experiment table\n\
+       klex fuzz [options]                           cross-engine differential campaign\n\
      \n\
      OPTIONS (run):\n\
        --backend sim|harness|check|all               backend selection (default: sim)\n\
@@ -45,6 +46,16 @@ fn usage() -> &'static str {
        --shards N                                    harness worker threads (default: cores)\n\
        --bench                                       add checker throughput columns\n\
                                                      (states_per_sec, arena_bytes)\n\
+     \n\
+     OPTIONS (fuzz):\n\
+       --smoke                                       the fixed-seed CI campaign\n\
+                                                     (200 scenarios, tight budgets)\n\
+       --seed N                                      campaign seed (default: 1)\n\
+       --scenarios N                                 scenarios to generate (default: 200)\n\
+       --max-configs N                               checker states per scenario\n\
+       --steps N                                     simulator activations per scenario\n\
+       --out DIR                                     where shrunk failure specs are written\n\
+       --verbose                                     one line per scenario\n\
      \n\
      ENVIRONMENT:\n\
        KLEX_SCALE=quick|full                         experiment scale (default: full)"
@@ -82,6 +93,7 @@ fn main() -> ExitCode {
         },
         Some("run") => run_command(&args[1..]),
         Some("experiment") => experiment_command(&args[1..]),
+        Some("fuzz") => fuzz_command(&args[1..]),
         _ => {
             eprintln!("{}", usage());
             ExitCode::FAILURE
@@ -151,12 +163,21 @@ fn run_command(args: &[String]) -> ExitCode {
     };
 
     let mut rows: Vec<ExperimentRow> = Vec::new();
+    let mut notes: Vec<String> = Vec::new();
     if backend == "sim" || backend == "all" {
-        let outcome = scenario.run();
+        let (outcome, monitors) = scenario.run_monitored();
         let mut row =
             ExperimentRow::new(format!("{} [sim]", scenario.spec().name));
         for (metric, value) in &outcome.metrics {
             row = row.with(metric, *value);
+        }
+        // One column per declared temporal monitor: 1 satisfied, 0 inconclusive,
+        // -1 violated (details go to the notes below the table).
+        for monitor in &monitors {
+            row = row.with(&format!("mon:{}", monitor.name), monitor.verdict.score());
+            if let analysis::Verdict::Violated(detail) = &monitor.verdict {
+                notes.push(format!("monitor {} VIOLATED: {detail}", monitor.name));
+            }
         }
         rows.push(row);
     }
@@ -178,6 +199,12 @@ fn run_command(args: &[String]) -> ExitCode {
                     .with("exhaustive", f64::from(u8::from(report.exhaustive())))
                     .with("violations", report.violations.len() as f64)
                     .with("deadlocks", report.deadlocks.len() as f64);
+                if scenario.spec().check.properties.iter().any(|p| p == "liveness") {
+                    row = row.with("liveness_violations", report.liveness.len() as f64);
+                    for witness in &report.liveness {
+                        notes.push(format!("fair starvation lasso: {}", witness.render()));
+                    }
+                }
                 if bench {
                     // Checker throughput: reachable states per wall-clock second of this
                     // run, and the arena's peak packed-state footprint.
@@ -199,12 +226,94 @@ fn run_command(args: &[String]) -> ExitCode {
     }
 
     match format.as_str() {
-        "markdown" => print!("{}", render_markdown_table(&scenario.spec().name, &rows)),
+        "markdown" => {
+            print!("{}", render_markdown_table(&scenario.spec().name, &rows));
+            for note in &notes {
+                println!("\n{note}");
+            }
+        }
         "jsonl" => println!("{}", render_jsonl(&rows)),
         "csv" => print!("{}", render_csv(&rows)),
         _ => unreachable!("the format was validated before the backends ran"),
     }
     ExitCode::SUCCESS
+}
+
+/// `klex fuzz`: run a cross-engine differential campaign (see [`bench::fuzz`]).
+fn fuzz_command(args: &[String]) -> ExitCode {
+    // `--smoke` selects the base option set and the remaining flags override it, in either
+    // order — `--seed 99 --smoke` and `--smoke --seed 99` mean the same campaign.
+    let mut opts = if args.iter().any(|a| a == "--smoke") {
+        bench::fuzz::FuzzOptions::smoke()
+    } else {
+        bench::fuzz::FuzzOptions::new(1)
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        let result = match arg.as_str() {
+            "--smoke" => Ok(()),
+            "--seed" => value("--seed")
+                .and_then(|v| v.parse::<u64>().map_err(|e| e.to_string()))
+                .map(|v| opts.seed = v),
+            "--scenarios" => value("--scenarios")
+                .and_then(|v| v.parse::<u64>().map_err(|e| e.to_string()))
+                .map(|v| opts.scenarios = v.max(1)),
+            "--max-configs" => value("--max-configs")
+                .and_then(|v| v.parse::<usize>().map_err(|e| e.to_string()))
+                .map(|v| opts.max_configurations = v.max(16)),
+            "--steps" => value("--steps")
+                .and_then(|v| v.parse::<u64>().map_err(|e| e.to_string()))
+                .map(|v| opts.sim_steps = v.max(1)),
+            "--out" => value("--out").map(|v| opts.out_dir = v.into()),
+            "--verbose" => {
+                opts.verbose = true;
+                Ok(())
+            }
+            other => Err(format!("unknown option `{other}`")),
+        };
+        if let Err(message) = result {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    println!(
+        "fuzz campaign: seed {:#x}, {} scenarios, <= {} checker states and {} simulator \
+         activations each",
+        opts.seed, opts.scenarios, opts.max_configurations, opts.sim_steps
+    );
+    let started = std::time::Instant::now();
+    let summary = bench::fuzz::run_campaign(&opts);
+    println!(
+        "ran {} scenarios in {:.1}s: {} explored exhaustively, {} with a fair-cycle \
+         liveness violation, {} with a checker safety violation, {} sim-vs-checker oracle \
+         applications",
+        summary.scenarios,
+        started.elapsed().as_secs_f64(),
+        summary.exhaustive,
+        summary.liveness_violations,
+        summary.safety_violations,
+        summary.differential_oracle_runs,
+    );
+    if summary.clean() {
+        println!("zero cross-engine disagreements");
+        ExitCode::SUCCESS
+    } else {
+        for disagreement in &summary.disagreements {
+            eprintln!(
+                "DISAGREEMENT at scenario {}: {}",
+                disagreement.scenario_index, disagreement.detail
+            );
+            if let Some(path) = &disagreement.written_to {
+                eprintln!("  shrunk reproduction written to {}", path.display());
+            }
+            eprintln!("  spec: {}", disagreement.spec.to_json());
+        }
+        ExitCode::FAILURE
+    }
 }
 
 fn experiment_command(args: &[String]) -> ExitCode {

@@ -75,9 +75,13 @@ pub fn e5_convergence(scale: Scale) -> ExperimentReport {
                     .iter()
                     .filter_map(|trial| trial.get("convergence_activations").copied())
                     .collect();
+                // Exhausted trials (no convergence measurement) are counted in the
+                // distribution's dedicated bucket, never folded into the max bucket.
+                let distribution = report.distribution("convergence_activations", 16);
                 rows.push(
                     ExperimentRow::new(report.label.clone())
                         .with("converged_fraction", report.fraction("converged"))
+                        .with("exhausted_trials", distribution.exhausted as f64)
                         .with_summary("convergence_activations", &Summary::of(&times)),
                 );
             }

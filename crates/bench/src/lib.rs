@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod fuzz;
 pub mod support;
 
 pub use support::Scale;

@@ -167,8 +167,9 @@ fn path_within(
 }
 
 /// Iterative Tarjan SCC restricted to `in_scope` nodes.  Out-of-scope nodes get their own
-/// singleton component id and are never grouped with anything.
-fn tarjan_scc(graph: &StateGraph, in_scope: &[bool]) -> Vec<usize> {
+/// singleton component id and are never grouped with anything.  Shared with the fair-cycle
+/// liveness pass ([`crate::liveness`]), which runs it per candidate victim.
+pub(crate) fn tarjan_scc(graph: &StateGraph, in_scope: &[bool]) -> Vec<usize> {
     let n = graph.len();
     const UNSET: usize = usize::MAX;
     let mut index = vec![UNSET; n];

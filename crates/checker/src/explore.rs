@@ -206,6 +206,10 @@ pub struct ExplorationReport {
     /// the size of level `d`; the entries sum to `configurations`).  Identical across
     /// engines and thread counts — the per-level fingerprint the parity tests compare.
     pub frontier_sizes: Vec<usize>,
+    /// Fair starvation lassos found by the liveness pass (one witness per starved victim);
+    /// only populated when [`Explorer::check_liveness`] was enabled.  Emptiness proves
+    /// (k, ℓ)-liveness only when the exploration was exhaustive — see [`crate::liveness`].
+    pub liveness: Vec<crate::liveness::LassoWitness>,
     /// Bytes of packed configuration data held by the state arena when the run finished
     /// (its peak: the arena only grows during a run).
     pub arena_bytes: usize,
@@ -226,6 +230,12 @@ impl ExplorationReport {
     pub fn exhaustive(&self) -> bool {
         !self.truncated
     }
+
+    /// True when the liveness pass found no fair starvation lasso (vacuously true when the
+    /// pass did not run).
+    pub fn live(&self) -> bool {
+        self.liveness.is_empty()
+    }
 }
 
 /// Bounded-exhaustive explorer over the reachable configurations of a protocol network.
@@ -235,6 +245,7 @@ pub struct Explorer<'a, P: CheckableNode, T: Topology> {
     properties: Vec<Box<dyn Property>>,
     record_graph: bool,
     stop_on_violation: bool,
+    check_liveness: bool,
     graph: StateGraph,
 }
 
@@ -247,6 +258,7 @@ impl<'a, P: CheckableNode, T: Topology> Explorer<'a, P, T> {
             properties: Vec::new(),
             record_graph: false,
             stop_on_violation: true,
+            check_liveness: false,
             graph: StateGraph::default(),
         }
     }
@@ -273,6 +285,17 @@ impl<'a, P: CheckableNode, T: Topology> Explorer<'a, P, T> {
     /// Continue exploring after the first property violation (default: stop).
     pub fn continue_on_violation(mut self) -> Self {
         self.stop_on_violation = false;
+        self
+    }
+
+    /// Runs the fair-cycle liveness pass ([`crate::liveness::find_fair_cycles`]) over the
+    /// recorded graph after exploration finishes, populating
+    /// [`ExplorationReport::liveness`].  Implies [`Explorer::record_graph`].
+    pub fn check_liveness(mut self, check: bool) -> Self {
+        self.check_liveness = check;
+        if check {
+            self.record_graph = true;
+        }
         self
     }
 
@@ -473,9 +496,7 @@ impl<'a, P: CheckableNode, T: Topology> Explorer<'a, P, T> {
             }
         }
 
-        let (report, graph) = engine.finish();
-        self.graph = graph;
-        report
+        self.finish_run(engine.finish())
     }
 
     /// The interned reference engine: per transition, restore the parent's packed bytes,
@@ -530,9 +551,7 @@ impl<'a, P: CheckableNode, T: Topology> Explorer<'a, P, T> {
             }
         }
 
-        let (report, graph) = engine.finish();
-        self.graph = graph;
-        report
+        self.finish_run(engine.finish())
     }
 
     /// Runs the exploration with parallel per-depth frontier expansion across `threads` OS
@@ -582,8 +601,17 @@ impl<'a, P: CheckableNode, T: Topology> Explorer<'a, P, T> {
             depth += 1;
         }
 
-        let (report, graph) = engine.finish();
+        self.finish_run(engine.finish())
+    }
+
+    /// Stores the recorded graph and runs the optional liveness pass — the single exit path
+    /// of every engine, so sequential, parallel, delta and interned runs all report
+    /// identical liveness witnesses (they record identical graphs).
+    fn finish_run(&mut self, (mut report, graph): (ExplorationReport, StateGraph)) -> ExplorationReport {
         self.graph = graph;
+        if self.check_liveness {
+            report.liveness = crate::liveness::find_fair_cycles(&self.graph);
+        }
         report
     }
 }

@@ -77,11 +77,13 @@
 pub mod cycles;
 pub mod drivers;
 pub mod explore;
+pub mod liveness;
 pub mod properties;
 pub mod scenarios;
 pub mod snapshot;
 
 pub use cycles::{find_progress_cycle, CycleWitness};
+pub use liveness::{find_fair_cycles, LassoWitness};
 pub use explore::{
     DeadlockWitness, Edge, ExplorationReport, ExploreEngine, Explorer, Limits, StateGraph,
     Violation,

@@ -1,0 +1,664 @@
+//! Fair-cycle (liveness-violation) detection on the explored state graph.
+//!
+//! The paper's correctness claim has a liveness half — (k, ℓ)-liveness: every requesting
+//! process eventually enters its critical section — that a safety-only exhaustive check
+//! never touches.  A liveness violation of a finite-state system is a **lasso**: a finite
+//! stem from the initial configuration into a cycle along which some process requests
+//! forever without ever entering its critical section.  Not every such cycle is a genuine
+//! violation, though: the asynchronous model assumes a *weakly fair* daemon (every process
+//! is activated infinitely often, and a message that stays deliverable is eventually
+//! delivered), so a cycle in which the victim starves only because the schedule never runs
+//! it — or never delivers the token sitting in its channel — contradicts the fairness
+//! assumption and must be pruned.
+//!
+//! [`find_fair_cycles`] searches the [`StateGraph`] recorded by an exploration (enable
+//! [`crate::Explorer::check_liveness`], which implies graph recording) for fair starvation
+//! lassos.  For each candidate victim `v` it
+//!
+//! 1. restricts the graph to configurations in which `v` is an unsatisfied requester
+//!    (`State = Req`, `|RSet| < Need`) and decomposes the restriction into strongly
+//!    connected components (Tarjan, shared with [`crate::cycles`]);
+//! 2. prunes every SCC that cannot host a *weakly fair* infinite execution:
+//!    * **progress** — some internal edge must enter a critical section of a process other
+//!      than `v` (a cycle without progress is a stuttering schedule, not a protocol
+//!      livelock);
+//!    * **tick coverage** — for every process `u` the SCC must contain an internal `Tick u`
+//!      edge; ticks are always enabled, so a fair execution activates every process
+//!      infinitely often, and if every `Tick u` edge leaves the SCC no fair run can stay;
+//!    * **delivery coverage** — for every channel that is non-empty in *every* SCC
+//!      configuration, the SCC must contain an internal delivery of that channel; a message
+//!      that stays deliverable forever but is never delivered starves the channel, which a
+//!      fair daemon does not do;
+//! 3. builds a concrete witness cycle through the surviving SCC that is weakly fair **by
+//!    construction**: it traverses one progress edge, one `Tick u` edge per process, and —
+//!    for every channel — either an edge delivering it or a configuration in which it is
+//!    empty; plus the shortest stem from the initial configuration to the cycle entry.
+//!
+//! On the Figure-3 instance the search finds a lasso starving the 2-unit requester under
+//! the pusher-only protocol and finds none under the priority-augmented or self-stabilizing
+//! protocols — the distinction the paper introduces the priority token for, now verified as
+//! a *fair-cycle* result rather than a hand-picked victim query
+//! (cf. [`crate::cycles::find_progress_cycle`], which this module generalizes).
+//!
+//! Soundness: a returned witness is always a real fair execution of the explored fragment
+//! (states and edges are real configurations and transitions).  *Absence* of witnesses
+//! proves liveness only when the exploration was exhaustive
+//! ([`crate::ExplorationReport::exhaustive`]) — on a truncated graph a cycle may lie beyond
+//! the bound.
+
+use crate::explore::StateGraph;
+use crate::snapshot::Configuration;
+use std::collections::VecDeque;
+use treenet::{Activation, CsState, NodeId};
+
+/// Maximum network size the liveness analysis supports (per-state facts are stored as
+/// 64-bit masks; checker instances are far smaller).
+pub const MAX_LIVENESS_NODES: usize = 64;
+
+/// A lasso witnessing a fair starvation: `stem` leads from the initial configuration to the
+/// cycle entry, and repeating `cycle` forever is a weakly fair execution along which
+/// `victim` remains an unsatisfied requester while `progress_nodes` keep entering their
+/// critical sections.
+#[derive(Clone, Debug)]
+pub struct LassoWitness {
+    /// The starved process.
+    pub victim: NodeId,
+    /// Activations from the initial configuration to the cycle entry.
+    pub stem: Vec<Activation>,
+    /// State-graph indices along the stem; `stem_states[0]` is the initial configuration
+    /// and `stem_states.last()` is the cycle entry (`cycle_states[0]`), so the length is
+    /// `stem.len() + 1`.
+    pub stem_states: Vec<usize>,
+    /// Activations of the cycle; `cycle[i]` leads from `cycle_states[i]` to
+    /// `cycle_states[(i + 1) % len]`.
+    pub cycle: Vec<Activation>,
+    /// State-graph indices around the cycle (same length as `cycle`).
+    pub cycle_states: Vec<usize>,
+    /// Processes other than the victim that enter their critical section along the cycle.
+    pub progress_nodes: Vec<NodeId>,
+    /// Decoded configurations along the stem (aligned with `stem_states`).
+    pub stem_configs: Vec<Configuration>,
+    /// Decoded configurations around the cycle (aligned with `cycle_states`).
+    pub cycle_configs: Vec<Configuration>,
+    /// Critical-section entries on each stem transition (aligned with `stem`).
+    pub stem_cs: Vec<Vec<NodeId>>,
+    /// Critical-section entries on each cycle transition (aligned with `cycle`).
+    pub cycle_cs: Vec<Vec<NodeId>>,
+}
+
+impl LassoWitness {
+    /// Length of the cycle in transitions.
+    pub fn cycle_len(&self) -> usize {
+        self.cycle.len()
+    }
+
+    /// Length of the stem in transitions.
+    pub fn stem_len(&self) -> usize {
+        self.stem.len()
+    }
+
+    /// A compact human-readable rendering of the lasso (victim, stem, cycle actions).
+    pub fn render(&self) -> String {
+        let fmt_act = |a: &Activation| match a {
+            Activation::Tick { node } => format!("tick {node}"),
+            Activation::Deliver { node, channel } => format!("deliver ({node},{channel})"),
+        };
+        let cycle: Vec<String> = self.cycle.iter().map(fmt_act).collect();
+        format!(
+            "process {} requests forever without entering its critical section\n  stem: {} \
+             activations to state {}\n  cycle ({} activations, progress by {:?}): {}",
+            self.victim,
+            self.stem.len(),
+            self.cycle_states.first().copied().unwrap_or(0),
+            self.cycle.len(),
+            self.progress_nodes,
+            cycle.join(" → "),
+        )
+    }
+}
+
+/// Per-state facts the analysis needs, decoded from the packed arena exactly once.
+struct StateFacts {
+    /// Number of processes.
+    n: usize,
+    /// `u64` words per state in `chan_nonempty`.
+    chan_words: usize,
+    /// Bit `v` of `starving[id]`: process `v` is an unsatisfied requester in state `id`.
+    starving: Vec<u64>,
+    /// Bit `c` (flat channel index) set when the channel holds at least one message.
+    chan_nonempty: Vec<u64>,
+    /// Flat index of channel `(node, label)`: `chan_base[node] + label`.
+    chan_base: Vec<usize>,
+}
+
+impl StateFacts {
+    fn decode(graph: &StateGraph) -> Option<StateFacts> {
+        if graph.is_empty() {
+            return None;
+        }
+        let first = graph.config(0);
+        let n = first.nodes.len();
+        assert!(
+            n <= MAX_LIVENESS_NODES,
+            "liveness analysis supports at most {MAX_LIVENESS_NODES} processes, got {n}"
+        );
+        let mut chan_base = Vec::with_capacity(n + 1);
+        let mut total = 0usize;
+        chan_base.push(0);
+        for per_node in &first.channels {
+            total += per_node.len();
+            chan_base.push(total);
+        }
+        let chan_words = total.div_ceil(64).max(1);
+        let mut facts = StateFacts {
+            n,
+            chan_words,
+            starving: Vec::with_capacity(graph.len()),
+            chan_nonempty: vec![0; graph.len() * chan_words],
+            chan_base,
+        };
+        facts.record(0, &first);
+        for id in 1..graph.len() {
+            let config = graph.config(id);
+            facts.record(id, &config);
+        }
+        Some(facts)
+    }
+
+    fn record(&mut self, id: usize, config: &Configuration) {
+        let mut mask = 0u64;
+        for (v, s) in config.nodes.iter().enumerate() {
+            if s.cs == CsState::Req && s.rset.len() < s.need {
+                mask |= 1 << v;
+            }
+        }
+        self.starving.push(mask);
+        let words = &mut self.chan_nonempty[id * self.chan_words..(id + 1) * self.chan_words];
+        for (v, per_node) in config.channels.iter().enumerate() {
+            for (l, channel) in per_node.iter().enumerate() {
+                if !channel.is_empty() {
+                    let flat = self.chan_base[v] + l;
+                    words[flat / 64] |= 1 << (flat % 64);
+                }
+            }
+        }
+    }
+
+    fn starves(&self, id: usize, victim: NodeId) -> bool {
+        self.starving[id] & (1 << victim) != 0
+    }
+
+    fn channel_nonempty(&self, id: usize, flat: usize) -> bool {
+        self.chan_nonempty[id * self.chan_words + flat / 64] & (1 << (flat % 64)) != 0
+    }
+
+    fn total_channels(&self) -> usize {
+        *self.chan_base.last().expect("chan_base has n + 1 entries")
+    }
+
+    fn flat_channel(&self, node: NodeId, label: usize) -> usize {
+        self.chan_base[node] + label
+    }
+}
+
+/// Searches the recorded graph for fair starvation lassos, one witness per starved victim
+/// (in ascending victim order).  Empty when no weakly fair cycle starves any process — a
+/// liveness *proof* when the exploration was exhaustive (see the module docs).
+///
+/// # Panics
+///
+/// Panics if the graph describes more than [`MAX_LIVENESS_NODES`] processes.
+pub fn find_fair_cycles(graph: &StateGraph) -> Vec<LassoWitness> {
+    let Some(facts) = StateFacts::decode(graph) else {
+        return Vec::new();
+    };
+    (0..facts.n).filter_map(|victim| find_fair_cycle_for(graph, &facts, victim)).collect()
+}
+
+/// One anchor the witness cycle must pass through to be weakly fair by construction.
+enum Requirement {
+    /// Traverse this exact edge (source state, edge index at the source).
+    Edge(usize, usize),
+    /// Visit this state (a configuration in which some otherwise-uncovered channel is
+    /// empty).
+    State(usize),
+}
+
+fn find_fair_cycle_for(
+    graph: &StateGraph,
+    facts: &StateFacts,
+    victim: NodeId,
+) -> Option<LassoWitness> {
+    let n = graph.len();
+    let in_scope: Vec<bool> = (0..n).map(|id| facts.starves(id, victim)).collect();
+    if !in_scope.iter().any(|&s| s) {
+        return None;
+    }
+    let scc = crate::cycles::tarjan_scc(graph, &in_scope);
+
+    // Group the scoped states per component, keeping Tarjan's discovery order.
+    let mut members: Vec<Vec<usize>> = Vec::new();
+    let mut comp_slot = vec![usize::MAX; n];
+    let mut comp_order: Vec<usize> = Vec::new();
+    for id in 0..n {
+        if !in_scope[id] {
+            continue;
+        }
+        let comp = scc[id];
+        if comp_slot[comp] == usize::MAX {
+            comp_slot[comp] = members.len();
+            comp_order.push(comp);
+            members.push(Vec::new());
+        }
+        members[comp_slot[comp]].push(id);
+    }
+
+    for (slot, comp) in comp_order.iter().enumerate() {
+        let states = &members[slot];
+        if let Some(witness) = examine_scc(graph, facts, victim, &in_scope, &scc, *comp, states)
+        {
+            return Some(witness);
+        }
+    }
+    None
+}
+
+/// Applies the weak-fairness pruning to one SCC and, when it survives, constructs the
+/// fair-by-construction witness cycle plus its stem.
+fn examine_scc(
+    graph: &StateGraph,
+    facts: &StateFacts,
+    victim: NodeId,
+    in_scope: &[bool],
+    scc: &[usize],
+    comp: usize,
+    states: &[usize],
+) -> Option<LassoWitness> {
+    let internal = |edge_target: usize| in_scope[edge_target] && scc[edge_target] == comp;
+
+    // Pruning pass over the internal edges: find one progress edge, one internal tick edge
+    // per process, and one internal delivery edge per channel.
+    let mut progress_edge: Option<(usize, usize)> = None;
+    let mut tick_edge: Vec<Option<(usize, usize)>> = vec![None; facts.n];
+    let mut deliver_edge: Vec<Option<(usize, usize)>> = vec![None; facts.total_channels()];
+    let mut has_internal_edge = false;
+    for &id in states {
+        for (edge_idx, edge) in graph.edges(id).iter().enumerate() {
+            if !internal(edge.target as usize) {
+                continue;
+            }
+            has_internal_edge = true;
+            match edge.action {
+                Activation::Tick { node } => {
+                    tick_edge[node].get_or_insert((id, edge_idx));
+                }
+                Activation::Deliver { node, channel } => {
+                    deliver_edge[facts.flat_channel(node, channel)].get_or_insert((id, edge_idx));
+                }
+            }
+            if progress_edge.is_none()
+                && edge.cs_entries.iter().any(|&u| u != victim)
+            {
+                progress_edge = Some((id, edge_idx));
+            }
+        }
+    }
+    if !has_internal_edge {
+        return None; // a trivial SCC (single state, no self-loop) has no cycle at all
+    }
+    // Progress pruning: without a non-victim critical-section entry the cycle describes a
+    // stuttering schedule, not a protocol livelock.
+    let progress_edge = progress_edge?;
+    // Tick coverage: every process must be activatable inside the SCC.
+    if tick_edge.iter().any(Option::is_none) {
+        return None;
+    }
+
+    // Delivery coverage, and the fairness anchors of the witness: for every channel either
+    // an internal delivery edge (required when the channel is never empty in the SCC) or a
+    // member state in which the channel is empty.
+    let mut requirements: Vec<Requirement> = Vec::new();
+    for flat in 0..facts.total_channels() {
+        let empty_somewhere = states.iter().find(|&&id| !facts.channel_nonempty(id, flat));
+        let nonempty_somewhere = states.iter().any(|&id| facts.channel_nonempty(id, flat));
+        match (empty_somewhere, deliver_edge[flat]) {
+            // Channel deliverable in every SCC state but never delivered inside it: no
+            // weakly fair run can stay in this SCC.
+            (None, None) => return None,
+            (None, Some(edge)) => requirements.push(Requirement::Edge(edge.0, edge.1)),
+            (Some(&empty_state), _) => {
+                // Anchor the walk at a state where the channel is empty, so the witness is
+                // fair with respect to this channel even without delivering it — unless the
+                // channel is empty throughout, in which case nothing is required.
+                if nonempty_somewhere {
+                    requirements.push(Requirement::State(empty_state));
+                }
+            }
+        }
+    }
+    for tick in tick_edge.into_iter().flatten() {
+        requirements.push(Requirement::Edge(tick.0, tick.1));
+    }
+
+    // Build the closed walk: traverse the progress edge first, then visit every anchor,
+    // then close back to the start.  All routing stays inside the SCC (strongly connected,
+    // so every leg exists).
+    let start = progress_edge.0;
+    let mut cycle_states: Vec<usize> = vec![start];
+    let mut cycle: Vec<Activation> = Vec::new();
+    let mut cycle_cs: Vec<Vec<NodeId>> = Vec::new();
+    let take_edge = |from: usize,
+                         edge_idx: usize,
+                         cycle_states: &mut Vec<usize>,
+                         cycle: &mut Vec<Activation>,
+                         cycle_cs: &mut Vec<Vec<NodeId>>|
+     -> usize {
+        let edge = &graph.edges(from)[edge_idx];
+        cycle.push(edge.action);
+        cycle_cs.push(edge.cs_entries.clone());
+        let target = edge.target as usize;
+        cycle_states.push(target);
+        target
+    };
+
+    let mut cursor = take_edge(start, progress_edge.1, &mut cycle_states, &mut cycle, &mut cycle_cs);
+    for requirement in &requirements {
+        let goal = match requirement {
+            Requirement::Edge(src, _) => *src,
+            Requirement::State(s) => *s,
+        };
+        cursor = walk_to(graph, in_scope, scc, comp, cursor, goal, &mut cycle_states, &mut cycle, &mut cycle_cs);
+        if let Requirement::Edge(src, edge_idx) = requirement {
+            debug_assert_eq!(cursor, *src);
+            cursor = take_edge(*src, *edge_idx, &mut cycle_states, &mut cycle, &mut cycle_cs);
+        }
+    }
+    walk_to(graph, in_scope, scc, comp, cursor, start, &mut cycle_states, &mut cycle, &mut cycle_cs);
+    // The walk ends where it started; drop the duplicated closing state.
+    debug_assert_eq!(cycle_states.last(), Some(&start));
+    cycle_states.pop();
+    debug_assert_eq!(cycle_states.len(), cycle.len());
+
+    let progress_nodes = {
+        let mut nodes: Vec<NodeId> =
+            cycle_cs.iter().flatten().copied().filter(|&u| u != victim).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    };
+
+    // Shortest stem from the initial configuration to the cycle entry, over the full graph.
+    let (stem_states, stem, stem_cs) = stem_to(graph, start);
+
+    Some(LassoWitness {
+        victim,
+        stem_configs: stem_states.iter().map(|&id| graph.config(id)).collect(),
+        cycle_configs: cycle_states.iter().map(|&id| graph.config(id)).collect(),
+        stem,
+        stem_states,
+        cycle,
+        cycle_states,
+        progress_nodes,
+        stem_cs,
+        cycle_cs,
+    })
+}
+
+/// Appends the shortest in-SCC path from `from` to `to` (actions, intermediate states and
+/// their cs-entries) and returns `to`.  A no-op when already there.
+#[allow(clippy::too_many_arguments)]
+fn walk_to(
+    graph: &StateGraph,
+    in_scope: &[bool],
+    scc: &[usize],
+    comp: usize,
+    from: usize,
+    to: usize,
+    cycle_states: &mut Vec<usize>,
+    cycle: &mut Vec<Activation>,
+    cycle_cs: &mut Vec<Vec<NodeId>>,
+) -> usize {
+    if from == to {
+        return to;
+    }
+    let mut prev: Vec<Option<(usize, usize)>> = vec![None; graph.len()];
+    let mut seen = vec![false; graph.len()];
+    let mut queue = VecDeque::new();
+    seen[from] = true;
+    queue.push_back(from);
+    'bfs: while let Some(u) = queue.pop_front() {
+        for (edge_idx, edge) in graph.edges(u).iter().enumerate() {
+            let v = edge.target as usize;
+            if seen[v] || !in_scope[v] || scc[v] != comp {
+                continue;
+            }
+            seen[v] = true;
+            prev[v] = Some((u, edge_idx));
+            if v == to {
+                break 'bfs;
+            }
+            queue.push_back(v);
+        }
+    }
+    debug_assert!(seen[to], "SCC members are mutually reachable");
+    let mut path: Vec<(usize, usize)> = Vec::new();
+    let mut cursor = to;
+    while cursor != from {
+        let (parent, edge_idx) = prev[cursor].expect("path reconstruction");
+        path.push((parent, edge_idx));
+        cursor = parent;
+    }
+    path.reverse();
+    for (src, edge_idx) in path {
+        let edge = &graph.edges(src)[edge_idx];
+        cycle.push(edge.action);
+        cycle_cs.push(edge.cs_entries.clone());
+        cycle_states.push(edge.target as usize);
+    }
+    to
+}
+
+/// Shortest path from the initial configuration (state 0) to `target` over the full graph:
+/// `(states, actions, cs_entries)` with `states.len() == actions.len() + 1`.
+fn stem_to(graph: &StateGraph, target: usize) -> (Vec<usize>, Vec<Activation>, Vec<Vec<NodeId>>) {
+    if target == 0 {
+        return (vec![0], Vec::new(), Vec::new());
+    }
+    let mut prev: Vec<Option<(usize, usize)>> = vec![None; graph.len()];
+    let mut seen = vec![false; graph.len()];
+    let mut queue = VecDeque::new();
+    seen[0] = true;
+    queue.push_back(0usize);
+    'bfs: while let Some(u) = queue.pop_front() {
+        for (edge_idx, edge) in graph.edges(u).iter().enumerate() {
+            let v = edge.target as usize;
+            if seen[v] {
+                continue;
+            }
+            seen[v] = true;
+            prev[v] = Some((u, edge_idx));
+            if v == target {
+                break 'bfs;
+            }
+            queue.push_back(v);
+        }
+    }
+    debug_assert!(seen[target], "every recorded state is reachable from the root");
+    let mut rev: Vec<(usize, usize)> = Vec::new();
+    let mut cursor = target;
+    while cursor != 0 {
+        let (parent, edge_idx) = prev[cursor].expect("stem reconstruction");
+        rev.push((parent, edge_idx));
+        cursor = parent;
+    }
+    rev.reverse();
+    let mut states = vec![0usize];
+    let mut actions = Vec::with_capacity(rev.len());
+    let mut cs = Vec::with_capacity(rev.len());
+    for (src, edge_idx) in rev {
+        let edge = &graph.edges(src)[edge_idx];
+        actions.push(edge.action);
+        cs.push(edge.cs_entries.clone());
+        states.push(edge.target as usize);
+    }
+    (states, actions, cs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drivers;
+    use crate::explore::{Explorer, Limits};
+    use klex_core::KlConfig;
+
+    fn figure3_needs() -> [usize; 3] {
+        [1, 2, 1]
+    }
+
+    fn explore_with_liveness<P>(
+        mut net: treenet::Network<P, topology::OrientedTree>,
+        max_configs: usize,
+    ) -> crate::ExplorationReport
+    where
+        P: crate::CheckableNode,
+    {
+        Explorer::new(&mut net)
+            .with_limits(Limits { max_configurations: max_configs, max_depth: usize::MAX })
+            .check_liveness(true)
+            .run()
+    }
+
+    #[test]
+    fn pusher_only_protocol_has_a_fair_starvation_lasso_on_figure3() {
+        let tree = topology::builders::figure3_tree();
+        let cfg = KlConfig::new(2, 3, 3);
+        let net = klex_core::pusher::network(
+            tree,
+            cfg,
+            drivers::from_needs_holding(&figure3_needs()),
+        );
+        let report = explore_with_liveness(net, 600_000);
+        assert!(report.exhaustive(), "Figure-3 state space must fit the limits");
+        assert!(!report.live(), "the pusher-only protocol livelocks on Figure 3");
+        let witness = report
+            .liveness
+            .iter()
+            .find(|w| w.victim == 1)
+            .expect("the 2-unit requester (process a) is starved");
+        assert!(!witness.cycle.is_empty());
+        assert_eq!(witness.cycle_states.len(), witness.cycle.len());
+        assert_eq!(witness.stem_states.len(), witness.stem.len() + 1);
+        assert_eq!(witness.stem_states[0], 0, "the stem starts at the initial configuration");
+        assert!(
+            witness.progress_nodes.iter().any(|&v| v != 1),
+            "other processes make progress along the cycle"
+        );
+        // The victim is an unsatisfied requester in every cycle configuration.
+        for config in &witness.cycle_configs {
+            let s = &config.nodes[1];
+            assert_eq!(s.cs, treenet::CsState::Req);
+            assert!(s.rset.len() < s.need);
+        }
+        // Weak fairness by construction: every process ticks along the cycle...
+        for u in 0..3 {
+            assert!(
+                witness.cycle.contains(&Activation::Tick { node: u }),
+                "process {u} must be activated along the fair cycle"
+            );
+        }
+        // ...and every channel is either delivered or observed empty along the cycle.
+        let channels: Vec<(usize, usize)> = (0..witness.cycle_configs[0].channels.len())
+            .flat_map(|v| {
+                (0..witness.cycle_configs[0].channels[v].len()).map(move |l| (v, l))
+            })
+            .collect();
+        for (v, l) in channels {
+            let delivered = witness.cycle.contains(&Activation::Deliver { node: v, channel: l });
+            let empty_somewhere =
+                witness.cycle_configs.iter().any(|c| c.channels[v][l].is_empty());
+            assert!(
+                delivered || empty_somewhere,
+                "channel ({v},{l}) must be delivered or observed empty along the cycle"
+            );
+        }
+    }
+
+    #[test]
+    fn lasso_witness_replays_on_a_fresh_network() {
+        let make = || {
+            klex_core::pusher::network(
+                topology::builders::figure3_tree(),
+                KlConfig::new(2, 3, 3),
+                drivers::from_needs_holding(&figure3_needs()),
+            )
+        };
+        let report = explore_with_liveness(make(), 600_000);
+        let witness = &report.liveness[0];
+
+        // Replaying stem + one full cycle on a fresh network must land back on the cycle
+        // entry configuration — the lasso is a real execution, not a graph artifact.
+        let mut net = make();
+        for act in &witness.stem {
+            net.execute(*act);
+        }
+        assert_eq!(crate::snapshot::capture(&net), witness.cycle_configs[0]);
+        for act in &witness.cycle {
+            net.execute(*act);
+        }
+        assert_eq!(
+            crate::snapshot::capture(&net),
+            witness.cycle_configs[0],
+            "one full cycle traversal returns to the cycle entry"
+        );
+    }
+
+    #[test]
+    fn priority_token_removes_the_fair_lasso_on_figure3() {
+        let tree = topology::builders::figure3_tree();
+        let cfg = KlConfig::new(2, 3, 3);
+        let net = klex_core::nonstab::network(
+            tree,
+            cfg,
+            drivers::from_needs_holding(&figure3_needs()),
+        );
+        let report = explore_with_liveness(net, 1_500_000);
+        assert!(report.exhaustive());
+        assert!(report.live(), "with the priority token no fair cycle starves anyone");
+    }
+
+    #[test]
+    fn fair_cycles_agree_between_delta_and_interned_graphs() {
+        let make = || {
+            klex_core::pusher::network(
+                topology::builders::figure3_tree(),
+                KlConfig::new(2, 3, 3),
+                drivers::from_needs_holding(&figure3_needs()),
+            )
+        };
+        let limits = Limits { max_configurations: 600_000, max_depth: usize::MAX };
+        let mut net = make();
+        let delta = Explorer::new(&mut net)
+            .with_limits(limits)
+            .check_liveness(true)
+            .run_with(crate::ExploreEngine::Delta);
+        let mut net = make();
+        let interned = Explorer::new(&mut net)
+            .with_limits(limits)
+            .check_liveness(true)
+            .run_with(crate::ExploreEngine::Interned);
+        assert_eq!(delta.liveness.len(), interned.liveness.len());
+        for (d, i) in delta.liveness.iter().zip(&interned.liveness) {
+            assert_eq!(d.victim, i.victim);
+            assert_eq!(d.stem, i.stem);
+            assert_eq!(d.cycle, i.cycle);
+            assert_eq!(d.cycle_states, i.cycle_states);
+            assert_eq!(d.progress_nodes, i.progress_nodes);
+        }
+    }
+
+    #[test]
+    fn empty_graph_yields_no_witness() {
+        let graph = StateGraph::default();
+        assert!(find_fair_cycles(&graph).is_empty());
+    }
+}

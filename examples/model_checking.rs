@@ -8,20 +8,19 @@
 //! safety and closure halves of Definition 1, verified exhaustively on small instances.
 //!
 //! The simulation experiments sample executions; this example instead *enumerates* every
-//! reachable configuration of small instances under every possible scheduling and checks:
+//! reachable configuration of small instances under every possible scheduling.  Every check
+//! is a declarative [`ScenarioSpec`] lowered into the checker by the unified scenario API:
 //!
-//! 1. the naive ℓ-token circulation reaches a Figure-2-style deadlock — expressed as a
-//!    declarative scenario and lowered into the checker by the unified scenario API;
-//! 2. the pusher-only protocol has a reachable starvation cycle on the exact Figure-3
-//!    instance (the paper's livelock), and the priority token removes it (the cycle search
-//!    needs the recorded state graph, so this part drives the explorer directly);
-//! 3. the self-stabilizing protocol satisfies *closure*: from a legitimate configuration,
-//!    every reachable configuration is again legitimate and safe (the legitimate starting
-//!    configuration comes from a stabilization run, so this part too drives the explorer).
+//! 1. the naive ℓ-token circulation reaches a Figure-2-style deadlock;
+//! 2. the pusher-only protocol has a **fair starvation cycle** on the exact Figure-3
+//!    instance (the paper's livelock), reported as a lasso (stem + cycle) witness by the
+//!    SCC-based fair-cycle pass, and the priority token removes it — the `"liveness"`
+//!    check property drives the whole pipeline declaratively;
+//! 3. the self-stabilizing protocol satisfies *closure*: from a legitimate configuration
+//!    (`check.from_legitimate` stabilizes the instance before exploring), every reachable
+//!    configuration is again legitimate and safe.
 
 use kl_exclusion::prelude::*;
-
-use checker::{cycles, drivers, properties, scenarios, Explorer, Limits};
 
 fn main() {
     // ---------------------------------------------------------------- 1. Figure-2 deadlock
@@ -33,7 +32,12 @@ fn main() {
         .protocol(ProtocolSpec::Naive)
         .kl(2, 2)
         .workload(WorkloadSpec::Needs { needs: vec![0, 2, 2], hold: 0 })
-        .check(CheckSpec { max_configurations: 500_000, max_depth: 0, properties: vec![] })
+        .check(CheckSpec {
+            max_configurations: 500_000,
+            max_depth: 0,
+            properties: vec![],
+            from_legitimate: false,
+        })
         .build()
         .expect("the checking scenario validates")
         .check()
@@ -54,60 +58,77 @@ fn main() {
     // ---------------------------------------------------------------- 2. Figure-3 livelock
     // The exact Figure-3 instance: 2-out-of-3 exclusion on the 3-node tree, needs r=1, a=2,
     // b=1, with critical sections that span an activation (the livelock needs the small
-    // requesters to hold their tokens while the pusher passes).
-    let fig3 = topology::builders::figure3_tree();
-    let cfg3 = KlConfig::new(2, 3, 3);
-    let needs3 = [1usize, 2, 1];
+    // requesters to hold their tokens while the pusher passes).  The `"liveness"` check
+    // property turns on graph recording plus the SCC fair-cycle pass; its lasso witnesses
+    // arrive in `report.liveness`.
+    let fig3_liveness = |name: &str, protocol: ProtocolSpec, budget: usize| {
+        Scenario::builder(name)
+            .topology(TopologySpec::Figure3)
+            .protocol(protocol)
+            .kl(2, 3)
+            .workload(WorkloadSpec::Needs { needs: vec![1, 2, 1], hold: 1 })
+            .check(CheckSpec {
+                max_configurations: budget,
+                max_depth: 0,
+                properties: vec!["safety".into(), "liveness".into()],
+                from_legitimate: false,
+            })
+            .build()
+            .expect("the liveness scenario validates")
+            .check()
+            .expect("the tree rungs lower into the checker")
+    };
 
-    let mut pusher_net =
-        protocol::pusher::network(fig3.clone(), cfg3, drivers::from_needs_holding(&needs3));
-    let mut explorer = Explorer::new(&mut pusher_net)
-        .with_limits(Limits { max_configurations: 600_000, max_depth: usize::MAX })
-        .record_graph(true);
-    let pusher_report = explorer.run();
-    let pusher_cycle = cycles::find_progress_cycle(explorer.graph(), 1);
+    let pusher_report = fig3_liveness("figure3 pusher livelock", ProtocolSpec::Pusher, 800_000);
     println!("\npusher-only protocol on the Figure-3 instance:");
     println!("  {} configurations explored exhaustively", pusher_report.configurations);
-    match &pusher_cycle {
+    match pusher_report.liveness.first() {
         Some(witness) => println!(
-            "  starvation cycle found: {} transitions long, processes {:?} keep entering their \
-             critical sections while process a never does",
-            witness.len(),
-            witness.progress_nodes
+            "  fair starvation lasso found: stem {} + cycle {} activations, processes {:?} \
+             keep entering their critical sections while process {} never does",
+            witness.stem_len(),
+            witness.cycle_len(),
+            witness.progress_nodes,
+            witness.victim,
         ),
-        None => println!("  no starvation cycle (unexpected!)"),
+        None => println!("  no fair starvation lasso (unexpected!)"),
     }
-    assert!(pusher_cycle.is_some());
+    assert!(!pusher_report.live(), "the pusher-only rung livelocks on Figure 3");
+    assert!(pusher_report.ok(), "the livelock does not break safety");
 
-    let mut prio_net =
-        protocol::nonstab::network(fig3, cfg3, drivers::from_needs_holding(&needs3));
-    let mut explorer = Explorer::new(&mut prio_net)
-        .with_limits(Limits { max_configurations: 1_500_000, max_depth: usize::MAX })
-        .record_graph(true);
-    let prio_report = explorer.run();
-    let prio_cycle = cycles::find_progress_cycle(explorer.graph(), 1);
+    let prio_report =
+        fig3_liveness("figure3 with the priority token", ProtocolSpec::NonStab, 1_500_000);
     println!("\nwith the priority token (same instance):");
     println!("  {} configurations explored exhaustively", prio_report.configurations);
     println!(
-        "  starvation cycle: {}",
-        if prio_cycle.is_some() { "still present (unexpected!)" } else { "none — the priority token removes the livelock" }
+        "  fair starvation lasso: {}",
+        if prio_report.live() {
+            "none — the priority token removes the livelock"
+        } else {
+            "still present (unexpected!)"
+        }
     );
-    assert!(prio_cycle.is_none());
+    assert!(prio_report.live());
 
     // ---------------------------------------------------------------- 3. Closure
-    let tree = topology::builders::figure3_tree();
-    let cfg_ss = KlConfig::new(2, 2, 3).with_cmax(0);
-    let mut stabilized = scenarios::stabilized_ss(
-        tree,
-        cfg_ss,
-        |_| drivers::AlwaysRequest::boxed(1),
-        500_000,
-    );
-    let closure = Explorer::new(&mut stabilized)
-        .with_limits(Limits { max_configurations: 300_000, max_depth: usize::MAX })
-        .with_property(properties::legitimate(cfg_ss))
-        .with_property(properties::safety(cfg_ss))
-        .run();
+    // Closure (Definition 1): from a legitimate configuration, every reachable
+    // configuration is legitimate again.  `check.from_legitimate` stabilizes the lowered
+    // instance under a deterministic fair schedule before the exploration starts.
+    let closure = Scenario::builder("closure of the self-stabilizing protocol")
+        .topology(TopologySpec::Figure3)
+        .protocol(ProtocolSpec::Ss)
+        .config(ConfigSpec::new(2, 2).with_cmax(0))
+        .workload(WorkloadSpec::Saturated { units: 1, hold: 0 })
+        .check(CheckSpec {
+            max_configurations: 300_000,
+            max_depth: 0,
+            properties: vec!["legitimate".into(), "safety".into()],
+            from_legitimate: true,
+        })
+        .build()
+        .expect("the closure scenario validates")
+        .check()
+        .expect("the ss rung lowers into the checker");
     println!("\nself-stabilizing protocol, closure from a legitimate configuration:");
     println!(
         "  {} configurations explored{}, {} property violations, {} deadlocks",

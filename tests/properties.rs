@@ -146,9 +146,148 @@ proptest! {
     ) {
         let h = analysis::Histogram::of(&samples, buckets);
         prop_assert_eq!(h.total as usize, samples.len());
-        prop_assert_eq!(h.counts.iter().sum::<u64>() + h.overflow, h.total);
+        prop_assert_eq!(h.counts.iter().sum::<u64>() + h.overflow + h.exhausted, h.total);
         let max = *samples.iter().max().unwrap();
         prop_assert!(h.quantile(1.0) >= max.min(h.high));
+    }
+
+    /// `Histogram::merge` is commutative and associative, and merging per-shard histograms
+    /// is independent of how the samples were split into shards — the property the sharded
+    /// harness relies on when combining per-worker distributions.  Exhausted trials (no
+    /// measurement) survive every split as a separate count.
+    #[test]
+    fn histogram_merge_is_shard_independent(
+        samples in proptest::collection::vec(0u64..200, 0..120),
+        exhausted_every in 2usize..7,
+        shards in 1usize..9,
+    ) {
+        let make = || analysis::Histogram::with_range(160, 8);
+        let record = |h: &mut analysis::Histogram, idx: usize, sample: u64| {
+            if idx.is_multiple_of(exhausted_every) {
+                h.record_exhausted();
+            } else {
+                h.record(sample);
+            }
+        };
+        // Reference: everything recorded into one histogram.
+        let mut reference = make();
+        for (idx, &s) in samples.iter().enumerate() {
+            record(&mut reference, idx, s);
+        }
+        // Sharded: contiguous chunks recorded separately, then merged in order.
+        let chunk = samples.len().div_ceil(shards).max(1);
+        let mut merged = make();
+        let mut per_shard: Vec<analysis::Histogram> = Vec::new();
+        for (shard_idx, shard) in samples.chunks(chunk).enumerate() {
+            let mut h = make();
+            for (offset, &s) in shard.iter().enumerate() {
+                record(&mut h, shard_idx * chunk + offset, s);
+            }
+            merged.merge(&h);
+            per_shard.push(h);
+        }
+        prop_assert_eq!(&merged.counts, &reference.counts);
+        prop_assert_eq!(merged.overflow, reference.overflow);
+        prop_assert_eq!(merged.exhausted, reference.exhausted);
+        prop_assert_eq!(merged.total, reference.total);
+        // Commutativity: merging the shards in reverse gives the same result.
+        let mut reversed = make();
+        for h in per_shard.iter().rev() {
+            reversed.merge(h);
+        }
+        prop_assert_eq!(&reversed.counts, &reference.counts);
+        prop_assert_eq!(reversed.total, reference.total);
+        // Associativity: (a + b) + c == a + (b + c) on the first three shards.
+        if per_shard.len() >= 3 {
+            let (a, b, c) = (&per_shard[0], &per_shard[1], &per_shard[2]);
+            let mut left = make();
+            left.merge(a);
+            left.merge(b);
+            left.merge(c);
+            let mut bc = make();
+            bc.merge(b);
+            bc.merge(c);
+            let mut right = make();
+            right.merge(a);
+            right.merge(&bc);
+            prop_assert_eq!(&left.counts, &right.counts);
+            prop_assert_eq!(left.overflow, right.overflow);
+            prop_assert_eq!(left.exhausted, right.exhausted);
+            prop_assert_eq!(left.total, right.total);
+        }
+    }
+
+    /// Channel stress across the inline-ring → spill boundary: arbitrary interleavings of
+    /// push / pop / unpush / unpop (seeded with enough pushes to guarantee spilling past
+    /// the 4-slot inline ring) keep the queue equivalent to a reference `VecDeque` and
+    /// maintain the `enqueued == delivered + lost + len` conservation law after every
+    /// single operation; unpush/unpop remain exact inverses at every fill level.
+    #[test]
+    fn channel_conservation_law_holds_across_the_spill_boundary(
+        preload in (treenet::channel::INLINE_CAPACITY + 1)..4 * treenet::channel::INLINE_CAPACITY,
+        ops in proptest::collection::vec((0u8..4, 0u32..1_000), 1..120),
+    ) {
+        use std::collections::VecDeque;
+        let mut ch: treenet::channel::Channel<u32> = treenet::channel::Channel::new();
+        let mut model: VecDeque<u32> = VecDeque::new();
+        let mut delivered_model: u64 = 0;
+
+        let law = |ch: &treenet::channel::Channel<u32>| {
+            ch.enqueued() == ch.delivered() + ch.lost() + ch.len() as u64
+        };
+        let same = |ch: &treenet::channel::Channel<u32>, model: &VecDeque<u32>| {
+            ch.iter().copied().eq(model.iter().copied())
+        };
+
+        // Push past the inline capacity so the interleaving genuinely crosses the spill
+        // boundary in both directions.
+        for i in 0..preload {
+            let value = 10_000 + i as u32;
+            ch.push(value);
+            model.push_back(value);
+        }
+        prop_assert!(law(&ch) && same(&ch, &model));
+
+        for (op, value) in ops {
+            match op {
+                // push: tail append.
+                0 => {
+                    ch.push(value);
+                    model.push_back(value);
+                }
+                // pop: head removal, counted as a delivery.
+                1 => {
+                    let got = ch.pop();
+                    prop_assert_eq!(got, model.pop_front());
+                    if got.is_some() {
+                        delivered_model += 1;
+                    }
+                }
+                // unpush: exact inverse of the most recent push.
+                2 => {
+                    prop_assert_eq!(ch.unpush(), model.pop_back());
+                }
+                // unpop: exact inverse of a pop (needs a prior delivery to reverse).
+                _ => {
+                    if delivered_model > 0 {
+                        ch.unpop(value);
+                        model.push_front(value);
+                        delivered_model -= 1;
+                    }
+                }
+            }
+            prop_assert!(law(&ch), "conservation law broken after op {}", op);
+            prop_assert!(same(&ch, &model), "contents diverged after op {}", op);
+            prop_assert_eq!(ch.delivered(), delivered_model);
+        }
+
+        // Drain through unpush all the way back across the boundary.
+        while let Some(got) = ch.unpush() {
+            prop_assert_eq!(Some(got), model.pop_back());
+            prop_assert!(law(&ch));
+        }
+        prop_assert!(model.is_empty());
+        prop_assert_eq!(ch.len(), 0);
     }
 }
 

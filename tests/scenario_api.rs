@@ -185,8 +185,10 @@ fn roundtrip_covers_warmup_fault_and_check_fields() {
     spec.check = CheckSpec {
         max_configurations: 42,
         max_depth: 9,
-        properties: vec!["safety".into(), "no-garbage".into()],
+        properties: vec!["safety".into(), "no-garbage".into(), "liveness".into()],
+        from_legitimate: true,
     };
+    spec.properties = vec!["request-eventually-cs".into(), "l-availability".into()];
     let parsed = ScenarioSpec::from_json(&spec.to_json()).unwrap();
     assert_eq!(parsed, spec);
 }
