@@ -36,8 +36,19 @@ impl CompiledScenario {
     ///
     /// Returns an error when the scenario cannot be lowered soundly: the ring baseline has no
     /// snapshot support, and stateful workloads would break the explorer's state abstraction.
+    ///
+    /// The engine is selected by the spec's [`super::spec::CheckSpec::threads`] knob: `1`
+    /// runs the sequential delta engine, anything else the work-stealing parallel engine
+    /// (`0`, the default, auto-sizes to one worker per available core — which resolves to
+    /// the sequential engine on a single-core host).  The choice never changes the report:
+    /// the engines are field-for-field identical by the parity contract.
     pub fn check(&self) -> Result<ExplorationReport, ScenarioError> {
-        self.check_with(ExploreEngine::Delta)
+        let threads = resolved_threads(self.spec().check.threads);
+        if threads <= 1 {
+            self.check_with(ExploreEngine::Delta)
+        } else {
+            self.check_parallel(threads)
+        }
     }
 
     /// [`CompiledScenario::check`] with an explicit engine choice — the hook the delta-parity
@@ -92,6 +103,63 @@ impl CompiledScenario {
         }
     }
 
+    /// [`CompiledScenario::check`] on the work-stealing parallel engine
+    /// ([`Explorer::run_parallel`]) with an explicit worker count (`0` = one per available
+    /// core).  The report is field-for-field identical to the sequential engines' at every
+    /// thread count; `threads <= 1` degenerates to the sequential delta engine.
+    pub fn check_parallel(&self, threads: usize) -> Result<ExplorationReport, ScenarioError> {
+        let threads = resolved_threads(threads);
+        let spec = self.spec();
+        match spec.protocol {
+            ProtocolSpec::Naive => {
+                let net = self.lowered_net(|t, c, d| naive::network(t, c, d))?;
+                let make = || self.worker_net(|t, c, d| naive::network(t, c, d));
+                self.check_net_parallel(net, make, threads)
+            }
+            ProtocolSpec::Pusher => {
+                let net = self.lowered_net(|t, c, d| pusher::network(t, c, d))?;
+                let make = || self.worker_net(|t, c, d| pusher::network(t, c, d));
+                self.check_net_parallel(net, make, threads)
+            }
+            ProtocolSpec::NonStab => {
+                let net = self.lowered_net(|t, c, d| nonstab::network(t, c, d))?;
+                let make = || self.worker_net(|t, c, d| nonstab::network(t, c, d));
+                self.check_net_parallel(net, make, threads)
+            }
+            ProtocolSpec::Ss if spec.check.from_legitimate => {
+                let tree = spec.topology.build(0);
+                let cfg = spec.config.to_kl(tree.len());
+                let mut drivers = lower_workload(&spec.workload)?;
+                let net = checker::scenarios::stabilized_ss(
+                    tree,
+                    cfg,
+                    &mut *drivers,
+                    STABILIZATION_BUDGET,
+                );
+                // Workers only need the stabilized network's *shape* (same disabled-timeout
+                // construction); every configuration they touch is restored over.
+                let make = || self.worker_net(|t, c, d| checker::scenarios::ss_for_checking(t, c, d));
+                self.check_net_parallel(net, make, threads)
+            }
+            ProtocolSpec::Ss => {
+                let mut net = self.lowered_net(|t, c, d| {
+                    ss::network(t, c.with_timeout(checker::scenarios::DISABLED_TIMEOUT), d)
+                })?;
+                let inject_bootstrap =
+                    spec.init.as_ref().is_none_or(|init| init.inject.is_empty());
+                if inject_bootstrap {
+                    let root = 0;
+                    net.inject_from(root, 0, Message::Ctrl { c: 0, r: false, pt: 0, ppr: 0 });
+                }
+                let make = || self.worker_net(|t, c, d| checker::scenarios::ss_for_checking(t, c, d));
+                self.check_net_parallel(net, make, threads)
+            }
+            ProtocolSpec::Ring => Err(ScenarioError::NotCheckable(
+                "the ring baseline has no checker snapshot support".to_string(),
+            )),
+        }
+    }
+
     /// Builds the network with checker-lowered (stateless) drivers and init overrides.
     fn lowered_net<P, F>(&self, construct: F) -> Result<Network<P, OrientedTree>, ScenarioError>
     where
@@ -111,12 +179,30 @@ impl CompiledScenario {
         Ok(net)
     }
 
-    /// Runs the explorer over `net` with the spec's limits and properties.
-    fn check_net<P>(
-        &self,
-        mut net: Network<P, OrientedTree>,
-        engine: ExploreEngine,
-    ) -> Result<ExplorationReport, ScenarioError>
+    /// Builds a parallel worker's network: same shape as [`CompiledScenario::lowered_net`]
+    /// (topology, config, lowered drivers) minus the init overrides — workers restore a
+    /// packed configuration over every state before using it, so only the shape matters.
+    /// Callable only after the main lowering validated the workload.
+    fn worker_net<P, F>(&self, construct: F) -> Network<P, OrientedTree>
+    where
+        P: ScenarioNode,
+        F: FnOnce(
+            OrientedTree,
+            KlConfig,
+            &mut dyn FnMut(NodeId) -> BoxedDriver,
+        ) -> Network<P, OrientedTree>,
+    {
+        let spec = self.spec();
+        let tree = spec.topology.build(0);
+        let cfg = spec.config.to_kl(tree.len());
+        let mut drivers =
+            lower_workload(&spec.workload).expect("workload validated by the main lowering");
+        construct(tree, cfg, &mut *drivers)
+    }
+
+    /// Configures an explorer over `net` with the spec's limits and properties — the one
+    /// lowering both the sequential and the parallel backend run.
+    fn lowered_explorer<'n, P>(&self, net: &'n mut Network<P, OrientedTree>) -> Explorer<'n, P, OrientedTree>
     where
         P: CheckableNode,
     {
@@ -128,20 +214,56 @@ impl CompiledScenario {
         };
         let liveness = spec.check.properties.iter().any(|p| p == "liveness");
         let mut explorer =
-            Explorer::new(&mut net).with_limits(limits).check_liveness(liveness);
+            Explorer::new(net).with_limits(limits).check_liveness(liveness);
         for property in &spec.check.properties {
             let property = match property.as_str() {
                 "safety" => properties::safety(cfg),
                 "exact-census" => properties::exact_census(cfg),
                 "no-garbage" => properties::no_garbage(),
                 "legitimate" => properties::legitimate(cfg),
-                // Temporal, handled by the post-exploration fair-cycle pass above.
+                // Temporal, handled by the post-exploration fair-cycle pass.
                 "liveness" => continue,
                 _ => unreachable!("property names are validated at compile time"),
             };
             explorer = explorer.with_property(property);
         }
-        Ok(explorer.run_with(engine))
+        explorer
+    }
+
+    /// Runs the explorer over `net` with the spec's limits and properties.
+    fn check_net<P>(
+        &self,
+        mut net: Network<P, OrientedTree>,
+        engine: ExploreEngine,
+    ) -> Result<ExplorationReport, ScenarioError>
+    where
+        P: CheckableNode,
+    {
+        Ok(self.lowered_explorer(&mut net).run_with(engine))
+    }
+
+    /// Runs the work-stealing parallel explorer over `net` with the spec's limits and
+    /// properties, building one worker network per thread via `factory`.
+    fn check_net_parallel<P, F>(
+        &self,
+        mut net: Network<P, OrientedTree>,
+        factory: F,
+        threads: usize,
+    ) -> Result<ExplorationReport, ScenarioError>
+    where
+        P: CheckableNode,
+        F: Fn() -> Network<P, OrientedTree> + Sync,
+    {
+        Ok(self.lowered_explorer(&mut net).run_parallel(factory, threads))
+    }
+}
+
+/// Resolves a `threads` knob: `0` means one worker per available core.
+fn resolved_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
     }
 }
 

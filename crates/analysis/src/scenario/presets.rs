@@ -100,7 +100,7 @@ fn checker_liveness_base(name: &str, protocol: ProtocolSpec, max_configs: usize)
             max_configurations: max_configs,
             max_depth: 0,
             properties: vec!["safety".into(), "liveness".into()],
-            from_legitimate: false,
+            ..CheckSpec::default()
         })
         .spec()
 }
@@ -276,7 +276,7 @@ pub fn preset(name: &str) -> Option<ScenarioSpec> {
                 max_configurations: 20_000,
                 max_depth: 0,
                 properties: vec!["safety".into(), "liveness".into()],
-                from_legitimate: false,
+                ..CheckSpec::default()
             })
             .spec(),
         // The Figure-3 livelock as a fair-cycle checking scenario: the pusher-only rung has

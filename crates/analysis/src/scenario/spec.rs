@@ -519,6 +519,12 @@ pub struct CheckSpec {
     /// (the closure half of Definition 1).  Only meaningful for the `ss` rung, and
     /// incompatible with init overrides.
     pub from_legitimate: bool,
+    /// Worker threads for the exploration: `0` (the default) auto-sizes to one worker per
+    /// available core, `1` forces the sequential delta engine, `N > 1` runs the
+    /// work-stealing parallel engine with `N` workers.  The report is identical at every
+    /// setting (the engine parity contract); the knob only trades wall-clock for cores.
+    /// Decoded as optional (defaulting to `0`) for pre-parallel spec documents.
+    pub threads: usize,
 }
 
 impl CheckSpec {
@@ -534,6 +540,7 @@ impl Default for CheckSpec {
             max_depth: 0,
             properties: vec!["safety".to_string()],
             from_legitimate: false,
+            threads: 0,
         }
     }
 }

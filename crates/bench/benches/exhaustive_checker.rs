@@ -7,12 +7,15 @@
 //! * `interned` — the packed/interned sequential engine (`Explorer::run_interned`), the
 //!   delta engine's oracle;
 //! * `delta` — the undo-log delta successor engine (`Explorer::run`, the default);
-//! * `parallel` — per-depth parallel frontier expansion (`Explorer::run_parallel`).
+//! * `parallel` — work-stealing parallel delta exploration over the sharded arena
+//!   (`Explorer::run_parallel`), one row per worker count.
 //!
 //! The comparison group also writes `BENCH_explorer.json` at the workspace root recording
-//! states/second for each engine and the resulting speedups, so the gain over the
-//! pre-interning engine is tracked as a checked-in baseline (schema documented in
-//! README.md § Benchmarks).
+//! states/second for each engine (the parallel engine at 1, 2, 4 and all-cores workers,
+//! with the requested and effective thread counts spelled out), the resulting speedups, and
+//! the largest instance whose reachable set the checker has certified exhaustively
+//! (`pusher_star7`, 224k+ configurations), so the gains are tracked as a checked-in
+//! baseline (schema documented in README.md § Benchmarks).
 
 use checker::{drivers, explore::baseline, ExploreEngine, Explorer, Limits};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -31,6 +34,22 @@ fn comparison_net(
     let tree = topology::builders::star(5);
     let cfg = KlConfig::new(2, 3, 5);
     klex_core::pusher::network(tree, cfg, drivers::from_needs_holding(&[0usize, 2, 1, 2, 1]))
+}
+
+/// The certification instance: the largest reachable set the checker has enumerated
+/// exhaustively — a 7-node star under the pusher-only protocol, six holding requesters
+/// competing for three tokens, 224k+ configurations (an order of magnitude beyond
+/// `pusher_star5`).  `emit_engine_baseline` re-certifies it on every bench run and records
+/// its size and throughput in `BENCH_explorer.json`.
+fn certified_net(
+) -> treenet::Network<klex_core::pusher::PusherNode, topology::OrientedTree> {
+    let tree = topology::builders::star(7);
+    let cfg = KlConfig::new(2, 3, 7);
+    klex_core::pusher::network(
+        tree,
+        cfg,
+        drivers::from_needs_holding(&[0usize, 2, 1, 2, 1, 1, 1]),
+    )
 }
 
 fn bench_exploration(c: &mut Criterion) {
@@ -99,7 +118,7 @@ fn bench_engine_comparison(c: &mut Criterion) {
         })
     });
 
-    let threads = worker_threads();
+    let threads = host_cores();
     group.bench_function(BenchmarkId::new(format!("parallel{threads}"), "pusher_star5"), |b| {
         b.iter(|| {
             let mut net = comparison_net();
@@ -137,8 +156,12 @@ fn bench_cycle_search(c: &mut Criterion) {
     group.finish();
 }
 
-fn worker_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).clamp(2, 8)
+/// Cores the host can actually run concurrently.  The parallel rows derive their worker
+/// counts from this — an earlier revision clamped the count to at least 2, which
+/// oversubscribed single-core hosts and committed a dishonest
+/// `"parallel_threads": 2, "host_cores": 1` row to `BENCH_explorer.json`.
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
 /// Times `run` (which returns the number of configurations explored) over `rounds` runs and
@@ -155,10 +178,15 @@ fn states_per_sec(rounds: usize, mut run: impl FnMut() -> usize) -> (f64, usize)
     (best, configurations)
 }
 
-/// Records the engine comparison to `BENCH_explorer.json` at the workspace root.
+/// Records the engine comparison to `BENCH_explorer.json` at the workspace root: the three
+/// sequential engines plus one parallel row per worker count (1, 2, 4 and all cores), and
+/// the re-certified `pusher_star7` instance.  Every row records the *requested* worker
+/// count next to the *effective* one (capped at the host's cores) — on a single-core
+/// runner a 4-thread row is honest about the four workers time-slicing one core.
 fn emit_engine_baseline(_c: &mut Criterion) {
     let limits = explore_limits();
     let rounds = 3;
+    let cores = host_cores();
     let (baseline_rate, configurations) = states_per_sec(rounds, || {
         let mut net = comparison_net();
         baseline::explore(&mut net, limits).configurations
@@ -174,25 +202,66 @@ fn emit_engine_baseline(_c: &mut Criterion) {
         let mut net = comparison_net();
         Explorer::new(&mut net).with_limits(limits).run().configurations
     });
-    let threads = worker_threads();
-    let (parallel_rate, parallel_configs) = states_per_sec(rounds, || {
-        let mut net = comparison_net();
-        Explorer::new(&mut net)
-            .with_limits(limits)
-            .run_parallel(comparison_net, threads)
-            .configurations
-    });
     assert_eq!(configurations, interned_configs, "engines must agree on the state space");
     assert_eq!(configurations, delta_configs, "engines must agree on the state space");
-    assert_eq!(configurations, parallel_configs, "engines must agree on the state space");
 
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut requested: Vec<usize> = vec![1, 2, 4, cores];
+    requested.sort_unstable();
+    requested.dedup();
+    let mut parallel_rows = Vec::new();
+    let mut best_parallel_rate = 0.0f64;
+    for &threads in &requested {
+        let (rate, parallel_configs) = states_per_sec(rounds, || {
+            let mut net = comparison_net();
+            Explorer::new(&mut net)
+                .with_limits(limits)
+                .run_parallel(comparison_net, threads)
+                .configurations
+        });
+        assert_eq!(configurations, parallel_configs, "engines must agree on the state space");
+        // The 1-thread row is the sequential fallback by construction; keep it out of the
+        // parallel-vs-delta headline so the ratio reflects actual multi-worker runs.
+        if threads > 1 {
+            best_parallel_rate = best_parallel_rate.max(rate);
+        }
+        parallel_rows.push(format!(
+            "    {{ \"requested_threads\": {threads}, \"effective_threads\": {}, \
+             \"states_per_sec\": {rate:.0} }}",
+            threads.min(cores)
+        ));
+    }
+
+    // Re-certify the largest exhaustively-enumerated instance with both the sequential
+    // delta engine and the work-stealing engine at full width.
+    let mut certified = None;
+    let (certified_delta_rate, certified_configs) = states_per_sec(rounds, || {
+        let mut net = certified_net();
+        let report = Explorer::new(&mut net).with_limits(limits).run();
+        let count = report.configurations;
+        certified = Some(report);
+        count
+    });
+    let certified = certified.expect("at least one certification round");
+    let (certified_parallel_rate, certified_parallel_configs) = states_per_sec(rounds, || {
+        let mut net = certified_net();
+        Explorer::new(&mut net)
+            .with_limits(limits)
+            .run_parallel(certified_net, cores)
+            .configurations
+    });
+    assert!(certified.exhaustive(), "the certification instance must enumerate fully");
+    assert_eq!(certified_configs, certified_parallel_configs, "engines must agree");
+    assert!(certified_configs > configurations, "certified instance must be the largest");
+
     let json = format!(
-        "{{\n  \"bench\": \"exhaustive_checker\",\n  \"instance\": \"pusher_star5 (k=2, l=3, n=5, holding needs 0+2+1+2+1)\",\n  \"configurations\": {configurations},\n  \"baseline_states_per_sec\": {baseline_rate:.0},\n  \"interned_states_per_sec\": {interned_rate:.0},\n  \"delta_states_per_sec\": {delta_rate:.0},\n  \"parallel_states_per_sec\": {parallel_rate:.0},\n  \"parallel_threads\": {threads},\n  \"host_cores\": {cores},\n  \"speedup_interned_vs_baseline\": {:.2},\n  \"speedup_delta_vs_baseline\": {:.2},\n  \"speedup_delta_vs_interned\": {:.2},\n  \"speedup_parallel_vs_baseline\": {:.2}\n}}\n",
+        "{{\n  \"bench\": \"exhaustive_checker\",\n  \"instance\": \"pusher_star5 (k=2, l=3, n=5, holding needs 0+2+1+2+1)\",\n  \"configurations\": {configurations},\n  \"host_cores\": {cores},\n  \"baseline_states_per_sec\": {baseline_rate:.0},\n  \"interned_states_per_sec\": {interned_rate:.0},\n  \"delta_states_per_sec\": {delta_rate:.0},\n  \"parallel\": [\n{parallel}\n  ],\n  \"speedup_interned_vs_baseline\": {:.2},\n  \"speedup_delta_vs_baseline\": {:.2},\n  \"speedup_delta_vs_interned\": {:.2},\n  \"speedup_parallel_vs_delta\": {:.2},\n  \"certified\": {{\n    \"instance\": \"pusher_star7 (k=2, l=3, n=7, holding needs 0+2+1+2+1+1+1)\",\n    \"configurations\": {certified_configs},\n    \"transitions\": {certified_transitions},\n    \"max_depth\": {certified_max_depth},\n    \"exhaustive\": true,\n    \"delta_states_per_sec\": {certified_delta_rate:.0},\n    \"parallel_states_per_sec\": {certified_parallel_rate:.0},\n    \"parallel_requested_threads\": {cores},\n    \"parallel_effective_threads\": {cores}\n  }}\n}}\n",
         interned_rate / baseline_rate,
         delta_rate / baseline_rate,
         delta_rate / interned_rate,
-        parallel_rate / baseline_rate,
+        best_parallel_rate / delta_rate,
+        parallel = parallel_rows.join(",\n"),
+        certified_transitions = certified.transitions,
+        certified_max_depth = certified.max_depth,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explorer.json");
     std::fs::write(path, &json).expect("write BENCH_explorer.json");

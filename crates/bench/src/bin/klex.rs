@@ -44,6 +44,9 @@ fn usage() -> &'static str {
        --backend sim|harness|check|all               backend selection (default: sim)\n\
        --format markdown|jsonl|csv                   output rendering (default: markdown)\n\
        --shards N                                    harness worker threads (default: cores)\n\
+       --threads N                                   checker worker threads (default: the\n\
+                                                     spec's `check.threads`; 0 = one per\n\
+                                                     core, 1 = sequential delta engine)\n\
        --bench                                       add checker throughput columns\n\
                                                      (states_per_sec, arena_bytes)\n\
      \n\
@@ -121,6 +124,7 @@ fn run_command(args: &[String]) -> ExitCode {
     let mut backend = "sim".to_string();
     let mut format = "markdown".to_string();
     let mut shards = auto_shards();
+    let mut threads: Option<usize> = None;
     let mut bench = false;
     let mut iter = args[1..].iter();
     while let Some(arg) = iter.next() {
@@ -132,6 +136,9 @@ fn run_command(args: &[String]) -> ExitCode {
             "--format" => value("--format").map(|v| format = v),
             "--shards" => value("--shards").and_then(|v| {
                 v.parse::<usize>().map(|v| shards = v.max(1)).map_err(|e| e.to_string())
+            }),
+            "--threads" => value("--threads").and_then(|v| {
+                v.parse::<usize>().map(|v| threads = Some(v)).map_err(|e| e.to_string())
             }),
             "--bench" => {
                 bench = true;
@@ -189,7 +196,15 @@ fn run_command(args: &[String]) -> ExitCode {
     }
     if backend == "check" || backend == "all" {
         let started = std::time::Instant::now();
-        match scenario.check() {
+        // `--threads N` overrides the spec's `check.threads` knob: 0 resolves to one
+        // worker per core, 1 forces the sequential delta engine, N>1 pins the
+        // work-stealing engine to N workers.  The report is identical either way.
+        let checked = match threads {
+            Some(n) if n != 1 => scenario.check_parallel(n),
+            Some(_) => scenario.check_with(checker::ExploreEngine::Delta),
+            None => scenario.check(),
+        };
+        match checked {
             Ok(report) => {
                 let elapsed = started.elapsed().as_secs_f64();
                 let mut row = ExperimentRow::new(format!("{} [check]", scenario.spec().name))

@@ -8,8 +8,12 @@
 //! gate only catches changes that destroy the delta advantage outright, with a 1.0×
 //! threshold loose enough to be noise-proof on shared CI runners.
 //!
-//! The gate also re-asserts report parity on every run — a delta engine that got fast by
-//! being wrong must fail the gate, not pass it.
+//! The gate also re-asserts report parity on every run — an engine that got fast by being
+//! wrong must fail the gate, not pass it.  The work-stealing parallel engine is held to the
+//! same standard: its report must match the delta engine's field-for-field on every run
+//! (this runs unconditionally, even on one core, where the discovery/replay machinery still
+//! executes), and on runners with at least two cores its throughput must not fall below the
+//! sequential delta engine's.
 
 use checker::{drivers, ExploreEngine, Explorer, Limits};
 use klex_core::KlConfig;
@@ -41,32 +45,79 @@ fn measure(engine: ExploreEngine, rounds: usize) -> (f64, checker::ExplorationRe
     (best, last.expect("at least one round"))
 }
 
+/// Best-of-`rounds` states/second for the work-stealing parallel engine at `threads`
+/// workers, plus the last report for parity checks.
+fn measure_parallel(threads: usize, rounds: usize) -> (f64, checker::ExplorationReport) {
+    let mut best = 0.0f64;
+    let mut last = None;
+    for _ in 0..rounds {
+        let mut net = instance();
+        let start = Instant::now();
+        let report =
+            Explorer::new(&mut net).with_limits(limits()).run_parallel(instance, threads);
+        let rate = report.configurations as f64 / start.elapsed().as_secs_f64();
+        best = best.max(rate);
+        last = Some(report);
+    }
+    (best, last.expect("at least one round"))
+}
+
+fn reports_match(a: &checker::ExplorationReport, b: &checker::ExplorationReport) -> bool {
+    a.configurations == b.configurations
+        && a.transitions == b.transitions
+        && a.max_depth == b.max_depth
+        && a.frontier_sizes == b.frontier_sizes
+}
+
 fn main() -> ExitCode {
     let rounds = 5;
     let (interned_rate, interned) = measure(ExploreEngine::Interned, rounds);
     let (delta_rate, delta) = measure(ExploreEngine::Delta, rounds);
+    let (parallel_rate, parallel) = measure_parallel(2, rounds);
 
-    if delta.configurations != interned.configurations
-        || delta.transitions != interned.transitions
-        || delta.max_depth != interned.max_depth
-        || delta.frontier_sizes != interned.frontier_sizes
-    {
+    if !reports_match(&delta, &interned) {
         eprintln!(
             "perf_smoke: PARITY FAILURE — delta {}cfg/{}tr vs interned {}cfg/{}tr",
             delta.configurations, delta.transitions, interned.configurations, interned.transitions
         );
         return ExitCode::FAILURE;
     }
+    // The parallel parity half of the gate runs unconditionally: even on a single core the
+    // sharded-arena discovery and canonical replay both execute in full, so a determinism
+    // bug cannot hide behind the runner's core count.
+    if !reports_match(&delta, &parallel) {
+        eprintln!(
+            "perf_smoke: PARITY FAILURE — parallel(2) {}cfg/{}tr vs delta {}cfg/{}tr",
+            parallel.configurations, parallel.transitions, delta.configurations, delta.transitions
+        );
+        return ExitCode::FAILURE;
+    }
 
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let ratio = delta_rate / interned_rate;
+    let parallel_ratio = parallel_rate / delta_rate;
     println!(
         "perf_smoke: figure3-pusher ({} configurations) — delta {:.0} states/s, interned {:.0} states/s, ratio {:.2}x",
         delta.configurations, delta_rate, interned_rate, ratio
+    );
+    println!(
+        "perf_smoke: parallel(2 threads, {cores} core(s)) {:.0} states/s, {:.2}x delta",
+        parallel_rate, parallel_ratio
     );
     if ratio < 1.0 {
         eprintln!(
             "perf_smoke: REGRESSION — delta engine at {ratio:.2}x interned (threshold 1.0x); \
              the delta successor path has lost its advantage"
+        );
+        return ExitCode::FAILURE;
+    }
+    // The throughput half only gates runners that can actually run two workers at once; on
+    // a single core the two threads time-slice one core and the comparison is meaningless.
+    if cores >= 2 && parallel_ratio < 1.0 {
+        eprintln!(
+            "perf_smoke: REGRESSION — parallel engine at {parallel_ratio:.2}x delta on a \
+             {cores}-core runner (threshold 1.0x); work-stealing overhead has swallowed the \
+             parallel advantage"
         );
         return ExitCode::FAILURE;
     }

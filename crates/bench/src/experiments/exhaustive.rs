@@ -17,10 +17,12 @@ fn limits(max_configurations: usize) -> Limits {
     Limits { max_configurations, max_depth: usize::MAX }
 }
 
-/// Worker threads for the parallel explorations: all available cores, at least 2 (the merge
-/// phase guarantees results identical to a sequential run regardless of the count).
+/// Worker threads for the parallel explorations: one per core the host can actually run
+/// concurrently — no forced minimum, so a single-core host gets the sequential engine
+/// instead of two time-slicing workers.  (The canonical replay guarantees results identical
+/// to a sequential run at any count.)
 fn explore_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(2)
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
 /// E12 — exhaustive checking of small instances.

@@ -1,13 +1,17 @@
 //! `klex fuzz` — the randomized cross-engine differential campaign.
 //!
-//! Every scenario the generator produces is run through **three** executions of the same
+//! Every scenario the generator produces is run through **four** executions of the same
 //! spec and their answers are compared:
 //!
 //! 1. the **delta** checker engine ([`checker::ExploreEngine::Delta`]);
 //! 2. the **interned** checker engine ([`checker::ExploreEngine::Interned`]) — the two
 //!    reports must be identical field for field (states, transitions, per-level frontier
 //!    sizes, violations, deadlocks, fair-cycle lassos);
-//! 3. the **simulator under monitors** ([`analysis::scenario::CompiledScenario::run_monitored`])
+//! 3. the **work-stealing parallel** engine
+//!    ([`analysis::scenario::CompiledScenario::check_parallel`] at three workers) — held to
+//!    the same field-for-field identity against the delta report, so every fuzzed scenario
+//!    also exercises the sharded-arena discovery and canonical-replay machinery;
+//! 4. the **simulator under monitors** ([`analysis::scenario::CompiledScenario::run_monitored`])
 //!    — a monitor-observed safety violation on a concrete execution of a fault-free,
 //!    override-free scenario must be reproduced by the exhaustive exploration (the
 //!    simulated execution is one of the schedules the checker covers), and a checker lasso
@@ -225,7 +229,7 @@ fn generate_spec(rng: &mut StdRng, opts: &FuzzOptions, index: u64) -> ScenarioSp
             max_configurations: opts.max_configurations,
             max_depth: 0,
             properties: vec!["safety".into(), "liveness".into()],
-            from_legitimate: false,
+            ..CheckSpec::default()
         })
         .base_seed(rng.gen::<u64>());
     if let Some((seed, plan)) = fault {
@@ -234,7 +238,7 @@ fn generate_spec(rng: &mut StdRng, opts: &FuzzOptions, index: u64) -> ScenarioSp
     builder.spec()
 }
 
-/// Runs the three executions of one spec and applies the oracles.  `Err` carries a
+/// Runs the four executions of one spec and applies the oracles.  `Err` carries a
 /// human-readable description of the first disagreement.
 fn cross_check(spec: &ScenarioSpec) -> Result<CheckStats, String> {
     let scenario = spec
@@ -248,7 +252,13 @@ fn cross_check(spec: &ScenarioSpec) -> Result<CheckStats, String> {
     let interned = scenario
         .check_with(ExploreEngine::Interned)
         .map_err(|e| format!("interned lowering failed: {e}"))?;
-    compare_reports(&delta, &interned)?;
+    compare_reports("delta", &delta, "interned", &interned)?;
+    // The work-stealing engine at a thread count that forces real stealing (three workers
+    // over budgets this small guarantees contended deques and cross-worker discovery).
+    let parallel = scenario
+        .check_parallel(3)
+        .map_err(|e| format!("parallel lowering failed: {e}"))?;
+    compare_reports("delta", &delta, "parallel", &parallel)?;
 
     // The simulator run, monitored.  Monitors are advisory on faulty scenarios (a fault can
     // legitimately break the safety bounds); on fault-free, override-free scenarios whose
@@ -297,66 +307,71 @@ fn cross_check(spec: &ScenarioSpec) -> Result<CheckStats, String> {
     })
 }
 
-/// Field-for-field comparison of the two engines' reports.
-fn compare_reports(delta: &ExplorationReport, interned: &ExplorationReport) -> Result<(), String> {
-    let mismatch = |what: &str, d: String, i: String| {
-        Err(format!("delta/interned mismatch in {what}: delta {d} vs interned {i}"))
+/// Field-for-field comparison of two engines' reports, labeled for the error message.
+fn compare_reports(
+    ln: &str,
+    left: &ExplorationReport,
+    rn: &str,
+    right: &ExplorationReport,
+) -> Result<(), String> {
+    let mismatch = |what: &str, l: String, r: String| {
+        Err(format!("{ln}/{rn} mismatch in {what}: {ln} {l} vs {rn} {r}"))
     };
-    if delta.configurations != interned.configurations {
+    if left.configurations != right.configurations {
         return mismatch(
             "configurations",
-            delta.configurations.to_string(),
-            interned.configurations.to_string(),
+            left.configurations.to_string(),
+            right.configurations.to_string(),
         );
     }
-    if delta.transitions != interned.transitions {
+    if left.transitions != right.transitions {
         return mismatch(
             "transitions",
-            delta.transitions.to_string(),
-            interned.transitions.to_string(),
+            left.transitions.to_string(),
+            right.transitions.to_string(),
         );
     }
-    if delta.max_depth != interned.max_depth {
-        return mismatch("max_depth", delta.max_depth.to_string(), interned.max_depth.to_string());
+    if left.max_depth != right.max_depth {
+        return mismatch("max_depth", left.max_depth.to_string(), right.max_depth.to_string());
     }
-    if delta.truncated != interned.truncated {
-        return mismatch("truncated", delta.truncated.to_string(), interned.truncated.to_string());
+    if left.truncated != right.truncated {
+        return mismatch("truncated", left.truncated.to_string(), right.truncated.to_string());
     }
-    if delta.frontier_sizes != interned.frontier_sizes {
+    if left.frontier_sizes != right.frontier_sizes {
         return mismatch(
             "frontier_sizes",
-            format!("{:?}", delta.frontier_sizes),
-            format!("{:?}", interned.frontier_sizes),
+            format!("{:?}", left.frontier_sizes),
+            format!("{:?}", right.frontier_sizes),
         );
     }
     let violations = |r: &ExplorationReport| -> Vec<(String, usize)> {
         r.violations.iter().map(|v| (v.property.clone(), v.depth)).collect()
     };
-    if violations(delta) != violations(interned) {
+    if violations(left) != violations(right) {
         return mismatch(
             "violations",
-            format!("{:?}", violations(delta)),
-            format!("{:?}", violations(interned)),
+            format!("{:?}", violations(left)),
+            format!("{:?}", violations(right)),
         );
     }
     let deadlocks = |r: &ExplorationReport| -> Vec<(usize, Vec<usize>)> {
         r.deadlocks.iter().map(|d| (d.depth, d.blocked.clone())).collect()
     };
-    if deadlocks(delta) != deadlocks(interned) {
+    if deadlocks(left) != deadlocks(right) {
         return mismatch(
             "deadlocks",
-            format!("{:?}", deadlocks(delta)),
-            format!("{:?}", deadlocks(interned)),
+            format!("{:?}", deadlocks(left)),
+            format!("{:?}", deadlocks(right)),
         );
     }
     let lassos = |r: &ExplorationReport| -> Vec<(usize, usize, usize)> {
         r.liveness.iter().map(|w| (w.victim, w.stem_len(), w.cycle_len())).collect()
     };
-    if lassos(delta) != lassos(interned) {
+    if lassos(left) != lassos(right) {
         return mismatch(
             "liveness lassos",
-            format!("{:?}", lassos(delta)),
-            format!("{:?}", lassos(interned)),
+            format!("{:?}", lassos(left)),
+            format!("{:?}", lassos(right)),
         );
     }
     Ok(())

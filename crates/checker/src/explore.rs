@@ -36,15 +36,32 @@
 //! oracle the delta-parity test suite checks the delta engine against (identical reachable
 //! sets, frontier sizes per level, violation and deadlock reports).
 //!
-//! # Parallel frontier expansion
+//! # Work-stealing parallel exploration
 //!
-//! [`Explorer::run_parallel`] keeps BFS level order (and therefore the shortest-counterexample
-//! guarantee) while expanding each depth level on several OS threads: workers — each driving
-//! its own network built by a caller-supplied factory — expand disjoint chunks of the frontier
-//! against the *frozen* arena of states known before the level, and a sequential merge phase
-//! then interns the results **in exactly the order the sequential loop would have produced**.
-//! Sequential and parallel runs therefore assign identical state ids and return identical
-//! reports (same configuration counts, same violations at the same depths, same deadlocks).
+//! [`Explorer::run_parallel`] splits a run into a parallel **discovery** phase and a
+//! sequential **canonical replay**:
+//!
+//! * *Discovery.*  N workers — each owning a private network built by a caller-supplied
+//!   factory and running the same delta hot loop as the sequential engine — pull states
+//!   from per-worker deques, Chase-Lev style: owners push and pop at one end, an idle
+//!   worker steals a batch from the opposite end of a victim's deque.  Successors are
+//!   deduplicated concurrently in a [`crate::snapshot::ShardedArena`] (the
+//!   [`StateArena`] lock-striped into 64 shards keyed by the top bits of the segmented
+//!   hash) under *provisional* ids, and each worker logs, per expanded state, the ordered
+//!   transition list the sequential loop would have produced.  The log is
+//!   schedule-independent because activation enumeration is a pure function of the
+//!   parent's bytes (deliveries in `(node, channel)` order, then ticks in node order).
+//! * *Replay.*  A sequential pass walks the logs in canonical BFS discovery order,
+//!   renumbering provisional ids into the dense [`StateId`]s a sequential run assigns and
+//!   driving the same (private) `Engine` state machine [`Explorer::run_delta`] drives — it only
+//!   substitutes an arena probe plus memcpy (replaying a logged transition) for the
+//!   simulate-and-patch work the workers already did.  Any state the workers did not
+//!   expand (beyond a depth limit as measured canonically, or abandoned after the
+//!   discovery budget tripped) is *repaired* inline with a live delta expansion on the
+//!   explorer's own network.  By induction over the BFS queue the replay issues the
+//!   identical `Engine` call sequence as a sequential run, so sequential and parallel
+//!   runs return field-for-field identical reports — same ids, same frontier sizes, same
+//!   shortest traces, same graphs, same liveness lassos — at every thread count.
 //!
 //! The exploration is exhaustive with respect to scheduling: every interleaving the paper's
 //! asynchronous model allows is covered, because at each configuration *every* enabled
@@ -57,8 +74,10 @@ use crate::snapshot::{
     encode_channel_segment, encode_node_segment, restore_packed_mapped, segment_term,
     SegmentMap,
 };
-use crate::snapshot::{InternOutcome, StateArena, StateId};
+use crate::snapshot::{InternOutcome, ProvisionalId, ShardedArena, StateArena, StateId};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use topology::Topology;
 use treenet::{Activation, Network, NodeId, StepUndo};
 
@@ -344,44 +363,20 @@ impl<'a, P: CheckableNode, T: Topology> Explorer<'a, P, T> {
     /// per-transition cost; what remains is O(touched state) work plus one memcpy.
     pub fn run_delta(&mut self) -> ExplorationReport {
         let net = &mut *self.net;
-        let n = net.len();
-        // Flat channel ids: channel (v, l) has flat index chan_base[v] + l.
-        let mut chan_base = Vec::with_capacity(n + 1);
-        let mut total_channels = 0usize;
-        chan_base.push(0usize);
-        for v in 0..n {
-            total_channels += net.topology().degree(v);
-            chan_base.push(total_channels);
-        }
-        let mut chan_pos = Vec::with_capacity(total_channels);
-        for v in 0..n {
-            for l in 0..net.topology().degree(v) {
-                chan_pos.push((v, l));
-            }
-        }
+        let mut scratch = DeltaScratch::for_net(net);
+        let record_graph = self.record_graph;
 
         let mut engine =
             Engine::new(self.limits, &self.properties, self.record_graph, self.stop_on_violation);
 
         let mut parent_buf = Vec::new();
-        let mut map = SegmentMap::default();
-        let mut terms: Vec<u64> = Vec::new();
         capture_packed(net, &mut parent_buf);
-        restore_packed_mapped(net, &parent_buf, &mut map);
-        let h_initial = compute_terms(&parent_buf, &map, &mut terms);
+        restore_packed_mapped(net, &parent_buf, &mut scratch.map);
+        let h_initial = compute_terms(&parent_buf, &scratch.map, &mut scratch.terms);
         engine.admit_initial_hashed(&parent_buf, h_initial);
 
         let mut queue: VecDeque<StateId> = VecDeque::new();
         queue.push_back(0);
-
-        let mut undo: StepUndo<klex_core::Message> = StepUndo::new();
-        let mut activations: Vec<Activation> = Vec::new();
-        let mut dirty_chans: Vec<usize> = Vec::new();
-        // Dirty-segment patches: (segment index, span of the re-encoded bytes in seg_buf),
-        // in ascending parent-span order.
-        let mut patches: Vec<(usize, usize, usize)> = Vec::new();
-        let mut seg_buf: Vec<u8> = Vec::new();
-        let mut succ_buf: Vec<u8> = Vec::new();
 
         'outer: while let Some(id) = queue.pop_front() {
             let depth = engine.depths[id as usize] as usize;
@@ -395,103 +390,30 @@ impl<'a, P: CheckableNode, T: Topology> Explorer<'a, P, T> {
             // Load the parent once; all siblings are derived in place and reverted.
             parent_buf.clear();
             parent_buf.extend_from_slice(engine.arena.get(id));
-            restore_packed_mapped(net, &parent_buf, &mut map);
-            let h_parent = compute_terms(&parent_buf, &map, &mut terms);
 
-            activations.clear();
-            for v in 0..n {
-                for l in 0..net.topology().degree(v) {
-                    if !net.channel(v, l).is_empty() {
-                        activations.push(Activation::Deliver { node: v, channel: l });
+            let (quiescent, stopped) = expand_state_delta(
+                net,
+                &mut scratch,
+                &parent_buf,
+                record_graph,
+                &mut |act, step, cs_entries| {
+                    match step {
+                        DeltaStep::SelfLoop => engine.on_known_transition(act, id, cs_entries),
+                        DeltaStep::Successor { bytes, hash } => {
+                            if let Some(new_id) =
+                                engine.on_transition_hashed(id, act, bytes, hash, cs_entries)
+                            {
+                                queue.push_back(new_id);
+                            }
+                        }
                     }
-                }
+                    engine.stopped
+                },
+            );
+            if stopped {
+                break 'outer;
             }
-            let first_tick = activations.len();
-            for v in 0..n {
-                activations.push(Activation::Tick { node: v });
-            }
-
-            let mut every_tick_is_self_loop = true;
-            for idx in 0..activations.len() {
-                let act = activations[idx];
-                let node = match act {
-                    Activation::Deliver { node, .. } | Activation::Tick { node } => node,
-                };
-                net.trace_mut().clear();
-                let saved_state = net.node(node).capture_state();
-                net.execute_undoable(act, &mut undo);
-
-                dirty_chans.clear();
-                if let Some((dn, dl)) = undo.delivered_channel() {
-                    dirty_chans.push(chan_base[dn] + dl);
-                }
-                for &(sn, sl) in undo.sent_channels() {
-                    dirty_chans.push(chan_base[sn] + sl);
-                }
-                dirty_chans.sort_unstable();
-                dirty_chans.dedup();
-
-                // Re-encode the dirty segments; node segments precede channel segments in
-                // the packed layout and dirty_chans is ascending, so pushing the node
-                // segment first keeps `patches` in ascending span order for the splice.
-                seg_buf.clear();
-                patches.clear();
-                let node_seg = map.node_segment(node);
-                let start = seg_buf.len();
-                encode_node_segment(&mut seg_buf, &net.node(node).capture_state());
-                if seg_buf[start..] != *map.segment(&parent_buf, node_seg) {
-                    patches.push((node_seg, start, seg_buf.len()));
-                }
-                for &flat in &dirty_chans {
-                    let seg = map.channel_segment(flat);
-                    let (cv, cl) = chan_pos[flat];
-                    let start = seg_buf.len();
-                    let channel = net.channel(cv, cl);
-                    encode_channel_segment(&mut seg_buf, channel.len(), channel.iter());
-                    if seg_buf[start..] != *map.segment(&parent_buf, seg) {
-                        patches.push((seg, start, seg_buf.len()));
-                    }
-                }
-
-                let same_as_parent = patches.is_empty();
-                if idx >= first_tick && !same_as_parent {
-                    every_tick_is_self_loop = false;
-                }
-                let cs_entries =
-                    if self.record_graph { collect_cs_entries(net) } else { Vec::new() };
-
-                if same_as_parent {
-                    // The successor *is* the parent: no splice, no hash, no arena probe.
-                    engine.on_known_transition(act, id, cs_entries);
-                } else {
-                    let mut hash = h_parent;
-                    succ_buf.clear();
-                    let mut cursor = 0usize;
-                    for &(seg, s, e) in &patches {
-                        hash ^= terms[seg] ^ segment_term(seg, &seg_buf[s..e]);
-                        let (span_start, span_end) = map.span(seg);
-                        succ_buf.extend_from_slice(&parent_buf[cursor..span_start]);
-                        succ_buf.extend_from_slice(&seg_buf[s..e]);
-                        cursor = span_end;
-                    }
-                    succ_buf.extend_from_slice(&parent_buf[cursor..]);
-                    let admitted =
-                        engine.on_transition_hashed(id, act, &succ_buf, hash, cs_entries);
-                    if let Some(new_id) = admitted {
-                        queue.push_back(new_id);
-                    }
-                }
-
-                // Revert to the parent configuration for the next sibling.
-                net.revert(&mut undo);
-                net.node_mut(node).restore_state(&saved_state);
-
-                if engine.stopped {
-                    break 'outer;
-                }
-            }
-
-            if first_tick == 0 && every_tick_is_self_loop {
+            if quiescent {
                 engine.on_quiescent(id);
             }
         }
@@ -554,14 +476,16 @@ impl<'a, P: CheckableNode, T: Topology> Explorer<'a, P, T> {
         self.finish_run(engine.finish())
     }
 
-    /// Runs the exploration with parallel per-depth frontier expansion across `threads` OS
-    /// threads, preserving BFS semantics exactly (see the module docs): the returned report is
-    /// identical to [`Explorer::run`]'s.
+    /// Runs the exploration on `threads` OS threads: work-stealing delta workers discover the
+    /// space concurrently over a sharded arena, and a sequential replay renumbers their
+    /// provisional ids into canonical BFS order (see the module docs).  The returned report —
+    /// and the recorded graph and liveness witnesses — are field-for-field identical to
+    /// [`Explorer::run`]'s at every thread count.
     ///
     /// `factory` builds one network per worker thread; it must produce networks of the same
     /// shape (topology, protocol, drivers) as the explorer's own — typically by calling the
     /// same scenario constructor.  Worker networks start from arbitrary states; every state
-    /// they touch is overwritten by `restore_packed` before use.
+    /// they touch is overwritten by a packed restore before use.
     pub fn run_parallel<F>(&mut self, factory: F, threads: usize) -> ExplorationReport
     where
         F: Fn() -> Network<P, T> + Sync,
@@ -570,35 +494,158 @@ impl<'a, P: CheckableNode, T: Topology> Explorer<'a, P, T> {
         if threads == 1 {
             return self.run();
         }
+
+        // ---- Discovery: work-stealing delta workers over the sharded arena.
         let net = &mut *self.net;
+        let mut scratch = DeltaScratch::for_net(net);
+        let mut root_buf = Vec::new();
+        capture_packed(net, &mut root_buf);
+        restore_packed_mapped(net, &root_buf, &mut scratch.map);
+        let h_root = compute_terms(&root_buf, &scratch.map, &mut scratch.terms);
+
+        let arena = ShardedArena::new();
+        let (root_prov, fresh) = arena.intern_hashed(&root_buf, h_root);
+        debug_assert!(fresh);
+
+        // Workers can't enforce the configuration cap exactly (it is defined in terms of the
+        // canonical discovery order they don't know), so they run to a generous multiple of
+        // it; the replay enforces the exact cap and repairs any gap an early stop left.
+        let budget = if self.limits.max_configurations == usize::MAX {
+            usize::MAX
+        } else {
+            self.limits.max_configurations.saturating_mul(2).saturating_add(1024)
+        };
+
+        let pool = StealPool::new(threads);
+        pool.push(0, (root_prov, 0));
+        let record_graph = self.record_graph;
+        let max_depth = self.limits.max_depth;
+
+        let logs: Vec<WorkerLog> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let pool = &pool;
+                    let arena = &arena;
+                    let factory = &factory;
+                    scope.spawn(move || {
+                        discover(w, pool, arena, factory, record_graph, max_depth, budget)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+
+        // ---- Canonical replay: renumber provisional ids in BFS discovery order.
+        let shards = arena.into_shards();
+        // Provisional id -> packed (worker, record index); `u64::MAX` = never expanded.
+        let mut rec_of: Vec<Vec<u64>> = shards.iter().map(|s| vec![u64::MAX; s.len()]).collect();
+        for (w, log) in logs.iter().enumerate() {
+            for (r, rec) in log.records.iter().enumerate() {
+                let (shard, index) = ShardedArena::split(rec.parent);
+                rec_of[shard][index as usize] = ((w as u64) << 32) | r as u64;
+            }
+        }
+
         let mut engine =
             Engine::new(self.limits, &self.properties, self.record_graph, self.stop_on_violation);
-        let mut scratch = Vec::new();
-        capture_packed(net, &mut scratch);
-        engine.admit_initial(&scratch);
+        engine.admit_initial_hashed(&root_buf, h_root);
+        // Canonical id -> provisional id (`NO_PROVISIONAL` for states only the repair path
+        // discovered).
+        let mut prov_of: Vec<ProvisionalId> = vec![root_prov];
+        let mut queue: VecDeque<StateId> = VecDeque::new();
+        queue.push_back(0);
+        let mut parent_buf = root_buf;
 
-        let mut frontier: Vec<StateId> = vec![0];
-        let mut depth = 0usize;
-        while !frontier.is_empty() && !engine.stopped {
+        'outer: while let Some(id) = queue.pop_front() {
+            let depth = engine.depths[id as usize] as usize;
             engine.report.max_depth = engine.report.max_depth.max(depth);
             if depth >= engine.limits.max_depth {
                 engine.report.truncated = true;
-                break;
+                continue;
             }
-            // Expand the level in bounded segments rather than all at once: this caps the
-            // transient memory holding un-merged successor bytes, and bounds the work wasted
-            // after a mid-level stop (violation found, cap reached) to one segment.
-            let mut next_frontier = Vec::new();
-            for segment in frontier.chunks(SEGMENT_STATES) {
-                let expansions =
-                    expand_level(&engine.arena, segment, &factory, threads, engine.record_graph);
-                next_frontier.extend(merge_level(&mut engine, expansions));
-                if engine.stopped {
-                    break;
+            engine.begin_expansion(id);
+
+            let prov = prov_of[id as usize];
+            let rec_ref = if prov == NO_PROVISIONAL {
+                u64::MAX
+            } else {
+                let (shard, index) = ShardedArena::split(prov);
+                rec_of[shard][index as usize]
+            };
+
+            if rec_ref != u64::MAX {
+                // Replay the worker's log: an arena probe plus memcpy per transition.
+                let log = &logs[(rec_ref >> 32) as usize];
+                let rec = &log.records[(rec_ref & u64::from(u32::MAX)) as usize];
+                let trans = &log.transitions
+                    [rec.trans_start as usize..(rec.trans_start + rec.trans_len) as usize];
+                for tr in trans {
+                    let cs_entries = log.cs_pool
+                        [tr.cs_start as usize..(tr.cs_start + tr.cs_len) as usize]
+                        .to_vec();
+                    if tr.successor == SELF_LOOP {
+                        engine.on_known_transition(tr.action, id, cs_entries);
+                    } else {
+                        let (shard, index) = ShardedArena::split(tr.successor);
+                        let bytes = shards[shard].get(index);
+                        let hash = shards[shard].stored_hash(index);
+                        if let Some(new_id) =
+                            engine.on_transition_hashed(id, tr.action, bytes, hash, cs_entries)
+                        {
+                            debug_assert_eq!(prov_of.len(), new_id as usize);
+                            prov_of.push(tr.successor);
+                            queue.push_back(new_id);
+                        }
+                    }
+                    if engine.stopped {
+                        break 'outer;
+                    }
+                }
+                if rec.quiescent {
+                    engine.on_quiescent(id);
+                }
+            } else {
+                // Repair: the workers never expanded this state (its discovery depth overshot
+                // the limit although its canonical depth did not, or discovery was abandoned
+                // at the budget) — expand it live, exactly like the sequential loop would.
+                parent_buf.clear();
+                parent_buf.extend_from_slice(engine.arena.get(id));
+                let (quiescent, stopped) = expand_state_delta(
+                    net,
+                    &mut scratch,
+                    &parent_buf,
+                    record_graph,
+                    &mut |act, step, cs_entries| {
+                        match step {
+                            DeltaStep::SelfLoop => {
+                                engine.on_known_transition(act, id, cs_entries)
+                            }
+                            DeltaStep::Successor { bytes, hash } => {
+                                if let Some(new_id) =
+                                    engine.on_transition_hashed(id, act, bytes, hash, cs_entries)
+                                {
+                                    let shard = ShardedArena::shard_of(hash);
+                                    let succ_prov = shards[shard]
+                                        .lookup_hashed(bytes, hash)
+                                        .map_or(NO_PROVISIONAL, |index| {
+                                            ShardedArena::compose(shard, index)
+                                        });
+                                    debug_assert_eq!(prov_of.len(), new_id as usize);
+                                    prov_of.push(succ_prov);
+                                    queue.push_back(new_id);
+                                }
+                            }
+                        }
+                        engine.stopped
+                    },
+                );
+                if stopped {
+                    break 'outer;
+                }
+                if quiescent {
+                    engine.on_quiescent(id);
                 }
             }
-            frontier = next_frontier;
-            depth += 1;
         }
 
         self.finish_run(engine.finish())
@@ -662,40 +709,10 @@ fn collect_cs_entries<P: CheckableNode, T: Topology>(net: &Network<P, T>) -> Vec
         .collect()
 }
 
-/// Maximum number of frontier states expanded per parallel segment (see
-/// [`Explorer::run_parallel`]): bounds both the buffered successor bytes awaiting merge and
-/// the work discarded when a stop-on-violation hit lands mid-level.
-const SEGMENT_STATES: usize = 16_384;
-
-/// Hashes the workers' dedup-set keys with the same fx scheme the arena uses, so deduping a
-/// fresh successor does not reintroduce SipHash on the hot path.
-#[derive(Clone, Copy, Debug, Default)]
-struct FxBytesState {
-    hash: u64,
-}
-
-impl std::hash::Hasher for FxBytesState {
-    fn write(&mut self, bytes: &[u8]) {
-        self.hash = (self.hash.rotate_left(5) ^ crate::snapshot::fx_hash(bytes))
-            .wrapping_mul(0x517c_c1b7_2722_0a95);
-    }
-
-    fn finish(&self) -> u64 {
-        self.hash
-    }
-}
-
-type FxBuildHasher = std::hash::BuildHasherDefault<FxBytesState>;
-type FreshSet = std::collections::HashSet<std::sync::Arc<[u8]>, FxBuildHasher>;
-
 /// Executes `act` from interned state `id` on `net`: restores the parent (borrowing its bytes
 /// from the arena), runs the activation, and captures the successor into `scratch`.  Returns
 /// whether the successor equals the parent (the tick self-loop test) and the critical-section
 /// entries of the transition (empty unless `collect_cs`).
-///
-/// Both the sequential loop and the parallel workers funnel through this helper, so the
-/// simulation semantics (restore/trace-clear/execute/capture order) cannot drift between the
-/// two modes — the report-identity guarantee depends on them agreeing.
 fn execute_transition<P: CheckableNode, T: Topology>(
     net: &mut Network<P, T>,
     arena: &StateArena,
@@ -713,164 +730,389 @@ fn execute_transition<P: CheckableNode, T: Topology>(
     (same_as_parent, cs_entries)
 }
 
-/// The successor of one executed transition, as produced by a parallel worker.
-enum Successor {
-    /// Already interned before this level started.
-    Known(StateId),
-    /// Not in the pre-level arena; the merge phase interns the packed bytes.  Shared
-    /// (`Arc`) so a worker stores each distinct new state once per chunk, not once per
-    /// reaching transition.
-    Fresh(std::sync::Arc<[u8]>),
+/// Reusable buffers of one delta expansion engine — one set per sequential run and per
+/// parallel discovery worker, so expansions allocate nothing per state.
+struct DeltaScratch {
+    /// Flat channel ids: channel `(v, l)` has flat index `chan_base[v] + l`.
+    chan_base: Vec<usize>,
+    /// Inverse of the flat indexing: flat channel index back to `(v, l)`.
+    chan_pos: Vec<(usize, usize)>,
+    map: SegmentMap,
+    terms: Vec<u64>,
+    undo: StepUndo<klex_core::Message>,
+    activations: Vec<Activation>,
+    dirty_chans: Vec<usize>,
+    /// Dirty-segment patches: (segment index, span of the re-encoded bytes in `seg_buf`),
+    /// in ascending parent-span order.
+    patches: Vec<(usize, usize, usize)>,
+    seg_buf: Vec<u8>,
+    succ_buf: Vec<u8>,
 }
 
-/// One transition executed by a worker.
-struct TransitionRecord {
+impl DeltaScratch {
+    fn for_net<P: CheckableNode, T: Topology>(net: &Network<P, T>) -> Self {
+        let n = net.len();
+        let mut chan_base = Vec::with_capacity(n + 1);
+        let mut total_channels = 0usize;
+        chan_base.push(0usize);
+        for v in 0..n {
+            total_channels += net.topology().degree(v);
+            chan_base.push(total_channels);
+        }
+        let mut chan_pos = Vec::with_capacity(total_channels);
+        for v in 0..n {
+            for l in 0..net.topology().degree(v) {
+                chan_pos.push((v, l));
+            }
+        }
+        DeltaScratch {
+            chan_base,
+            chan_pos,
+            map: SegmentMap::default(),
+            terms: Vec::new(),
+            undo: StepUndo::new(),
+            activations: Vec::new(),
+            dirty_chans: Vec::new(),
+            patches: Vec::new(),
+            seg_buf: Vec::new(),
+            succ_buf: Vec::new(),
+        }
+    }
+}
+
+/// One derived transition, as handed to the sink of [`expand_state_delta`].
+enum DeltaStep<'a> {
+    /// The successor is bit-identical to the parent (no dirty segment): no splice, no hash,
+    /// no arena traffic.
+    SelfLoop,
+    /// A proper successor: spliced packed bytes plus the incrementally patched segmented
+    /// hash.  The bytes borrow the expansion's scratch buffer — copy to retain.
+    Successor { bytes: &'a [u8], hash: u64 },
+}
+
+/// Expands one state with the delta discipline — restore the parent once, then per enabled
+/// activation execute in place with an undo log, re-encode only the dirty segments, splice
+/// and hash-patch, call `sink`, revert.  Activations are enumerated in the canonical order
+/// (deliveries in `(node, channel)` order, then ticks in node order), a pure function of the
+/// parent's bytes: every caller — sequential loop, discovery worker, replay repair — sees
+/// the identical transition sequence, which is what the parity contract rests on.
+///
+/// `sink` returning `true` stops the expansion after reverting (remaining activations
+/// untried).  Returns `(quiescent, stopped)`; `quiescent` means no message was in flight
+/// and every tick was a self-loop — the precondition of a quiescent deadlock.
+fn expand_state_delta<P, T>(
+    net: &mut Network<P, T>,
+    scratch: &mut DeltaScratch,
+    parent_buf: &[u8],
+    collect_cs: bool,
+    sink: &mut dyn FnMut(Activation, DeltaStep<'_>, Vec<NodeId>) -> bool,
+) -> (bool, bool)
+where
+    P: CheckableNode,
+    T: Topology,
+{
+    let DeltaScratch {
+        chan_base,
+        chan_pos,
+        map,
+        terms,
+        undo,
+        activations,
+        dirty_chans,
+        patches,
+        seg_buf,
+        succ_buf,
+    } = scratch;
+
+    restore_packed_mapped(net, parent_buf, map);
+    let h_parent = compute_terms(parent_buf, map, terms);
+    let n = net.len();
+
+    activations.clear();
+    for v in 0..n {
+        for l in 0..net.topology().degree(v) {
+            if !net.channel(v, l).is_empty() {
+                activations.push(Activation::Deliver { node: v, channel: l });
+            }
+        }
+    }
+    let first_tick = activations.len();
+    for v in 0..n {
+        activations.push(Activation::Tick { node: v });
+    }
+
+    let mut every_tick_is_self_loop = true;
+    let mut stopped = false;
+    for idx in 0..activations.len() {
+        let act = activations[idx];
+        let node = match act {
+            Activation::Deliver { node, .. } | Activation::Tick { node } => node,
+        };
+        net.trace_mut().clear();
+        let saved_state = net.node(node).capture_state();
+        net.execute_undoable(act, undo);
+
+        dirty_chans.clear();
+        if let Some((dn, dl)) = undo.delivered_channel() {
+            dirty_chans.push(chan_base[dn] + dl);
+        }
+        for &(sn, sl) in undo.sent_channels() {
+            dirty_chans.push(chan_base[sn] + sl);
+        }
+        dirty_chans.sort_unstable();
+        dirty_chans.dedup();
+
+        // Re-encode the dirty segments; node segments precede channel segments in the
+        // packed layout and dirty_chans is ascending, so pushing the node segment first
+        // keeps `patches` in ascending span order for the splice.
+        seg_buf.clear();
+        patches.clear();
+        let node_seg = map.node_segment(node);
+        let start = seg_buf.len();
+        encode_node_segment(seg_buf, &net.node(node).capture_state());
+        if seg_buf[start..] != *map.segment(parent_buf, node_seg) {
+            patches.push((node_seg, start, seg_buf.len()));
+        }
+        for &flat in dirty_chans.iter() {
+            let seg = map.channel_segment(flat);
+            let (cv, cl) = chan_pos[flat];
+            let start = seg_buf.len();
+            let channel = net.channel(cv, cl);
+            encode_channel_segment(seg_buf, channel.len(), channel.iter());
+            if seg_buf[start..] != *map.segment(parent_buf, seg) {
+                patches.push((seg, start, seg_buf.len()));
+            }
+        }
+
+        let same_as_parent = patches.is_empty();
+        if idx >= first_tick && !same_as_parent {
+            every_tick_is_self_loop = false;
+        }
+        let cs_entries = if collect_cs { collect_cs_entries(net) } else { Vec::new() };
+
+        let stop = if same_as_parent {
+            sink(act, DeltaStep::SelfLoop, cs_entries)
+        } else {
+            let mut hash = h_parent;
+            succ_buf.clear();
+            let mut cursor = 0usize;
+            for &(seg, s, e) in patches.iter() {
+                hash ^= terms[seg] ^ segment_term(seg, &seg_buf[s..e]);
+                let (span_start, span_end) = map.span(seg);
+                succ_buf.extend_from_slice(&parent_buf[cursor..span_start]);
+                succ_buf.extend_from_slice(&seg_buf[s..e]);
+                cursor = span_end;
+            }
+            succ_buf.extend_from_slice(&parent_buf[cursor..]);
+            sink(act, DeltaStep::Successor { bytes: succ_buf.as_slice(), hash }, cs_entries)
+        };
+
+        // Revert to the parent configuration for the next sibling.
+        net.revert(undo);
+        net.node_mut(node).restore_state(&saved_state);
+
+        if stop {
+            stopped = true;
+            break;
+        }
+    }
+
+    (first_tick == 0 && every_tick_is_self_loop, stopped)
+}
+
+/// Sentinel "successor" in a worker log marking a self-loop transition.  Provisional ids
+/// never reach `u32::MAX`: each shard caps its index space strictly below the sentinel.
+const SELF_LOOP: ProvisionalId = u32::MAX;
+/// Sentinel in the replay's canonical-id → provisional-id table for states the workers never
+/// interned (discovered only by the repair path).
+const NO_PROVISIONAL: ProvisionalId = u32::MAX;
+
+/// One logged transition of a discovery worker.
+struct LoggedTransition {
     action: Activation,
-    successor: Successor,
-    cs_entries: Vec<NodeId>,
+    /// Provisional id of the successor, or [`SELF_LOOP`].
+    successor: ProvisionalId,
+    /// Span of this transition's critical-section entries in the worker's `cs_pool`.
+    cs_start: u32,
+    cs_len: u32,
 }
 
-/// Everything a worker learned about one frontier state.
-struct ExpansionRecord {
-    parent: StateId,
-    transitions: Vec<TransitionRecord>,
-    /// True when the state had no message in flight and every tick was a self-loop — the
-    /// precondition of a quiescent deadlock.
+/// One expanded state in a worker's log: its provisional id plus the span of its
+/// transitions in the worker's flat transition vector.
+struct LoggedExpansion {
+    parent: ProvisionalId,
+    trans_start: u32,
+    trans_len: u32,
+    /// True when no message was in flight and every tick was a self-loop.
     quiescent: bool,
 }
 
-/// Expands one BFS level: workers process disjoint contiguous chunks of `frontier` against
-/// the frozen `arena`, returning expansion records in frontier order.
-fn expand_level<P, T, F>(
-    arena: &StateArena,
-    frontier: &[StateId],
+/// Everything one discovery worker learned, flattened into three vectors so logging a
+/// transition is two pushes and no per-state allocation.
+#[derive(Default)]
+struct WorkerLog {
+    records: Vec<LoggedExpansion>,
+    transitions: Vec<LoggedTransition>,
+    cs_pool: Vec<NodeId>,
+}
+
+/// A unit of discovery work: a provisional state id plus the depth along its discovery path
+/// (an upper bound on the canonical BFS depth — any path is at least as long as the
+/// shortest, which is all the worker-side depth horizon needs).
+type WorkItem = (ProvisionalId, u32);
+
+/// Most items a thief takes in one steal (bounded at half the victim's deque).
+const STEAL_BATCH: usize = 64;
+
+/// The work-stealing pool: one deque per worker plus termination and abandon bookkeeping.
+/// Owners push and pop at the back; thieves steal a batch from the front — the Chase-Lev
+/// split, with a mutex per deque instead of lock-free CAS (a steal locks exactly one deque,
+/// so there is no lock ordering to get wrong, and steals are rare once the space fans out).
+struct StealPool {
+    deques: Vec<Mutex<VecDeque<WorkItem>>>,
+    /// Queued + in-flight items; discovery is complete when this reaches zero.
+    pending: AtomicUsize,
+    /// Set when the discovery budget trips; workers drain out and the replay repairs the
+    /// remainder sequentially.
+    abandoned: AtomicBool,
+}
+
+impl StealPool {
+    fn new(threads: usize) -> Self {
+        StealPool {
+            deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: AtomicUsize::new(0),
+            abandoned: AtomicBool::new(false),
+        }
+    }
+
+    /// Enqueues one item on `worker`'s deque.  `pending` is raised *before* the item
+    /// becomes stealable, so the count never under-reads while work is still reachable.
+    fn push(&self, worker: usize, item: WorkItem) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.deques[worker].lock().expect("unpoisoned deque").push_back(item);
+    }
+
+    /// Owner pop (newest first, for locality), falling back to stealing a batch from the
+    /// front of the first non-empty victim deque (oldest first — the states a victim will
+    /// not touch for the longest).
+    fn pop(&self, worker: usize) -> Option<WorkItem> {
+        if let Some(item) = self.deques[worker].lock().expect("unpoisoned deque").pop_back() {
+            return Some(item);
+        }
+        let t = self.deques.len();
+        for step in 1..t {
+            let victim = (worker + step) % t;
+            let mut stolen: VecDeque<WorkItem> = {
+                let mut deque = self.deques[victim].lock().expect("unpoisoned deque");
+                let take = deque.len().div_ceil(2).min(STEAL_BATCH);
+                deque.drain(..take).collect()
+            };
+            if let Some(first) = stolen.pop_front() {
+                if !stolen.is_empty() {
+                    self.deques[worker].lock().expect("unpoisoned deque").append(&mut stolen);
+                }
+                return Some(first);
+            }
+        }
+        None
+    }
+
+    /// Marks one previously popped item complete.
+    fn complete_one(&self) {
+        self.pending.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// True when every enqueued item has been completed.
+    fn done(&self) -> bool {
+        self.pending.load(Ordering::SeqCst) == 0
+    }
+}
+
+/// One discovery worker: pops (or steals) states, expands each with the shared delta loop on
+/// its private network, interns successors into the sharded arena, and logs every transition
+/// for the canonical replay.
+fn discover<P, T, F>(
+    worker: usize,
+    pool: &StealPool,
+    arena: &ShardedArena,
     factory: &F,
-    threads: usize,
-    collect_cs: bool,
-) -> Vec<ExpansionRecord>
+    record_graph: bool,
+    max_depth: usize,
+    budget: usize,
+) -> WorkerLog
 where
     P: CheckableNode,
     T: Topology,
     F: Fn() -> Network<P, T> + Sync,
 {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
+    let mut net = factory();
+    let mut scratch = DeltaScratch::for_net(&net);
+    let mut parent_buf = Vec::new();
+    let mut log = WorkerLog::default();
 
-    let chunk_size = frontier.len().div_ceil(threads * 4).max(1);
-    let chunks: Vec<&[StateId]> = frontier.chunks(chunk_size).collect();
-    let slots: Vec<Mutex<Vec<ExpansionRecord>>> =
-        (0..chunks.len()).map(|_| Mutex::new(Vec::new())).collect();
-    let next_chunk = AtomicUsize::new(0);
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(chunks.len()) {
-            scope.spawn(|| {
-                let mut net = factory();
-                let mut scratch = Vec::new();
-                // Chunk-local dedup of not-yet-interned successors: many transitions of one
-                // chunk reach the same new state; store its bytes once.
-                let mut fresh = FreshSet::default();
-                loop {
-                    let chunk_idx = next_chunk.fetch_add(1, Ordering::Relaxed);
-                    if chunk_idx >= chunks.len() {
-                        break;
-                    }
-                    fresh.clear();
-                    let mut records = Vec::with_capacity(chunks[chunk_idx].len());
-                    for &id in chunks[chunk_idx] {
-                        records.push(expand_state(
-                            &mut net,
-                            arena,
-                            id,
-                            &mut scratch,
-                            collect_cs,
-                            &mut fresh,
-                        ));
-                    }
-                    *slots[chunk_idx].lock().expect("unpoisoned") = records;
-                }
+    loop {
+        if pool.abandoned.load(Ordering::Relaxed) {
+            break;
+        }
+        let Some((prov, depth)) = pool.pop(worker) else {
+            if pool.done() {
+                break;
+            }
+            std::thread::yield_now();
+            continue;
+        };
+        // States at the depth horizon are left unexpanded, like the sequential loop leaves
+        // them; the discovery depth can overshoot the canonical one, in which case the
+        // replay repairs the gap.
+        if (depth as usize) < max_depth {
+            arena.fetch(prov, &mut parent_buf);
+            let trans_start = log.transitions.len() as u32;
+            let (quiescent, _) = expand_state_delta(
+                &mut net,
+                &mut scratch,
+                &parent_buf,
+                record_graph,
+                &mut |action, step, cs_entries| {
+                    let successor = match step {
+                        DeltaStep::SelfLoop => SELF_LOOP,
+                        DeltaStep::Successor { bytes, hash } => {
+                            let (succ, inserted) = arena.intern_hashed(bytes, hash);
+                            if inserted {
+                                if arena.len() > budget {
+                                    pool.abandoned.store(true, Ordering::Relaxed);
+                                }
+                                pool.push(worker, (succ, depth + 1));
+                            }
+                            succ
+                        }
+                    };
+                    let cs_start = log.cs_pool.len() as u32;
+                    log.cs_pool.extend_from_slice(&cs_entries);
+                    log.transitions.push(LoggedTransition {
+                        action,
+                        successor,
+                        cs_start,
+                        cs_len: cs_entries.len() as u32,
+                    });
+                    false
+                },
+            );
+            log.records.push(LoggedExpansion {
+                parent: prov,
+                trans_start,
+                trans_len: log.transitions.len() as u32 - trans_start,
+                quiescent,
             });
         }
-    });
-
-    slots
-        .into_iter()
-        .flat_map(|slot| slot.into_inner().expect("unpoisoned"))
-        .collect()
-}
-
-/// Expands one state on a worker's private network (the parallel counterpart of one
-/// iteration of the sequential loop).
-fn expand_state<P: CheckableNode, T: Topology>(
-    net: &mut Network<P, T>,
-    arena: &StateArena,
-    id: StateId,
-    scratch: &mut Vec<u8>,
-    collect_cs: bool,
-    fresh: &mut FreshSet,
-) -> ExpansionRecord {
-    let (activations, first_tick) = enumerate_activations(net, arena, id);
-    let mut transitions = Vec::with_capacity(activations.len());
-    let mut every_tick_is_self_loop = true;
-    for (idx, act) in activations.iter().enumerate() {
-        let (same_as_parent, cs_entries) =
-            execute_transition(net, arena, id, *act, scratch, collect_cs);
-        if idx >= first_tick && !same_as_parent {
-            every_tick_is_self_loop = false;
-        }
-        let successor = match arena.lookup(scratch) {
-            Some(known) => Successor::Known(known),
-            None => {
-                let bytes = match fresh.get(scratch.as_slice()) {
-                    Some(bytes) => bytes.clone(),
-                    None => {
-                        let bytes: std::sync::Arc<[u8]> =
-                            std::sync::Arc::from(scratch.as_slice());
-                        fresh.insert(bytes.clone());
-                        bytes
-                    }
-                };
-                Successor::Fresh(bytes)
-            }
-        };
-        transitions.push(TransitionRecord { action: *act, successor, cs_entries });
+        pool.complete_one();
     }
-    ExpansionRecord { parent: id, transitions, quiescent: first_tick == 0 && every_tick_is_self_loop }
-}
-
-/// Applies one level's expansion records in sequential order, returning the next frontier.
-fn merge_level(engine: &mut Engine<'_>, expansions: Vec<ExpansionRecord>) -> Vec<StateId> {
-    let mut next_frontier = Vec::new();
-    for expansion in expansions {
-        engine.begin_expansion(expansion.parent);
-        for transition in expansion.transitions {
-            let admitted = match transition.successor {
-                Successor::Known(id) => {
-                    engine.on_known_transition(transition.action, id, transition.cs_entries);
-                    None
-                }
-                Successor::Fresh(bytes) => engine.on_transition(
-                    expansion.parent,
-                    transition.action,
-                    &bytes,
-                    transition.cs_entries,
-                ),
-            };
-            next_frontier.extend(admitted);
-            if engine.stopped {
-                return next_frontier;
-            }
-        }
-        if expansion.quiescent {
-            engine.on_quiescent(expansion.parent);
-        }
-    }
-    next_frontier
+    log
 }
 
 /// The shared bookkeeping of an exploration run: the arena, flat per-state vectors, the
-/// report under construction, and the graph recorder.  Both the sequential loop and the
-/// parallel merge phase drive exactly this state machine, which is what makes their reports
+/// report under construction, and the graph recorder.  The sequential loop and the parallel
+/// canonical replay drive exactly this state machine, which is what makes their reports
 /// identical.
 struct Engine<'p> {
     limits: Limits,
@@ -1422,6 +1664,34 @@ mod tests {
         assert_eq!(parallel.configurations, sequential.configurations);
         assert_eq!(parallel.transitions, sequential.transitions);
         assert_eq!(parallel.max_depth, sequential.max_depth);
+    }
+
+    #[test]
+    fn parallel_exploration_matches_sequential_under_a_depth_limit() {
+        // A finite depth limit exercises the replay's repair path: a worker can first reach
+        // a state along a path longer than its canonical BFS depth and skip it at the
+        // horizon, in which case the replay must expand it live.
+        let needs = [0usize, 2, 0, 2, 0, 1, 0];
+        let cfg = KlConfig::new(2, 2, 7);
+        let make = || {
+            let tree = topology::builders::random_tree(7, 0xD153A5E);
+            klex_core::naive::network(tree, cfg, drivers::from_needs(&needs))
+        };
+        for max_depth in [2, 5, 9] {
+            let limits = Limits { max_configurations: 2_000_000, max_depth };
+            let mut net = make();
+            let sequential = Explorer::new(&mut net).with_limits(limits).run();
+            for threads in [2, 4] {
+                let mut net = make();
+                let parallel =
+                    Explorer::new(&mut net).with_limits(limits).run_parallel(make, threads);
+                assert_eq!(parallel.configurations, sequential.configurations);
+                assert_eq!(parallel.transitions, sequential.transitions);
+                assert_eq!(parallel.max_depth, sequential.max_depth);
+                assert_eq!(parallel.truncated, sequential.truncated);
+                assert_eq!(parallel.frontier_sizes, sequential.frontier_sizes);
+            }
+        }
     }
 
     #[test]

@@ -48,9 +48,11 @@
 //!   ([`snapshot::restore_packed`]); the hot loop performs no configuration clones and no
 //!   SipHash hashing.
 //!
-//! [`Explorer::run_parallel`] expands each BFS level on several worker threads against the
-//! frozen arena and then merges results sequentially in frontier order, so sequential and
-//! parallel runs produce **identical** ids, counts, and reports; see [`explore`] for details.
+//! [`Explorer::run_parallel`] discovers the reachable set with N work-stealing delta
+//! workers interning into a lock-striped sharded arena, then replays the workers'
+//! schedule-independent expansion logs through the sequential engine in canonical BFS
+//! order, so sequential and parallel runs produce **identical** ids, counts, and reports;
+//! see [`explore`] for details.
 //!
 //! # Quickstart
 //!

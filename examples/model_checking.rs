@@ -36,7 +36,7 @@ fn main() {
             max_configurations: 500_000,
             max_depth: 0,
             properties: vec![],
-            from_legitimate: false,
+            ..CheckSpec::default()
         })
         .build()
         .expect("the checking scenario validates")
@@ -71,7 +71,7 @@ fn main() {
                 max_configurations: budget,
                 max_depth: 0,
                 properties: vec!["safety".into(), "liveness".into()],
-                from_legitimate: false,
+                ..CheckSpec::default()
             })
             .build()
             .expect("the liveness scenario validates")
@@ -124,6 +124,7 @@ fn main() {
             max_depth: 0,
             properties: vec!["legitimate".into(), "safety".into()],
             from_legitimate: true,
+            ..CheckSpec::default()
         })
         .build()
         .expect("the closure scenario validates")

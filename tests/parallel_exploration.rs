@@ -1,0 +1,145 @@
+//! Work-stealing parallel engine: full-report parity against the sequential delta engine.
+//!
+//! The parallel engine (`Explorer::run_parallel`, `CompiledScenario::check_parallel`)
+//! discovers the reachable set with N delta workers over a sharded arena and then replays
+//! the logged transitions through the same sequential `Engine` in canonical BFS order, so
+//! its `ExplorationReport` is *defined* to be identical to `run_delta`'s — not just in the
+//! counters but in every witness: violation traces, deadlock configurations, and fair-cycle
+//! lasso witnesses field for field.  This file pins that contract:
+//!
+//! 1. as a property over random ≤7-node scenarios on all four protocol rungs, with safety
+//!    and liveness checking enabled, at 1, 2 and 4 worker threads (1 is the sequential
+//!    fallback; 2 and 4 oversubscribe a small instance enough to force stealing and
+//!    cross-worker duplicate discovery);
+//! 2. on every preset of the delta-parity suite, at every tested thread count.
+
+use analysis::scenario::{
+    preset, CheckSpec, ProtocolSpec, ScenarioSpec, StopSpec, TopologySpec, WorkloadSpec,
+};
+use checker::ExplorationReport;
+use proptest::prelude::*;
+
+/// Tested worker counts: the sequential fallback and two genuinely concurrent widths.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Field-for-field report identity, including the liveness lassos (which the delta-parity
+/// suite's comparison omits because the interned oracle predates lasso search).
+fn assert_reports_identical(
+    name: &str,
+    delta: &ExplorationReport,
+    parallel: &ExplorationReport,
+) {
+    assert_eq!(delta.configurations, parallel.configurations, "{name}: reachable-set size");
+    assert_eq!(delta.transitions, parallel.transitions, "{name}: transitions");
+    assert_eq!(delta.max_depth, parallel.max_depth, "{name}: max depth");
+    assert_eq!(delta.frontier_sizes, parallel.frontier_sizes, "{name}: frontiers per level");
+    assert_eq!(delta.truncated, parallel.truncated, "{name}: truncation");
+    assert_eq!(delta.violations.len(), parallel.violations.len(), "{name}: violation count");
+    for (d, p) in delta.violations.iter().zip(&parallel.violations) {
+        assert_eq!(d.property, p.property, "{name}: violated property");
+        assert_eq!(d.detail, p.detail, "{name}: violation detail");
+        assert_eq!(d.depth, p.depth, "{name}: violation depth");
+        assert_eq!(d.trace, p.trace, "{name}: violation trace");
+        assert_eq!(d.config, p.config, "{name}: violating configuration");
+    }
+    assert_eq!(delta.deadlocks.len(), parallel.deadlocks.len(), "{name}: deadlock count");
+    for (d, p) in delta.deadlocks.iter().zip(&parallel.deadlocks) {
+        assert_eq!(d.blocked, p.blocked, "{name}: blocked set");
+        assert_eq!(d.depth, p.depth, "{name}: deadlock depth");
+        assert_eq!(d.trace, p.trace, "{name}: deadlock trace");
+        assert_eq!(d.config, p.config, "{name}: deadlocked configuration");
+    }
+    assert_eq!(delta.liveness.len(), parallel.liveness.len(), "{name}: lasso count");
+    for (d, p) in delta.liveness.iter().zip(&parallel.liveness) {
+        assert_eq!(d.victim, p.victim, "{name}: lasso victim");
+        assert_eq!(d.stem, p.stem, "{name}: lasso stem activations");
+        assert_eq!(d.stem_states, p.stem_states, "{name}: lasso stem states");
+        assert_eq!(d.cycle, p.cycle, "{name}: lasso cycle activations");
+        assert_eq!(d.cycle_states, p.cycle_states, "{name}: lasso cycle states");
+        assert_eq!(d.progress_nodes, p.progress_nodes, "{name}: lasso progress nodes");
+        assert_eq!(d.stem_configs, p.stem_configs, "{name}: lasso stem configurations");
+        assert_eq!(d.cycle_configs, p.cycle_configs, "{name}: lasso cycle configurations");
+        assert_eq!(d.stem_cs, p.stem_cs, "{name}: lasso stem CS entries");
+        assert_eq!(d.cycle_cs, p.cycle_cs, "{name}: lasso cycle CS entries");
+    }
+}
+
+/// One random checkable scenario: a seeded random tree on one of the four protocol rungs,
+/// heterogeneous holding requesters, safety + liveness checking, and a budget small enough
+/// that a slice of the generated instances truncates (truncation parity is part of the
+/// contract, not an excluded case).
+fn random_scenario(
+    rung: usize,
+    n: usize,
+    seed: u64,
+    l: usize,
+    k: usize,
+    needs: Vec<usize>,
+    hold: u64,
+) -> ScenarioSpec {
+    let protocol = match rung {
+        0 => ProtocolSpec::Naive,
+        1 => ProtocolSpec::Pusher,
+        2 => ProtocolSpec::NonStab,
+        _ => ProtocolSpec::Ss,
+    };
+    ScenarioSpec::builder(format!("parallel-parity n={n} rung={rung} seed={seed:#x}"))
+        .topology(TopologySpec::Random { n, seed })
+        .protocol(protocol)
+        .kl(k, l)
+        .workload(WorkloadSpec::Needs { needs, hold })
+        .stop(StopSpec::Steps { steps: 100 })
+        .check(CheckSpec {
+            max_configurations: 3_000,
+            max_depth: 0,
+            properties: vec!["safety".into(), "liveness".into()],
+            ..CheckSpec::default()
+        })
+        .spec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Tentpole: the work-stealing engine's report is identical to the sequential delta
+    /// engine's — counters, witnesses, and lassos — on random small scenarios at every
+    /// tested thread count.
+    #[test]
+    fn parallel_engine_matches_delta_on_random_scenarios(
+        rung in 0usize..4,
+        n in 2usize..=7,
+        seed in 0u64..1_000_000,
+        l in 1usize..=3,
+        k_pick in 0usize..3,
+        needs_seed in proptest::collection::vec(0usize..=2, 7),
+        hold in 0u64..=1,
+    ) {
+        let k = 1 + k_pick % l;
+        let needs: Vec<usize> = needs_seed.iter().take(n).map(|u| u.min(&k)).copied().collect();
+        let spec = random_scenario(rung, n, seed, l, k, needs, hold);
+        let scenario = spec.compile().expect("generated scenario validates");
+        let delta = scenario
+            .check_with(checker::ExploreEngine::Delta)
+            .expect("tree rungs lower into the checker");
+        for threads in THREAD_COUNTS {
+            let parallel = scenario.check_parallel(threads).expect("same lowering");
+            assert_reports_identical(&format!("{} @{threads}", scenario.spec().name), &delta, &parallel);
+        }
+    }
+}
+
+/// Satellite: the acceptance contract verbatim — `check_parallel` matches
+/// `check_with(Delta)` on every preset of the parity suite at every tested thread count.
+#[test]
+fn parallel_engine_matches_delta_on_every_parity_preset() {
+    for name in ["checker-safety", "figure2", "figure2-pusher", "figure3-pusher", "figure3-nonstab"]
+    {
+        let scenario = preset(name).expect("known preset").compile().expect("valid preset");
+        let delta =
+            scenario.check_with(checker::ExploreEngine::Delta).expect("checkable preset");
+        for threads in THREAD_COUNTS {
+            let parallel = scenario.check_parallel(threads).expect("checkable preset");
+            assert_reports_identical(&format!("{name} @{threads}"), &delta, &parallel);
+        }
+    }
+}

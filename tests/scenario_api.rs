@@ -187,6 +187,7 @@ fn roundtrip_covers_warmup_fault_and_check_fields() {
         max_depth: 9,
         properties: vec!["safety".into(), "no-garbage".into(), "liveness".into()],
         from_legitimate: true,
+        threads: 3,
     };
     spec.properties = vec!["request-eventually-cs".into(), "l-availability".into()];
     let parsed = ScenarioSpec::from_json(&spec.to_json()).unwrap();
