@@ -12,6 +12,8 @@
 //! * [`monitor`] — streaming temporal monitors (request-eventually-CS, at-most-k-in-CS,
 //!   ℓ-availability, convergence-witnessed) with one verdict abstraction over simulator
 //!   traces and checker lassos;
+//! * [`coverage`] — structural coverage signatures over exploration reports and monitor
+//!   verdicts, the novelty metric of the coverage-guided fuzz campaign;
 //! * [`fairness`] — per-process service counts, starvation detection and Jain's index;
 //! * [`deadlock`] — quiescence-with-unsatisfied-requests detection (the Figure 2 scenario);
 //! * [`stats`] — summary statistics for repeated trials;
@@ -30,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod convergence;
+pub mod coverage;
 pub mod deadlock;
 pub mod fairness;
 pub mod harness;
@@ -43,6 +46,7 @@ pub mod timeline;
 pub mod waiting;
 
 pub use convergence::{measure_convergence, ConvergenceOutcome};
+pub use coverage::{CoverageSignature, FrontierShape};
 pub use deadlock::{detect_deadlock, DeadlockVerdict};
 pub use fairness::{jains_index, FairnessReport};
 pub use harness::{render_csv, render_markdown_table, ExperimentRow, Trial};

@@ -42,6 +42,7 @@
 mod check;
 mod compile;
 mod json;
+pub mod mutate;
 mod presets;
 mod spec;
 
@@ -49,6 +50,7 @@ pub use compile::{
     deepest_node, CompiledScenario, Daemon, HarnessReport, Scenario, ScenarioNode,
     ScenarioOutcome,
 };
+pub use mutate::{mutate_spec, random_spec, GenLimits};
 pub use presets::{
     figure2_deadlock_init, preset, FIGURE2_NEEDS, FIGURE3_NEEDS, PRESET_NAMES,
 };

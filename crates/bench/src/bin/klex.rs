@@ -58,6 +58,14 @@ fn usage() -> &'static str {
        --max-configs N                               checker states per scenario\n\
        --steps N                                     simulator activations per scenario\n\
        --out DIR                                     where shrunk failure specs are written\n\
+       --corpus DIR                                  persistent coverage corpus\n\
+                                                     (MANIFEST.json + sig-*.json specs)\n\
+       --campaign                                    coverage-guided mode: mutate corpus\n\
+                                                     entries instead of drawing blind\n\
+       --shards N                                    concurrently evaluated scenarios\n\
+                                                     (default: cores; results identical)\n\
+       --threads N                                   parallel-checker-arm workers\n\
+                                                     (default: cores/shards, min 2)\n\
        --verbose                                     one line per scenario\n\
      \n\
      ENVIRONMENT:\n\
@@ -283,6 +291,17 @@ fn fuzz_command(args: &[String]) -> ExitCode {
                 .and_then(|v| v.parse::<u64>().map_err(|e| e.to_string()))
                 .map(|v| opts.sim_steps = v.max(1)),
             "--out" => value("--out").map(|v| opts.out_dir = v.into()),
+            "--corpus" => value("--corpus").map(|v| opts.corpus_dir = Some(v.into())),
+            "--campaign" => {
+                opts.guided = true;
+                Ok(())
+            }
+            "--shards" => value("--shards")
+                .and_then(|v| v.parse::<usize>().map_err(|e| e.to_string()))
+                .map(|v| opts.shards = v),
+            "--threads" => value("--threads")
+                .and_then(|v| v.parse::<usize>().map_err(|e| e.to_string()))
+                .map(|v| opts.threads = v),
             "--verbose" => {
                 opts.verbose = true;
                 Ok(())
@@ -296,12 +315,22 @@ fn fuzz_command(args: &[String]) -> ExitCode {
     }
 
     println!(
-        "fuzz campaign: seed {:#x}, {} scenarios, <= {} checker states and {} simulator \
+        "fuzz campaign: seed {:#x}, {} scenarios{}, <= {} checker states and {} simulator \
          activations each",
-        opts.seed, opts.scenarios, opts.max_configurations, opts.sim_steps
+        opts.seed,
+        opts.scenarios,
+        if opts.guided { " (coverage-guided)" } else { "" },
+        opts.max_configurations,
+        opts.sim_steps
     );
     let started = std::time::Instant::now();
-    let summary = bench::fuzz::run_campaign(&opts);
+    let summary = match bench::fuzz::run_campaign(&opts) {
+        Ok(summary) => summary,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
     println!(
         "ran {} scenarios in {:.1}s: {} explored exhaustively, {} with a fair-cycle \
          liveness violation, {} with a checker safety violation, {} sim-vs-checker oracle \
@@ -313,6 +342,19 @@ fn fuzz_command(args: &[String]) -> ExitCode {
         summary.safety_violations,
         summary.differential_oracle_runs,
     );
+    println!(
+        "coverage: {} distinct signatures, {} novel (corpus {} -> {} entries)",
+        summary.distinct_signatures,
+        summary.novel_signatures,
+        summary.initial_corpus_size,
+        summary.corpus_size,
+    );
+    // A guided campaign starting from an empty corpus always finds novelty (the first
+    // scenario's signature is new by definition) — zero means the coverage plumbing broke.
+    if opts.guided && summary.initial_corpus_size == 0 && summary.novel_signatures == 0 {
+        eprintln!("coverage-guided campaign found no novel signature from an empty corpus");
+        return ExitCode::FAILURE;
+    }
     if summary.clean() {
         println!("zero cross-engine disagreements");
         ExitCode::SUCCESS

@@ -206,6 +206,76 @@ impl StateGraph {
     }
 }
 
+/// Cheap structural facts about the recorded state graph, exported on
+/// [`ExplorationReport::graph_summary`] when graph recording was enabled.
+///
+/// These are the checker-side raw features of the fuzzer's coverage signature (see
+/// `analysis::coverage`): strongly-connected-component structure and channel-occupancy
+/// extremes summarize the *shape* of the explored graph in a handful of integers, cheaply
+/// (one linear Tarjan pass plus the per-configuration decode the liveness pass performs
+/// anyway).  Identical across engines and thread counts — the graphs are identical by the
+/// parity contract, and the summary is a pure function of the graph.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GraphSummary {
+    /// Number of strongly connected components of the recorded graph.
+    pub scc_count: usize,
+    /// Size (in configurations) of the largest strongly connected component.
+    pub largest_scc: usize,
+    /// Number of non-trivial components: size ≥ 2, or a single state with a self-loop.
+    pub nontrivial_sccs: usize,
+    /// Largest total number of in-flight messages observed in any configuration.
+    pub max_in_flight: usize,
+    /// Largest occupancy of any single channel in any configuration.
+    pub max_channel_occupancy: usize,
+}
+
+impl GraphSummary {
+    /// Computes the summary of a recorded graph (empty graph ⇒ all-zero summary).
+    pub fn of(graph: &StateGraph) -> GraphSummary {
+        let n = graph.len();
+        if n == 0 {
+            return GraphSummary::default();
+        }
+        let in_scope = vec![true; n];
+        let scc = crate::cycles::tarjan_scc(graph, &in_scope);
+        let comp_count = scc.iter().max().map_or(0, |&c| c + 1);
+        let mut sizes = vec![0usize; comp_count];
+        for &comp in &scc {
+            sizes[comp] += 1;
+        }
+        let mut self_loop = vec![false; comp_count];
+        for id in 0..n {
+            for edge in graph.edges(id) {
+                if edge.target as usize == id {
+                    self_loop[scc[id]] = true;
+                }
+            }
+        }
+        let mut summary = GraphSummary {
+            scc_count: comp_count,
+            largest_scc: sizes.iter().copied().max().unwrap_or(0),
+            nontrivial_sccs: sizes
+                .iter()
+                .zip(&self_loop)
+                .filter(|&(&size, &looped)| size >= 2 || looped)
+                .count(),
+            max_in_flight: 0,
+            max_channel_occupancy: 0,
+        };
+        for id in 0..n {
+            let config = graph.config(id);
+            summary.max_in_flight = summary.max_in_flight.max(config.messages_in_flight());
+            for per_node in &config.channels {
+                for channel in per_node {
+                    summary.max_channel_occupancy =
+                        summary.max_channel_occupancy.max(channel.len());
+                }
+            }
+        }
+        summary
+    }
+}
+
 /// The result of one exploration run.
 #[derive(Clone, Debug, Default)]
 pub struct ExplorationReport {
@@ -232,6 +302,11 @@ pub struct ExplorationReport {
     /// Bytes of packed configuration data held by the state arena when the run finished
     /// (its peak: the arena only grows during a run).
     pub arena_bytes: usize,
+    /// Structural summary of the recorded state graph (SCC structure, channel-occupancy
+    /// extremes); `None` unless graph recording ([`Explorer::record_graph`] or
+    /// [`Explorer::check_liveness`]) was enabled.  Engine- and thread-count-independent,
+    /// like every other field.
+    pub graph_summary: Option<GraphSummary>,
 }
 
 impl ExplorationReport {
@@ -656,6 +731,9 @@ impl<'a, P: CheckableNode, T: Topology> Explorer<'a, P, T> {
     /// identical liveness witnesses (they record identical graphs).
     fn finish_run(&mut self, (mut report, graph): (ExplorationReport, StateGraph)) -> ExplorationReport {
         self.graph = graph;
+        if self.record_graph {
+            report.graph_summary = Some(GraphSummary::of(&self.graph));
+        }
         if self.check_liveness {
             report.liveness = crate::liveness::find_fair_cycles(&self.graph);
         }

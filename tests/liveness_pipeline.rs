@@ -150,14 +150,13 @@ fn unknown_property_monitors_are_rejected() {
 #[test]
 fn mini_fuzz_campaign_is_clean() {
     let opts = bench::fuzz::FuzzOptions {
-        seed: bench::fuzz::CI_SEED,
         scenarios: 12,
         max_configurations: 2_000,
         sim_steps: 400,
         out_dir: std::env::temp_dir(),
-        verbose: false,
+        ..bench::fuzz::FuzzOptions::new(bench::fuzz::CI_SEED)
     };
-    let summary = bench::fuzz::run_campaign(&opts);
+    let summary = bench::fuzz::run_campaign(&opts).unwrap();
     assert!(summary.clean(), "disagreements: {:?}", summary.disagreements);
     assert_eq!(summary.scenarios, 12);
 }

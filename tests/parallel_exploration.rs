@@ -13,6 +13,7 @@
 //!    cross-worker duplicate discovery);
 //! 2. on every preset of the delta-parity suite, at every tested thread count.
 
+use analysis::coverage::CoverageSignature;
 use analysis::scenario::{
     preset, CheckSpec, ProtocolSpec, ScenarioSpec, StopSpec, TopologySpec, WorkloadSpec,
 };
@@ -49,6 +50,7 @@ fn assert_reports_identical(
         assert_eq!(d.trace, p.trace, "{name}: deadlock trace");
         assert_eq!(d.config, p.config, "{name}: deadlocked configuration");
     }
+    assert_eq!(delta.graph_summary, parallel.graph_summary, "{name}: graph summary");
     assert_eq!(delta.liveness.len(), parallel.liveness.len(), "{name}: lasso count");
     for (d, p) in delta.liveness.iter().zip(&parallel.liveness) {
         assert_eq!(d.victim, p.victim, "{name}: lasso victim");
@@ -124,6 +126,37 @@ proptest! {
         for threads in THREAD_COUNTS {
             let parallel = scenario.check_parallel(threads).expect("same lowering");
             assert_reports_identical(&format!("{} @{threads}", scenario.spec().name), &delta, &parallel);
+        }
+    }
+}
+
+/// Satellite: the coverage signature the fuzzer keys its corpus on is deterministic and
+/// engine-independent — the delta, interned and parallel engines (at every tested width)
+/// fingerprint a scenario identically, with the monitor verdicts from the same seeded
+/// simulator run folded in.
+#[test]
+fn coverage_signatures_are_engine_independent() {
+    for (rung, n, seed) in [(0, 4, 11), (1, 5, 23), (2, 5, 37), (3, 4, 53), (3, 6, 71)] {
+        let mut spec = random_scenario(rung, n, seed, 2, 1, vec![1; n], 1);
+        spec.properties =
+            vec!["request-eventually-cs".into(), "at-most-k-in-cs".into(), "l-availability".into()];
+        let scenario = spec.compile().expect("scenario validates");
+        let name = &scenario.spec().name;
+        let (_, monitors) = scenario.run_monitored();
+        let delta = scenario
+            .check_with(checker::ExploreEngine::Delta)
+            .expect("tree rungs lower into the checker");
+        let key = CoverageSignature::of(&delta, &monitors).key();
+        let interned =
+            scenario.check_with(checker::ExploreEngine::Interned).expect("same lowering");
+        assert_eq!(key, CoverageSignature::of(&interned, &monitors).key(), "{name}: interned");
+        for threads in THREAD_COUNTS {
+            let parallel = scenario.check_parallel(threads).expect("same lowering");
+            assert_eq!(
+                key,
+                CoverageSignature::of(&parallel, &monitors).key(),
+                "{name}: parallel @{threads}"
+            );
         }
     }
 }
