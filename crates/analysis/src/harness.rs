@@ -117,9 +117,35 @@ pub fn trial_seed(base_seed: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Number of cores this host can run concurrently (at least 1).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Resolves a worker-count knob against a host core count: `0` means "one worker per core"
+/// and anything else is taken literally.
+///
+/// This is *the* worker/thread derivation rule of the workspace — `CheckSpec.threads`
+/// dispatch, the fuzzer's per-campaign thread split, the serve daemon's worker pool and the
+/// benchmark binaries all resolve through it.  A pure function of `(requested, host_cores)`
+/// so the policy is unit-testable off-host; in particular a 1-core host resolves `0` to `1`
+/// — auto never oversubscribes a single core (the PR 6 fix).
+pub fn worker_count(requested: usize, host_cores: usize) -> usize {
+    if requested == 0 {
+        host_cores.max(1)
+    } else {
+        requested
+    }
+}
+
+/// [`worker_count`] against this host's [`host_cores`].
+pub fn auto_workers(requested: usize) -> usize {
+    worker_count(requested, host_cores())
+}
+
 /// A sensible shard count for this host: one shard per available core.
 pub fn auto_shards() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    host_cores()
 }
 
 /// Runs `trials` independent trials sharded across up to `shards` scoped worker threads,
@@ -408,6 +434,23 @@ mod tests {
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert_eq!(a, trial_seed(7, 0), "pure function of (base, index)");
+    }
+
+    #[test]
+    fn worker_count_resolution_is_pure_and_single_core_safe() {
+        // 0 = auto: one worker per host core — and on a 1-core host that is exactly one
+        // worker, never an oversubscribing floor (the behavior fixed in PR 6).
+        assert_eq!(worker_count(0, 1), 1);
+        assert_eq!(worker_count(0, 8), 8);
+        // A defensive guard: a degenerate host report still yields a usable count.
+        assert_eq!(worker_count(0, 0), 1);
+        // Explicit requests are taken literally, even above the core count.
+        assert_eq!(worker_count(3, 1), 3);
+        assert_eq!(worker_count(1, 64), 1);
+        // The host-bound wrappers agree with the pure rule.
+        assert_eq!(auto_workers(0), host_cores());
+        assert_eq!(auto_workers(5), 5);
+        assert_eq!(auto_shards(), host_cores());
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod harness;
 pub mod histogram;
 pub mod invariants;
 pub mod monitor;
+pub mod progress;
 pub mod scenario;
 pub mod scenarios;
 pub mod stats;
@@ -53,6 +54,7 @@ pub use harness::{render_csv, render_markdown_table, ExperimentRow, Trial};
 pub use histogram::Histogram;
 pub use invariants::{SafetyMonitor, SafetyViolation};
 pub use monitor::{MonitorReport, TemporalMonitor, Verdict, MONITOR_NAMES};
+pub use progress::{Counter, MetricsRegistry, NullSink, ProgressSink};
 pub use scenario::{CompiledScenario, Scenario, ScenarioError, ScenarioSpec};
 pub use stats::Summary;
 pub use timeline::{render_activity_gantt, render_virtual_ring, CensusRecorder};

@@ -1,0 +1,182 @@
+//! Progress observation and runtime telemetry for long-running scenario work.
+//!
+//! Two small pieces, shared by every backend:
+//!
+//! * [`ProgressSink`] — a phase-labelled progress callback plus a cooperative cancellation
+//!   poll.  Scenario compilation threads a sink through the simulator's warmup/fault/measure
+//!   phases, the sharded harness reports per-trial completion through it, the checker
+//!   backends adapt it onto [`checker::ExploreProgress`], and the fuzzer reports per-batch
+//!   campaign progress.  The default [`NullSink`] makes observation strictly opt-in: the
+//!   unobserved entry points delegate to the observed ones with a null sink and compute
+//!   bit-identical results.
+//! * [`MetricsRegistry`] — a lock-striped registry of named monotonic counters.  Handing a
+//!   [`Counter`] handle to a hot loop costs one striped map lookup up front; every
+//!   subsequent increment is a lock-free `fetch_add`.  The serve daemon exposes a registry
+//!   as its Prometheus `/metrics` endpoint; anything holding a handle (worker pools, sink
+//!   adapters, the harness bookkeeping) feeds it.
+//!
+//! Cancellation is *cooperative*: backends poll [`ProgressSink::cancelled`] at natural
+//! yield points (phase boundaries, per trial, every few hundred explored states, between
+//! fuzz batches) and wind down early.  A cancelled run returns a truncated result; callers
+//! that cancel are expected to discard it.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Observer of long-running scenario work: phase-labelled progress plus cancellation.
+///
+/// `phase` names the unit of work (`"warmup"`, `"measure"`, `"trials"`, `"explore"`,
+/// `"fuzz"`, …); `done` counts completed units and `total` the expected count (`0` when
+/// unknown, e.g. an exploration whose reachable-set size is the answer).  Both methods
+/// default to no-ops / never-cancel so implementors pick the half they need.  Sinks are
+/// shared across harness shards and checker workers, hence [`Sync`].
+pub trait ProgressSink: Sync {
+    /// Reports that `phase` has completed `done` of `total` units (`total == 0` = unknown).
+    fn progress(&self, phase: &str, done: u64, total: u64) {
+        let _ = (phase, done, total);
+    }
+
+    /// Polled at yield points; returning `true` asks the backend to wind down early.
+    fn cancelled(&self) -> bool {
+        false
+    }
+}
+
+/// The no-op sink: every unobserved entry point runs through it.
+pub struct NullSink;
+
+impl ProgressSink for NullSink {}
+
+/// Number of stripes in a [`MetricsRegistry`]; a power of two so the stripe of a hash is a
+/// mask away.
+const STRIPES: usize = 16;
+
+/// A monotonic counter registered in a [`MetricsRegistry`].
+///
+/// Cloning shares the underlying atomic; increments are lock-free and visible to
+/// [`MetricsRegistry::snapshot`] immediately.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `delta` to the counter.
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A lock-striped registry of named monotonic counters.
+///
+/// Registration (name → handle) takes one stripe lock; the stripe is chosen by an FNV-1a
+/// hash of the name, so concurrent registrations of different names rarely contend.  The
+/// hot path never touches the registry at all — it increments through [`Counter`] handles.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    stripes: [Mutex<BTreeMap<String, Arc<AtomicU64>>>; STRIPES],
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it at zero on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let stripe = &self.stripes[stripe_of(name)];
+        let mut map = stripe.lock().expect("unpoisoned metrics stripe");
+        let cell = map.entry(name.to_string()).or_default();
+        Counter(Arc::clone(cell))
+    }
+
+    /// Adds `delta` to the counter named `name` (registering it if needed).  Convenience
+    /// for cold paths; hot loops should hold a [`Counter`] handle instead.
+    pub fn add(&self, name: &str, delta: u64) {
+        self.counter(name).add(delta);
+    }
+
+    /// A consistent-enough snapshot of every counter, sorted by name.  Counters being
+    /// incremented concurrently may read slightly stale — fine for a metrics scrape.
+    pub fn snapshot(&self) -> BTreeMap<String, u64> {
+        let mut out = BTreeMap::new();
+        for stripe in &self.stripes {
+            let map = stripe.lock().expect("unpoisoned metrics stripe");
+            for (name, cell) in map.iter() {
+                out.insert(name.clone(), cell.load(Ordering::Relaxed));
+            }
+        }
+        out
+    }
+}
+
+/// FNV-1a stripe selector.
+fn stripe_of(name: &str) -> usize {
+    let mut hash = 0xcbf29ce484222325u64;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    (hash as usize) & (STRIPES - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_never_cancels() {
+        let sink = NullSink;
+        sink.progress("warmup", 1, 2);
+        assert!(!sink.cancelled());
+    }
+
+    #[test]
+    fn counters_register_once_and_accumulate() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("jobs_done");
+        let b = registry.counter("jobs_done");
+        a.add(2);
+        b.inc();
+        registry.add("jobs_failed", 5);
+        let snap = registry.snapshot();
+        assert_eq!(snap["jobs_done"], 3);
+        assert_eq!(snap["jobs_failed"], 5);
+        assert_eq!(a.get(), 3);
+    }
+
+    #[test]
+    fn concurrent_increments_are_lossless() {
+        let registry = MetricsRegistry::new();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let registry = &registry;
+                scope.spawn(move || {
+                    // Mix shared and per-thread names so both the striped registration
+                    // path and the lock-free increment path see contention.
+                    let shared = registry.counter("shared_total");
+                    let own = registry.counter(&format!("worker_{t}"));
+                    for _ in 0..1000 {
+                        shared.inc();
+                        own.inc();
+                    }
+                });
+            }
+        });
+        let snap = registry.snapshot();
+        assert_eq!(snap["shared_total"], 8000);
+        for t in 0..8 {
+            assert_eq!(snap[&format!("worker_{t}")], 1000);
+        }
+    }
+}

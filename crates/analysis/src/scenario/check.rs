@@ -22,8 +22,12 @@
 use super::compile::{CompiledScenario, ScenarioNode};
 use super::spec::{ProtocolSpec, WorkloadSpec};
 use super::ScenarioError;
+use crate::harness::auto_workers;
+use crate::progress::ProgressSink;
 use checker::snapshot::CheckableNode;
-use checker::{drivers, properties, ExplorationReport, ExploreEngine, Explorer, Limits};
+use checker::{
+    drivers, properties, ExplorationReport, ExploreEngine, ExploreProgress, Explorer, Limits,
+};
 use klex_core::{naive, nonstab, pusher, ss, KlConfig, Message};
 use topology::{OrientedTree, Topology};
 use treenet::app::BoxedDriver;
@@ -43,11 +47,23 @@ impl CompiledScenario {
     /// the sequential engine on a single-core host).  The choice never changes the report:
     /// the engines are field-for-field identical by the parity contract.
     pub fn check(&self) -> Result<ExplorationReport, ScenarioError> {
-        let threads = resolved_threads(self.spec().check.threads);
+        self.check_observed(None, None)
+    }
+
+    /// [`CompiledScenario::check`] under observation: same thread dispatch (with an optional
+    /// override of the spec's `threads` knob), but the exploration reports throttled
+    /// `"explore"` progress through `sink` and winds down early — with `truncated` set —
+    /// when the sink cancels.  Observation never changes the report of an uncancelled run.
+    pub fn check_observed(
+        &self,
+        threads_override: Option<usize>,
+        sink: Option<&dyn ProgressSink>,
+    ) -> Result<ExplorationReport, ScenarioError> {
+        let threads = auto_workers(threads_override.unwrap_or(self.spec().check.threads));
         if threads <= 1 {
-            self.check_with(ExploreEngine::Delta)
+            self.check_with_sink(ExploreEngine::Delta, sink)
         } else {
-            self.check_parallel(threads)
+            self.check_parallel_sink(threads, sink)
         }
     }
 
@@ -55,16 +71,24 @@ impl CompiledScenario {
     /// suite uses to run the same lowered instance through both sequential engines and
     /// compare the reports.
     pub fn check_with(&self, engine: ExploreEngine) -> Result<ExplorationReport, ScenarioError> {
+        self.check_with_sink(engine, None)
+    }
+
+    fn check_with_sink(
+        &self,
+        engine: ExploreEngine,
+        sink: Option<&dyn ProgressSink>,
+    ) -> Result<ExplorationReport, ScenarioError> {
         let spec = self.spec();
         match spec.protocol {
             ProtocolSpec::Naive => {
-                self.check_net(self.lowered_net(|t, c, d| naive::network(t, c, d))?, engine)
+                self.check_net(self.lowered_net(|t, c, d| naive::network(t, c, d))?, engine, sink)
             }
             ProtocolSpec::Pusher => {
-                self.check_net(self.lowered_net(|t, c, d| pusher::network(t, c, d))?, engine)
+                self.check_net(self.lowered_net(|t, c, d| pusher::network(t, c, d))?, engine, sink)
             }
             ProtocolSpec::NonStab => {
-                self.check_net(self.lowered_net(|t, c, d| nonstab::network(t, c, d))?, engine)
+                self.check_net(self.lowered_net(|t, c, d| nonstab::network(t, c, d))?, engine, sink)
             }
             ProtocolSpec::Ss if spec.check.from_legitimate => {
                 // Closure checking (Definition 1): stabilize the lowered instance under a
@@ -80,7 +104,7 @@ impl CompiledScenario {
                     &mut *drivers,
                     STABILIZATION_BUDGET,
                 );
-                self.check_net(net, engine)
+                self.check_net(net, engine, sink)
             }
             ProtocolSpec::Ss => {
                 let mut net = self.lowered_net(|t, c, d| {
@@ -95,7 +119,7 @@ impl CompiledScenario {
                     let root = 0;
                     net.inject_from(root, 0, Message::Ctrl { c: 0, r: false, pt: 0, ppr: 0 });
                 }
-                self.check_net(net, engine)
+                self.check_net(net, engine, sink)
             }
             ProtocolSpec::Ring => Err(ScenarioError::NotCheckable(
                 "the ring baseline has no checker snapshot support".to_string(),
@@ -108,23 +132,30 @@ impl CompiledScenario {
     /// core).  The report is field-for-field identical to the sequential engines' at every
     /// thread count; `threads <= 1` degenerates to the sequential delta engine.
     pub fn check_parallel(&self, threads: usize) -> Result<ExplorationReport, ScenarioError> {
-        let threads = resolved_threads(threads);
+        self.check_parallel_sink(auto_workers(threads), None)
+    }
+
+    fn check_parallel_sink(
+        &self,
+        threads: usize,
+        sink: Option<&dyn ProgressSink>,
+    ) -> Result<ExplorationReport, ScenarioError> {
         let spec = self.spec();
         match spec.protocol {
             ProtocolSpec::Naive => {
                 let net = self.lowered_net(|t, c, d| naive::network(t, c, d))?;
                 let make = || self.worker_net(|t, c, d| naive::network(t, c, d));
-                self.check_net_parallel(net, make, threads)
+                self.check_net_parallel(net, make, threads, sink)
             }
             ProtocolSpec::Pusher => {
                 let net = self.lowered_net(|t, c, d| pusher::network(t, c, d))?;
                 let make = || self.worker_net(|t, c, d| pusher::network(t, c, d));
-                self.check_net_parallel(net, make, threads)
+                self.check_net_parallel(net, make, threads, sink)
             }
             ProtocolSpec::NonStab => {
                 let net = self.lowered_net(|t, c, d| nonstab::network(t, c, d))?;
                 let make = || self.worker_net(|t, c, d| nonstab::network(t, c, d));
-                self.check_net_parallel(net, make, threads)
+                self.check_net_parallel(net, make, threads, sink)
             }
             ProtocolSpec::Ss if spec.check.from_legitimate => {
                 let tree = spec.topology.build(0);
@@ -139,7 +170,7 @@ impl CompiledScenario {
                 // Workers only need the stabilized network's *shape* (same disabled-timeout
                 // construction); every configuration they touch is restored over.
                 let make = || self.worker_net(|t, c, d| checker::scenarios::ss_for_checking(t, c, d));
-                self.check_net_parallel(net, make, threads)
+                self.check_net_parallel(net, make, threads, sink)
             }
             ProtocolSpec::Ss => {
                 let mut net = self.lowered_net(|t, c, d| {
@@ -152,7 +183,7 @@ impl CompiledScenario {
                     net.inject_from(root, 0, Message::Ctrl { c: 0, r: false, pt: 0, ppr: 0 });
                 }
                 let make = || self.worker_net(|t, c, d| checker::scenarios::ss_for_checking(t, c, d));
-                self.check_net_parallel(net, make, threads)
+                self.check_net_parallel(net, make, threads, sink)
             }
             ProtocolSpec::Ring => Err(ScenarioError::NotCheckable(
                 "the ring baseline has no checker snapshot support".to_string(),
@@ -230,16 +261,33 @@ impl CompiledScenario {
         explorer
     }
 
+    /// The denominator observed explorations report: the configuration cap when finite,
+    /// `0` (= unknown) otherwise.
+    fn explore_total(&self) -> u64 {
+        let cap = self.spec().check.max_configurations;
+        if cap == usize::MAX {
+            0
+        } else {
+            cap as u64
+        }
+    }
+
     /// Runs the explorer over `net` with the spec's limits and properties.
     fn check_net<P>(
         &self,
         mut net: Network<P, OrientedTree>,
         engine: ExploreEngine,
+        sink: Option<&dyn ProgressSink>,
     ) -> Result<ExplorationReport, ScenarioError>
     where
         P: CheckableNode,
     {
-        Ok(self.lowered_explorer(&mut net).run_with(engine))
+        let adapter = sink.map(|sink| ExploreSinkAdapter { sink, total: self.explore_total() });
+        let mut explorer = self.lowered_explorer(&mut net);
+        if let Some(adapter) = &adapter {
+            explorer = explorer.with_progress(adapter);
+        }
+        Ok(explorer.run_with(engine))
     }
 
     /// Runs the work-stealing parallel explorer over `net` with the spec's limits and
@@ -249,21 +297,37 @@ impl CompiledScenario {
         mut net: Network<P, OrientedTree>,
         factory: F,
         threads: usize,
+        sink: Option<&dyn ProgressSink>,
     ) -> Result<ExplorationReport, ScenarioError>
     where
         P: CheckableNode,
         F: Fn() -> Network<P, OrientedTree> + Sync,
     {
-        Ok(self.lowered_explorer(&mut net).run_parallel(factory, threads))
+        let adapter = sink.map(|sink| ExploreSinkAdapter { sink, total: self.explore_total() });
+        let mut explorer = self.lowered_explorer(&mut net);
+        if let Some(adapter) = &adapter {
+            explorer = explorer.with_progress(adapter);
+        }
+        Ok(explorer.run_parallel(factory, threads))
     }
 }
 
-/// Resolves a `threads` knob: `0` means one worker per available core.
-fn resolved_threads(threads: usize) -> usize {
-    if threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    } else {
-        threads
+/// Adapts a [`ProgressSink`] onto the checker's [`ExploreProgress`] observer: interned
+/// configurations stream out as the `"explore"` phase (against the configuration cap as
+/// denominator) and the sink's cancellation poll becomes the explorer's.
+struct ExploreSinkAdapter<'s> {
+    sink: &'s dyn ProgressSink,
+    total: u64,
+}
+
+impl ExploreProgress for ExploreSinkAdapter<'_> {
+    fn on_progress(&self, configurations: usize, transitions: usize) {
+        let _ = transitions;
+        self.sink.progress("explore", configurations as u64, self.total);
+    }
+
+    fn should_stop(&self) -> bool {
+        self.sink.cancelled()
     }
 }
 

@@ -20,10 +20,12 @@ use super::spec::{
 };
 use crate::fairness::FairnessReport;
 use crate::harness::{self, ExperimentRow};
+use crate::progress::ProgressSink;
 use crate::stats::Summary;
 use crate::waiting::waiting_times;
 use klex_core::{count_tokens, naive, nonstab, pusher, ss, KlConfig, KlInspect, Message};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use topology::{OrientedTree, Topology};
 use treenet::app::BoxedDriver;
 use treenet::{
@@ -333,11 +335,30 @@ impl CompiledScenario {
         self.run_trial(0, 0)
     }
 
+    /// [`CompiledScenario::run`] under observation: the warmup/fault/measure phase
+    /// boundaries report through `sink`, and a cancelled sink abandons the run at the next
+    /// phase boundary (the outcome then reads `Exhausted`; cancelling callers discard it).
+    /// Observation never changes what an uncancelled run computes.
+    pub fn run_observed(&self, sink: &dyn ProgressSink) -> ScenarioOutcome {
+        self.run_trial_observed(0, 0, Some(sink))
+    }
+
     /// Runs the scenario once and evaluates the spec's declared temporal monitors
     /// ([`super::spec::ScenarioSpec::properties`]) over the execution — the
     /// simulator-under-monitors backend of the liveness subsystem.
     pub fn run_monitored(&self) -> (ScenarioOutcome, Vec<crate::monitor::MonitorReport>) {
         let outcome = self.run();
+        let reports = self.monitor_outcome(&outcome);
+        (outcome, reports)
+    }
+
+    /// [`CompiledScenario::run_monitored`] under observation (see
+    /// [`CompiledScenario::run_observed`] for the reporting and cancellation contract).
+    pub fn run_monitored_observed(
+        &self,
+        sink: &dyn ProgressSink,
+    ) -> (ScenarioOutcome, Vec<crate::monitor::MonitorReport>) {
+        let outcome = self.run_observed(sink);
         let reports = self.monitor_outcome(&outcome);
         (outcome, reports)
     }
@@ -374,31 +395,42 @@ impl CompiledScenario {
     /// Runs one trial: `index` offsets random-topology seeds, `stream` offsets workload,
     /// daemon and fault seeds (pass a [`crate::harness::trial_seed`] stream).
     pub fn run_trial(&self, index: u64, stream: u64) -> ScenarioOutcome {
+        self.run_trial_observed(index, stream, None)
+    }
+
+    /// [`CompiledScenario::run_trial`] with an optional [`ProgressSink`] threaded into the
+    /// warmup/fault/measure phases.
+    pub fn run_trial_observed(
+        &self,
+        index: u64,
+        stream: u64,
+        sink: Option<&dyn ProgressSink>,
+    ) -> ScenarioOutcome {
         match self.spec.protocol {
             ProtocolSpec::Naive => {
                 let (mut net, victim) =
                     self.build_tree_net(index, stream, |t, c, d| naive::network(t, c, d));
-                self.drive(&mut net, victim, stream, klex_core::is_legitimate)
+                self.drive(&mut net, victim, stream, klex_core::is_legitimate, sink)
             }
             ProtocolSpec::Pusher => {
                 let (mut net, victim) =
                     self.build_tree_net(index, stream, |t, c, d| pusher::network(t, c, d));
-                self.drive(&mut net, victim, stream, klex_core::is_legitimate)
+                self.drive(&mut net, victim, stream, klex_core::is_legitimate, sink)
             }
             ProtocolSpec::NonStab => {
                 let (mut net, victim) =
                     self.build_tree_net(index, stream, |t, c, d| nonstab::network(t, c, d));
-                self.drive(&mut net, victim, stream, klex_core::is_legitimate)
+                self.drive(&mut net, victim, stream, klex_core::is_legitimate, sink)
             }
             ProtocolSpec::Ss => {
                 let (mut net, victim) =
                     self.build_tree_net(index, stream, |t, c, d| ss::network(t, c, d));
-                self.drive(&mut net, victim, stream, klex_core::is_legitimate)
+                self.drive(&mut net, victim, stream, klex_core::is_legitimate, sink)
             }
             ProtocolSpec::Ring => {
                 let mut net = self.build_ring_net(stream);
                 let victim = net.len() - 1;
-                self.drive(&mut net, victim, stream, baselines::ring::is_legitimate)
+                self.drive(&mut net, victim, stream, baselines::ring::is_legitimate, sink)
             }
         }
     }
@@ -415,24 +447,45 @@ impl CompiledScenario {
     /// one, so per-trial results match the rebuild path bit-for-bit (asserted by the
     /// scenario reuse tests) and remain independent of the shard count.
     pub fn run_harness(&self, shards: usize) -> HarnessReport {
+        self.run_harness_observed(shards, None)
+    }
+
+    /// [`CompiledScenario::run_harness`] under observation: completed trials stream out as
+    /// the `"trials"` phase, and a cancelled sink makes the remaining trials return empty
+    /// metric maps — the report is then partial, and cancelling callers discard it.
+    pub fn run_harness_observed(
+        &self,
+        shards: usize,
+        sink: Option<&dyn ProgressSink>,
+    ) -> HarnessReport {
         let trials = self.spec.trials.max(1);
+        let observer =
+            sink.map(|sink| TrialObserver { sink, done: AtomicU64::new(0), total: trials });
+        let observer = observer.as_ref();
         let per_trial = match self.spec.protocol {
             ProtocolSpec::Naive => {
-                self.tree_harness_trials(trials, shards, |t, c, d| naive::network(t, c, d))
+                self.tree_harness_trials(trials, shards, observer, |t, c, d| naive::network(t, c, d))
             }
             ProtocolSpec::Pusher => {
-                self.tree_harness_trials(trials, shards, |t, c, d| pusher::network(t, c, d))
+                self.tree_harness_trials(trials, shards, observer, |t, c, d| pusher::network(t, c, d))
             }
             ProtocolSpec::NonStab => {
-                self.tree_harness_trials(trials, shards, |t, c, d| nonstab::network(t, c, d))
+                self.tree_harness_trials(trials, shards, observer, |t, c, d| nonstab::network(t, c, d))
             }
             ProtocolSpec::Ss => {
-                self.tree_harness_trials(trials, shards, |t, c, d| ss::network(t, c, d))
+                self.tree_harness_trials(trials, shards, observer, |t, c, d| ss::network(t, c, d))
             }
             // The ring baseline has no restart support; its trials rebuild.
             ProtocolSpec::Ring => {
                 harness::run_sharded(trials, self.spec.base_seed, shards, |index, stream| {
-                    self.run_trial(index, stream).metrics
+                    if observer.is_some_and(|o| o.cancelled()) {
+                        return BTreeMap::new();
+                    }
+                    let metrics = self.run_trial(index, stream).metrics;
+                    if let Some(observer) = observer {
+                        observer.completed_one();
+                    }
+                    metrics
                 })
             }
         };
@@ -450,6 +503,7 @@ impl CompiledScenario {
         &self,
         trials: u64,
         shards: usize,
+        observer: Option<&TrialObserver<'_>>,
         construct: F,
     ) -> Vec<BTreeMap<String, f64>>
     where
@@ -463,9 +517,17 @@ impl CompiledScenario {
     {
         if self.spec.topology.is_seeded() {
             return harness::run_sharded(trials, self.spec.base_seed, shards, |index, stream| {
+                if observer.is_some_and(|o| o.cancelled()) {
+                    return BTreeMap::new();
+                }
                 let (mut net, victim) =
                     self.build_tree_net(index, stream, |t, c, d| construct(t, c, d));
-                self.drive(&mut net, victim, stream, klex_core::is_legitimate).metrics
+                let metrics =
+                    self.drive(&mut net, victim, stream, klex_core::is_legitimate, None).metrics;
+                if let Some(observer) = observer {
+                    observer.completed_one();
+                }
+                metrics
             });
         }
         harness::run_sharded_with(
@@ -474,6 +536,9 @@ impl CompiledScenario {
             shards,
             || None::<Network<P, OrientedTree>>,
             |slot, index, stream| {
+                if observer.is_some_and(|o| o.cancelled()) {
+                    return BTreeMap::new();
+                }
                 let victim;
                 let net = match slot {
                     Some(net) => {
@@ -496,7 +561,12 @@ impl CompiledScenario {
                         slot.insert(net)
                     }
                 };
-                self.drive(net, victim, stream, klex_core::is_legitimate).metrics
+                let metrics =
+                    self.drive(net, victim, stream, klex_core::is_legitimate, None).metrics;
+                if let Some(observer) = observer {
+                    observer.completed_one();
+                }
+                metrics
             },
         )
     }
@@ -607,6 +677,7 @@ impl CompiledScenario {
         fallback_victim: NodeId,
         stream: u64,
         legit: L,
+        sink: Option<&dyn ProgressSink>,
     ) -> ScenarioOutcome
     where
         P: ScenarioNode,
@@ -619,6 +690,9 @@ impl CompiledScenario {
         // Phase 1: optional warmup to sustained legitimacy, then reset the counters.
         let mut warmup_activations = None;
         if let Some(warmup) = &self.spec.warmup {
+            if let Some(sink) = sink {
+                sink.progress("warmup", 0, 1);
+            }
             let window = warmup.window.unwrap_or_else(|| crate::convergence::default_window(n));
             let stabilized = {
                 let mut daemon = warmup
@@ -655,15 +729,36 @@ impl CompiledScenario {
             }
             net.trace_mut().clear();
             net.metrics_mut().reset();
+            if let Some(sink) = sink {
+                sink.progress("warmup", 1, 1);
+            }
+        }
+        // Cancellation is honored between phases: the network is in a consistent state
+        // here, and the measured run is the expensive part being skipped.
+        if sink.is_some_and(|s| s.cancelled()) {
+            return ScenarioOutcome {
+                outcome: RunOutcome::Exhausted(net.now()),
+                warmup_activations,
+                started_at: net.now(),
+                ended_at: net.now(),
+                metrics: BTreeMap::new(),
+                trace: std::mem::take(net.trace_mut()),
+            };
         }
 
         // Phase 2: optional transient fault.
         if let Some(fault) = &self.spec.fault {
             let mut injector = FaultInjector::new(fault.seed.wrapping_add(stream));
             injector.inject(&mut *net, &fault.plan.to_plan(&cfg));
+            if let Some(sink) = sink {
+                sink.progress("fault", 1, 1);
+            }
         }
 
         // Phase 3: the measured run.
+        if let Some(sink) = sink {
+            sink.progress("measure", 0, 1);
+        }
         let mut daemon = self.spec.daemon.instantiate(stream, fallback_victim);
         let phase_start = net.now();
         let base_entries = net.trace().cs_entries(None) as u64;
@@ -702,6 +797,9 @@ impl CompiledScenario {
             }
         };
 
+        if let Some(sink) = sink {
+            sink.progress("measure", 1, 1);
+        }
         let metrics =
             self.collect(&*net, &cfg, outcome, phase_start, warmup_activations, base_entries);
         let ended_at = net.now();
@@ -790,6 +888,26 @@ impl CompiledScenario {
             }
         }
         metrics
+    }
+}
+
+/// Shared per-trial bookkeeping of an observed harness run: a monotone completed-trial
+/// counter reported through the sink as the `"trials"` phase, plus the cancellation relay
+/// the sharded workers poll before claiming a trial.
+struct TrialObserver<'s> {
+    sink: &'s dyn ProgressSink,
+    done: AtomicU64,
+    total: u64,
+}
+
+impl TrialObserver<'_> {
+    fn cancelled(&self) -> bool {
+        self.sink.cancelled()
+    }
+
+    fn completed_one(&self) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        self.sink.progress("trials", done, self.total);
     }
 }
 

@@ -10,16 +10,22 @@
 //! * `parallel` — work-stealing parallel delta exploration over the sharded arena
 //!   (`Explorer::run_parallel`), one row per worker count.
 //!
-//! The comparison group also writes `BENCH_explorer.json` at the workspace root recording
-//! states/second for each engine (the parallel engine at 1, 2, 4 and all-cores workers,
-//! with the requested and effective thread counts spelled out), the resulting speedups, and
-//! the largest instance whose reachable set the checker has certified exhaustively
-//! (`pusher_star7`, 224k+ configurations), so the gains are tracked as a checked-in
-//! baseline (schema documented in README.md § Benchmarks).
+//! The comparison group also appends a dated entry to the `BENCH_explorer.json` history at
+//! the workspace root recording states/second for each engine (the parallel engine at 1, 2,
+//! 4 and all-cores workers, with the requested and effective thread counts spelled out), the
+//! resulting speedups, and the largest instance whose reachable set the checker has
+//! certified exhaustively (`pusher_star7`, 224k+ configurations).  The history keeps the
+//! last [`bench::history::MAX_ENTRIES`] runs plus a `trend` block, so the gains are tracked
+//! across runs, not just as a single overwritten snapshot (schema documented in
+//! ARCHITECTURE.md § Performance baselines).
 
+use analysis::harness::host_cores;
+use bench::history::{Entry, History};
 use checker::{drivers, explore::baseline, ExploreEngine, Explorer, Limits};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use klex_core::KlConfig;
+use serde_json::Value;
+use std::path::Path;
 use std::time::Instant;
 
 fn explore_limits() -> Limits {
@@ -156,14 +162,6 @@ fn bench_cycle_search(c: &mut Criterion) {
     group.finish();
 }
 
-/// Cores the host can actually run concurrently.  The parallel rows derive their worker
-/// counts from this — an earlier revision clamped the count to at least 2, which
-/// oversubscribed single-core hosts and committed a dishonest
-/// `"parallel_threads": 2, "host_cores": 1` row to `BENCH_explorer.json`.
-fn host_cores() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-}
-
 /// Times `run` (which returns the number of configurations explored) over `rounds` runs and
 /// returns the best states/second together with the configuration count.
 fn states_per_sec(rounds: usize, mut run: impl FnMut() -> usize) -> (f64, usize) {
@@ -224,11 +222,13 @@ fn emit_engine_baseline(_c: &mut Criterion) {
         if threads > 1 {
             best_parallel_rate = best_parallel_rate.max(rate);
         }
-        parallel_rows.push(format!(
-            "    {{ \"requested_threads\": {threads}, \"effective_threads\": {}, \
-             \"states_per_sec\": {rate:.0} }}",
-            threads.min(cores)
-        ));
+        parallel_rows.push(
+            Entry::new()
+                .int("requested_threads", threads as i128)
+                .int("effective_threads", threads.min(cores) as i128)
+                .num("states_per_sec", rate.round())
+                .build(),
+        );
     }
 
     // Re-certify the largest exhaustively-enumerated instance with both the sequential
@@ -253,20 +253,59 @@ fn emit_engine_baseline(_c: &mut Criterion) {
     assert_eq!(certified_configs, certified_parallel_configs, "engines must agree");
     assert!(certified_configs > configurations, "certified instance must be the largest");
 
-    let json = format!(
-        "{{\n  \"bench\": \"exhaustive_checker\",\n  \"instance\": \"pusher_star5 (k=2, l=3, n=5, holding needs 0+2+1+2+1)\",\n  \"configurations\": {configurations},\n  \"host_cores\": {cores},\n  \"baseline_states_per_sec\": {baseline_rate:.0},\n  \"interned_states_per_sec\": {interned_rate:.0},\n  \"delta_states_per_sec\": {delta_rate:.0},\n  \"parallel\": [\n{parallel}\n  ],\n  \"speedup_interned_vs_baseline\": {:.2},\n  \"speedup_delta_vs_baseline\": {:.2},\n  \"speedup_delta_vs_interned\": {:.2},\n  \"speedup_parallel_vs_delta\": {:.2},\n  \"certified\": {{\n    \"instance\": \"pusher_star7 (k=2, l=3, n=7, holding needs 0+2+1+2+1+1+1)\",\n    \"configurations\": {certified_configs},\n    \"transitions\": {certified_transitions},\n    \"max_depth\": {certified_max_depth},\n    \"exhaustive\": true,\n    \"delta_states_per_sec\": {certified_delta_rate:.0},\n    \"parallel_states_per_sec\": {certified_parallel_rate:.0},\n    \"parallel_requested_threads\": {cores},\n    \"parallel_effective_threads\": {cores}\n  }}\n}}\n",
-        interned_rate / baseline_rate,
-        delta_rate / baseline_rate,
+    let ratio = |x: f64| (x * 100.0).round() / 100.0;
+    let certified_entry = Entry::new()
+        .str("instance", "pusher_star7 (k=2, l=3, n=7, holding needs 0+2+1+2+1+1+1)")
+        .int("configurations", certified_configs as i128)
+        .int("transitions", certified.transitions as i128)
+        .int("max_depth", certified.max_depth as i128)
+        .val("exhaustive", Value::Bool(true))
+        .num("delta_states_per_sec", certified_delta_rate.round())
+        .num("parallel_states_per_sec", certified_parallel_rate.round())
+        .int("parallel_requested_threads", cores as i128)
+        .int("parallel_effective_threads", cores as i128)
+        .build();
+    let entry = Entry::new()
+        .str("bench", "exhaustive_checker")
+        .str("instance", "pusher_star5 (k=2, l=3, n=5, holding needs 0+2+1+2+1)")
+        .int("configurations", configurations as i128)
+        .int("host_cores", cores as i128)
+        .num("baseline_states_per_sec", baseline_rate.round())
+        .num("interned_states_per_sec", interned_rate.round())
+        .num("delta_states_per_sec", delta_rate.round())
+        .val("parallel", Value::Array(parallel_rows))
+        .num("speedup_interned_vs_baseline", ratio(interned_rate / baseline_rate))
+        .num("speedup_delta_vs_baseline", ratio(delta_rate / baseline_rate))
+        .num("speedup_delta_vs_interned", ratio(delta_rate / interned_rate))
+        .num("speedup_parallel_vs_delta", ratio(best_parallel_rate / delta_rate))
+        .val("certified", certified_entry)
+        .build();
+    let path = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explorer.json"));
+    let mut history = History::load(path, "exhaustive_checker").expect("load BENCH_explorer.json");
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock after the epoch")
+        .as_secs();
+    history.append_dated(entry, now);
+    history
+        .save(path, EXPLORER_TREND_KEYS)
+        .expect("write BENCH_explorer.json");
+    eprintln!(
+        "\nBENCH_explorer.json: appended entry {} of {} (delta {delta_rate:.0} states/s, \
+         delta-vs-interned {:.2}x)",
+        history.entries.len(),
+        bench::history::MAX_ENTRIES,
         delta_rate / interned_rate,
-        best_parallel_rate / delta_rate,
-        parallel = parallel_rows.join(",\n"),
-        certified_transitions = certified.transitions,
-        certified_max_depth = certified.max_depth,
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explorer.json");
-    std::fs::write(path, &json).expect("write BENCH_explorer.json");
-    eprintln!("\nBENCH_explorer.json:\n{json}");
 }
+
+/// The metrics the history's `trend` block tracks (and `perf_smoke` gates against).
+const EXPLORER_TREND_KEYS: &[&str] = &[
+    "delta_states_per_sec",
+    "speedup_delta_vs_interned",
+    "speedup_parallel_vs_delta",
+    "certified.delta_states_per_sec",
+];
 
 criterion_group!(
     benches,

@@ -11,10 +11,11 @@
 //!   dynamically dispatched `Scheduler` path (drop-in replacement);
 //! * `fused` — the same daemons through the monomorphized `treenet::engine::run` loop.
 //!
-//! The comparison group also writes `BENCH_treenet.json` at the workspace root recording
-//! steps/second for each engine×daemon and the resulting speedups, so the gain over the
-//! scan engine is tracked as a checked-in baseline.  Override the measured horizon with
-//! `TREENET_BENCH_STEPS` (used by the CI smoke run).
+//! The comparison group also appends a dated entry to the `BENCH_treenet.json` history at
+//! the workspace root recording steps/second for each engine×daemon and the resulting
+//! speedups, so the gain over the scan engine is tracked across runs (last
+//! [`bench::history::MAX_ENTRIES`] entries plus a `trend` block).  Override the measured
+//! horizon with `TREENET_BENCH_STEPS` (used by the CI smoke run).
 //!
 //! A second comparison measures the **multi-trial reuse path**: many short seeded trials of
 //! the same instance, once rebuilding the network per trial and once resetting one network
@@ -22,8 +23,11 @@
 //! keep all allocations).  Both paths must produce identical per-trial metrics; the
 //! recorded speedup is the allocation traffic saved per trial.
 
+use analysis::harness::host_cores;
+use bench::history::{Entry, History};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use klex_core::{ss, KlConfig, SsNode};
+use std::path::Path;
 use std::time::Instant;
 use topology::OrientedTree;
 use treenet::app::BoxedDriver;
@@ -213,19 +217,63 @@ fn emit_engine_baseline(_c: &mut Criterion) {
     let steps_per_trial = 4_096u64;
     let (rebuild_rate, reuse_rate) = measure_trial_reuse(reuse_trials, steps_per_trial);
 
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = host_cores();
     let headline = rf.2 / rf.0;
-    let json = format!(
-        "{{\n  \"bench\": \"treenet_engine\",\n  \"instance\": \"ss k=3 l=5 on binary tree n={NODES}, UniformRandom(p=0.05, units<=3, hold<=20)\",\n  \"measured_steps\": {steps},\n  \"random_fair\": {{ \"baseline_steps_per_sec\": {:.0}, \"event_steps_per_sec\": {:.0}, \"fused_steps_per_sec\": {:.0}, \"speedup_event_vs_baseline\": {:.2}, \"speedup_fused_vs_baseline\": {:.2} }},\n  \"round_robin\": {{ \"baseline_steps_per_sec\": {:.0}, \"event_steps_per_sec\": {:.0}, \"fused_steps_per_sec\": {:.0}, \"speedup_fused_vs_baseline\": {:.2} }},\n  \"synchronous\": {{ \"baseline_steps_per_sec\": {:.0}, \"event_steps_per_sec\": {:.0}, \"fused_steps_per_sec\": {:.0}, \"speedup_fused_vs_baseline\": {:.2} }},\n  \"trial_reuse\": {{ \"trials\": {reuse_trials}, \"steps_per_trial\": {steps_per_trial}, \"rebuild_trials_per_sec\": {:.2}, \"reuse_trials_per_sec\": {:.2}, \"speedup_reuse_vs_rebuild\": {:.2} }},\n  \"host_cores\": {cores},\n  \"headline_speedup\": {headline:.2}\n}}\n",
-        rf.0, rf.1, rf.2, rf.1 / rf.0, rf.2 / rf.0,
-        rr.0, rr.1, rr.2, rr.2 / rr.0,
-        sy.0, sy.1, sy.2, sy.2 / sy.0,
-        rebuild_rate, reuse_rate, reuse_rate / rebuild_rate,
+    let ratio = |x: f64| (x * 100.0).round() / 100.0;
+    let daemon = |rates: (f64, f64, f64), with_event_speedup: bool| {
+        let mut entry = Entry::new()
+            .num("baseline_steps_per_sec", rates.0.round())
+            .num("event_steps_per_sec", rates.1.round())
+            .num("fused_steps_per_sec", rates.2.round());
+        if with_event_speedup {
+            entry = entry.num("speedup_event_vs_baseline", ratio(rates.1 / rates.0));
+        }
+        entry.num("speedup_fused_vs_baseline", ratio(rates.2 / rates.0)).build()
+    };
+    let trial_reuse = Entry::new()
+        .int("trials", reuse_trials as i128)
+        .int("steps_per_trial", steps_per_trial as i128)
+        .num("rebuild_trials_per_sec", ratio(rebuild_rate))
+        .num("reuse_trials_per_sec", ratio(reuse_rate))
+        .num("speedup_reuse_vs_rebuild", ratio(reuse_rate / rebuild_rate))
+        .build();
+    let entry = Entry::new()
+        .str("bench", "treenet_engine")
+        .str(
+            "instance",
+            &format!("ss k=3 l=5 on binary tree n={NODES}, UniformRandom(p=0.05, units<=3, hold<=20)"),
+        )
+        .int("measured_steps", steps as i128)
+        .val("random_fair", daemon(rf, true))
+        .val("round_robin", daemon(rr, false))
+        .val("synchronous", daemon(sy, false))
+        .val("trial_reuse", trial_reuse)
+        .int("host_cores", cores as i128)
+        .num("headline_speedup", ratio(headline))
+        .build();
+    let path = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_treenet.json"));
+    let mut history = History::load(path, "treenet_engine").expect("load BENCH_treenet.json");
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock after the epoch")
+        .as_secs();
+    history.append_dated(entry, now);
+    history.save(path, TREENET_TREND_KEYS).expect("write BENCH_treenet.json");
+    eprintln!(
+        "\nBENCH_treenet.json: appended entry {} of {} (headline fused-vs-scan {headline:.2}x)",
+        history.entries.len(),
+        bench::history::MAX_ENTRIES,
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_treenet.json");
-    std::fs::write(path, &json).expect("write BENCH_treenet.json");
-    eprintln!("\nBENCH_treenet.json:\n{json}");
 }
+
+/// The metrics the history's `trend` block tracks.
+const TREENET_TREND_KEYS: &[&str] = &[
+    "headline_speedup",
+    "random_fair.fused_steps_per_sec",
+    "round_robin.fused_steps_per_sec",
+    "synchronous.fused_steps_per_sec",
+    "trial_reuse.speedup_reuse_vs_rebuild",
+];
 
 criterion_group!(benches, bench_step_throughput, emit_engine_baseline);
 criterion_main!(benches);

@@ -9,6 +9,9 @@
 //! klex run spec.json --format jsonl       # JSON spec file, machine-readable output
 //! klex show figure2                       # print a preset's JSON (a template for specs)
 //! klex experiment e5                      # a full experiment table (KLEX_SCALE=quick|full)
+//! klex serve --addr 127.0.0.1:7199        # resident scenario-as-a-service daemon
+//! klex submit figure2 --backend check     # enqueue a job on a running daemon
+//! klex watch 1                            # follow a job's JSONL progress stream
 //! ```
 //!
 //! Backends (`--backend`, default `sim`):
@@ -17,12 +20,15 @@
 //! * `harness` — the spec's trial plan, sharded across cores (`--shards N` to override);
 //! * `check` — bounded-exhaustive exploration of the spec's instance;
 //! * `all` — all three, one rendered row each.
+//!
+//! `run` and serve-daemon jobs share one row-building path ([`bench::runner`]), so a job's
+//! JSONL result is byte-identical to `klex run <spec> --format jsonl` of the same spec.
 
-use analysis::harness::{auto_shards, render_csv, render_jsonl, render_markdown_table};
+use analysis::harness::{render_csv, render_jsonl, render_markdown_table};
 use analysis::scenario::{preset, CompiledScenario, ScenarioSpec, PRESET_NAMES};
-use analysis::ExperimentRow;
-use bench::experiments;
-use bench::{ExperimentReport, Scale};
+use bench::runner::{run_rows, Backend, RunRequest};
+use bench::serve::{self, ServeOptions};
+use bench::{experiments, history, ExperimentReport, Scale};
 use std::process::ExitCode;
 
 const EXPERIMENTS: [&str; 15] = [
@@ -39,6 +45,12 @@ fn usage() -> &'static str {
        klex run <spec.json | preset> [options]       run a scenario\n\
        klex experiment <e1..e15 | all>               run a full experiment table\n\
        klex fuzz [options]                           cross-engine differential campaign\n\
+       klex serve [options]                          scenario-as-a-service daemon\n\
+       klex submit <spec.json | preset> [options]    enqueue a run job on a daemon\n\
+       klex submit --fuzz [options]                  enqueue a fuzz campaign on a daemon\n\
+       klex status [<id>]                            one job (or all jobs) on a daemon\n\
+       klex watch <id>                               follow a job's JSONL progress stream\n\
+       klex cancel <id>                              cancel a queued or running job\n\
      \n\
      OPTIONS (run):\n\
        --backend sim|harness|check|all               backend selection (default: sim)\n\
@@ -67,6 +79,17 @@ fn usage() -> &'static str {
        --threads N                                   parallel-checker-arm workers\n\
                                                      (default: cores/shards, min 2)\n\
        --verbose                                     one line per scenario\n\
+     \n\
+     OPTIONS (serve):\n\
+       --addr HOST:PORT                              bind address (default: 127.0.0.1:7199;\n\
+                                                     port 0 picks an ephemeral port)\n\
+       --workers N                                   job workers (default: one per core)\n\
+       --queue N                                     queued-job capacity (default: 64)\n\
+       --seed N                                      per-job seed stream (default: 0)\n\
+     \n\
+     OPTIONS (submit/status/watch/cancel):\n\
+       --addr HOST:PORT                              daemon address (default: 127.0.0.1:7199)\n\
+       submit also accepts the run options above, or --fuzz with --seed/--scenarios\n\
      \n\
      ENVIRONMENT:\n\
        KLEX_SCALE=quick|full                         experiment scale (default: full)"
@@ -105,6 +128,11 @@ fn main() -> ExitCode {
         Some("run") => run_command(&args[1..]),
         Some("experiment") => experiment_command(&args[1..]),
         Some("fuzz") => fuzz_command(&args[1..]),
+        Some("serve") => serve_command(&args[1..]),
+        Some("submit") => submit_command(&args[1..]),
+        Some("status") => status_command(&args[1..]),
+        Some("watch") => watch_command(&args[1..]),
+        Some("cancel") => cancel_command(&args[1..]),
         _ => {
             eprintln!("{}", usage());
             ExitCode::FAILURE
@@ -129,27 +157,26 @@ fn run_command(args: &[String]) -> ExitCode {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
     };
-    let mut backend = "sim".to_string();
+    let mut request = RunRequest::default();
     let mut format = "markdown".to_string();
-    let mut shards = auto_shards();
-    let mut threads: Option<usize> = None;
-    let mut bench = false;
     let mut iter = args[1..].iter();
     while let Some(arg) = iter.next() {
         let mut value = |flag: &str| {
             iter.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
         };
         let result = match arg.as_str() {
-            "--backend" => value("--backend").map(|v| backend = v),
+            "--backend" => {
+                value("--backend").and_then(|v| Backend::parse(&v)).map(|v| request.backend = v)
+            }
             "--format" => value("--format").map(|v| format = v),
             "--shards" => value("--shards").and_then(|v| {
-                v.parse::<usize>().map(|v| shards = v.max(1)).map_err(|e| e.to_string())
+                v.parse::<usize>().map(|v| request.shards = v.max(1)).map_err(|e| e.to_string())
             }),
             "--threads" => value("--threads").and_then(|v| {
-                v.parse::<usize>().map(|v| threads = Some(v)).map_err(|e| e.to_string())
+                v.parse::<usize>().map(|v| request.threads = Some(v)).map_err(|e| e.to_string())
             }),
             "--bench" => {
-                bench = true;
+                request.bench = true;
                 Ok(())
             }
             other => Err(format!("unknown option `{other}`")),
@@ -158,10 +185,6 @@ fn run_command(args: &[String]) -> ExitCode {
             eprintln!("{message}");
             return ExitCode::FAILURE;
         }
-    }
-    if !["sim", "harness", "check", "all"].contains(&backend.as_str()) {
-        eprintln!("unknown backend `{backend}` (sim|harness|check|all)");
-        return ExitCode::FAILURE;
     }
     if !["markdown", "jsonl", "csv"].contains(&format.as_str()) {
         // Validated before any backend runs: a typo'd format must not cost a full run.
@@ -177,86 +200,27 @@ fn run_command(args: &[String]) -> ExitCode {
         }
     };
 
-    let mut rows: Vec<ExperimentRow> = Vec::new();
-    let mut notes: Vec<String> = Vec::new();
-    if backend == "sim" || backend == "all" {
-        let (outcome, monitors) = scenario.run_monitored();
-        let mut row =
-            ExperimentRow::new(format!("{} [sim]", scenario.spec().name));
-        for (metric, value) in &outcome.metrics {
-            row = row.with(metric, *value);
+    // The serve daemon executes submitted jobs through the same function — the rendered
+    // rows are byte-identical either way.
+    let product = match run_rows(&scenario, &request, None) {
+        Ok(product) => product,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
         }
-        // One column per declared temporal monitor: 1 satisfied, 0 inconclusive,
-        // -1 violated (details go to the notes below the table).
-        for monitor in &monitors {
-            row = row.with(&format!("mon:{}", monitor.name), monitor.verdict.score());
-            if let analysis::Verdict::Violated(detail) = &monitor.verdict {
-                notes.push(format!("monitor {} VIOLATED: {detail}", monitor.name));
-            }
-        }
-        rows.push(row);
+    };
+    for warning in &product.warnings {
+        eprintln!("{warning}");
     }
-    if backend == "harness" || backend == "all" {
-        let report = scenario.run_harness(shards);
-        let mut row = report.row();
-        row.label = format!("{} [harness x{}]", scenario.spec().name, scenario.spec().trials);
-        rows.push(row);
-    }
-    if backend == "check" || backend == "all" {
-        let started = std::time::Instant::now();
-        // `--threads N` overrides the spec's `check.threads` knob: 0 resolves to one
-        // worker per core, 1 forces the sequential delta engine, N>1 pins the
-        // work-stealing engine to N workers.  The report is identical either way.
-        let checked = match threads {
-            Some(n) if n != 1 => scenario.check_parallel(n),
-            Some(_) => scenario.check_with(checker::ExploreEngine::Delta),
-            None => scenario.check(),
-        };
-        match checked {
-            Ok(report) => {
-                let elapsed = started.elapsed().as_secs_f64();
-                let mut row = ExperimentRow::new(format!("{} [check]", scenario.spec().name))
-                    .with("configurations", report.configurations as f64)
-                    .with("transitions", report.transitions as f64)
-                    .with("max_depth", report.max_depth as f64)
-                    .with("exhaustive", f64::from(u8::from(report.exhaustive())))
-                    .with("violations", report.violations.len() as f64)
-                    .with("deadlocks", report.deadlocks.len() as f64);
-                if scenario.spec().check.properties.iter().any(|p| p == "liveness") {
-                    row = row.with("liveness_violations", report.liveness.len() as f64);
-                    for witness in &report.liveness {
-                        notes.push(format!("fair starvation lasso: {}", witness.render()));
-                    }
-                }
-                if bench {
-                    // Checker throughput: reachable states per wall-clock second of this
-                    // run, and the arena's peak packed-state footprint.
-                    row = row
-                        .with("states_per_sec", (report.configurations as f64 / elapsed).round())
-                        .with("arena_bytes", report.arena_bytes as f64);
-                }
-                rows.push(row);
-            }
-            // Under --backend all, an uncheckable spec (stateful workload, ring baseline)
-            // must not throw away the sim/harness results already computed — warn and render
-            // what ran.  An explicit --backend check still fails hard.
-            Err(message) if backend == "all" => eprintln!("skipping checker backend: {message}"),
-            Err(message) => {
-                eprintln!("{message}");
-                return ExitCode::FAILURE;
-            }
-        }
-    }
-
     match format.as_str() {
         "markdown" => {
-            print!("{}", render_markdown_table(&scenario.spec().name, &rows));
-            for note in &notes {
+            print!("{}", render_markdown_table(&scenario.spec().name, &product.rows));
+            for note in &product.notes {
                 println!("\n{note}");
             }
         }
-        "jsonl" => println!("{}", render_jsonl(&rows)),
-        "csv" => print!("{}", render_csv(&rows)),
+        "jsonl" => println!("{}", render_jsonl(&product.rows)),
+        "csv" => print!("{}", render_csv(&product.rows)),
         _ => unreachable!("the format was validated before the backends ran"),
     }
     ExitCode::SUCCESS
@@ -423,4 +387,265 @@ fn experiment_command(args: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7199";
+
+/// `klex serve`: run the resident scenario-as-a-service daemon until `POST /shutdown`.
+fn serve_command(args: &[String]) -> ExitCode {
+    let mut opts = ServeOptions::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        let result = match arg.as_str() {
+            "--addr" => value("--addr").map(|v| opts.addr = v),
+            "--workers" => value("--workers")
+                .and_then(|v| v.parse::<usize>().map_err(|e| e.to_string()))
+                .map(|v| opts.workers = v),
+            "--queue" => value("--queue")
+                .and_then(|v| v.parse::<usize>().map_err(|e| e.to_string()))
+                .map(|v| opts.queue_cap = v.max(1)),
+            "--seed" => value("--seed")
+                .and_then(|v| v.parse::<u64>().map_err(|e| e.to_string()))
+                .map(|v| opts.seed = v),
+            other => Err(format!("unknown option `{other}`")),
+        };
+        if let Err(message) = result {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let server = match serve::Server::start(&opts) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", opts.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    // Printed on stdout so scripts can scrape the resolved port when `--addr` used port 0.
+    println!("klex serve listening on {}", server.addr());
+    server.wait();
+    println!("klex serve stopped");
+    ExitCode::SUCCESS
+}
+
+/// Parses `--addr HOST:PORT` out of `args`, returning the address and the remaining args.
+fn split_addr(args: &[String]) -> Result<(String, Vec<String>), String> {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut rest = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--addr" {
+            addr = iter.next().cloned().ok_or("--addr needs a value")?;
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    Ok((addr, rest))
+}
+
+/// `klex submit`: enqueue a run job (or, with `--fuzz`, a fuzz campaign) on a daemon.
+fn submit_command(args: &[String]) -> ExitCode {
+    let (addr, rest) = match split_addr(args) {
+        Ok(parts) => parts,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut source: Option<String> = None;
+    let mut fuzz = false;
+    // Run-job fields sit at the body's top level; fuzz knobs nest under `"fuzz": {...}`.
+    let mut run_fields: Vec<String> = Vec::new();
+    let mut fuzz_fields: Vec<String> = Vec::new();
+    let mut iter = rest.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        let result = match arg.as_str() {
+            "--fuzz" => {
+                fuzz = true;
+                Ok(())
+            }
+            "--backend" => {
+                value("--backend").map(|v| run_fields.push(format!("\"backend\": {v:?}")))
+            }
+            "--shards" => value("--shards").and_then(|v| {
+                v.parse::<usize>()
+                    .map(|v| run_fields.push(format!("\"shards\": {v}")))
+                    .map_err(|e| e.to_string())
+            }),
+            "--threads" => value("--threads").and_then(|v| {
+                v.parse::<usize>()
+                    .map(|v| run_fields.push(format!("\"threads\": {v}")))
+                    .map_err(|e| e.to_string())
+            }),
+            "--bench" => {
+                run_fields.push("\"bench\": true".to_string());
+                Ok(())
+            }
+            "--seed" => value("--seed").and_then(|v| {
+                v.parse::<u64>()
+                    .map(|v| fuzz_fields.push(format!("\"seed\": {v}")))
+                    .map_err(|e| e.to_string())
+            }),
+            "--scenarios" => value("--scenarios").and_then(|v| {
+                v.parse::<u64>()
+                    .map(|v| fuzz_fields.push(format!("\"scenarios\": {v}")))
+                    .map_err(|e| e.to_string())
+            }),
+            other if !other.starts_with('-') && source.is_none() => {
+                source = Some(other.to_string());
+                Ok(())
+            }
+            other => Err(format!("unknown option `{other}`")),
+        };
+        if let Err(message) = result {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    }
+    // Build the POST /jobs body.  Presets travel by name; spec files travel inline as the
+    // parsed JSON object, so the daemon runs exactly what the file says.
+    let body = if fuzz {
+        if source.is_some() || !run_fields.is_empty() {
+            eprintln!("--fuzz takes only --seed/--scenarios (and --addr)");
+            return ExitCode::FAILURE;
+        }
+        format!("{{\"fuzz\": {{{}}}}}", fuzz_fields.join(", "))
+    } else {
+        if !fuzz_fields.is_empty() {
+            eprintln!("--seed/--scenarios need --fuzz");
+            return ExitCode::FAILURE;
+        }
+        let Some(source) = source else {
+            eprintln!("{}", usage());
+            return ExitCode::FAILURE;
+        };
+        let first = if preset(&source).is_some() {
+            format!("\"preset\": {source:?}")
+        } else {
+            match std::fs::read_to_string(&source) {
+                Ok(text) => format!("\"spec\": {}", text.trim_end()),
+                Err(e) => {
+                    eprintln!(
+                        "`{source}` is neither a preset (try `klex list`) nor a readable file: {e}"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        };
+        let mut body = format!("{{{first}");
+        for field in &run_fields {
+            body.push_str(", ");
+            body.push_str(field);
+        }
+        body.push('}');
+        body
+    };
+    match serve::client::submit(&addr, &body) {
+        Ok(id) => {
+            println!("{id}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `klex status`: print one job (by id) or the whole job table of a daemon.
+fn status_command(args: &[String]) -> ExitCode {
+    let (addr, rest) = match split_addr(args) {
+        Ok(parts) => parts,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let fetched = match rest.first() {
+        Some(id_text) => match id_text.parse::<u64>() {
+            Ok(id) => serve::client::status(&addr, id),
+            Err(_) => {
+                eprintln!("`{id_text}` is not a job id");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => serve::client::jobs(&addr),
+    };
+    match fetched {
+        Ok(doc) => {
+            println!("{}", history::render(&doc));
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `klex watch`: follow a job's JSONL progress stream to completion.  Exits zero only if
+/// the job finished in state `done`.
+fn watch_command(args: &[String]) -> ExitCode {
+    let (addr, rest) = match split_addr(args) {
+        Ok(parts) => parts,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(Ok(id)) = rest.first().map(|t| t.parse::<u64>()) else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let mut print_line = |line: &str| println!("{line}");
+    match serve::client::watch(&addr, id, &mut print_line) {
+        Ok(doc) => {
+            let state = doc.get("state").and_then(|v| v.as_str()).unwrap_or("unknown");
+            if state == "done" {
+                ExitCode::SUCCESS
+            } else {
+                if let Some(error) = doc.get("error").and_then(|v| v.as_str()) {
+                    eprintln!("job {id} {state}: {error}");
+                } else {
+                    eprintln!("job {id} finished in state {state}");
+                }
+                ExitCode::FAILURE
+            }
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `klex cancel`: cancel a queued or running job on a daemon.
+fn cancel_command(args: &[String]) -> ExitCode {
+    let (addr, rest) = match split_addr(args) {
+        Ok(parts) => parts,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(Ok(id)) = rest.first().map(|t| t.parse::<u64>()) else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    match serve::client::cancel(&addr, id) {
+        Ok(state) => {
+            println!("job {id}: {state}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -2,11 +2,13 @@
 //!
 //! Runs the delta and interned sequential engines head-to-head on a tiny instance (the
 //! Figure-3 pusher scenario: ~4k reachable configurations, well under a second per run) and
-//! **fails** (exit code 1) when the delta engine's states/second drops below the interned
-//! engine's.  This is a regression *gate*, not a benchmark: the committed speedup on a real
-//! instance lives in `BENCH_explorer.json` (delta ≈ 2.5× interned on `pusher_star5`); the
-//! gate only catches changes that destroy the delta advantage outright, with a 1.0×
-//! threshold loose enough to be noise-proof on shared CI runners.
+//! **fails** (exit code 1) when the delta engine's states/second drops below the gate
+//! threshold.  This is a regression *gate*, not a benchmark: the committed speedups on a
+//! real instance live in the `BENCH_explorer.json` history (delta ≈ 2.5× interned on
+//! `pusher_star5`).  The threshold is trend-tracked: half the *median historical*
+//! `speedup_delta_vs_interned` from that history, never below 1.0× — so a slow erosion
+//! across bench runs tightens the gate, while a missing or legacy history falls back to the
+//! old noise-proof 1.0× floor.
 //!
 //! The gate also re-asserts report parity on every run — an engine that got fast by being
 //! wrong must fail the gate, not pass it.  The work-stealing parallel engine is held to the
@@ -15,8 +17,11 @@
 //! executes), and on runners with at least two cores its throughput must not fall below the
 //! sequential delta engine's.
 
+use analysis::harness::host_cores;
+use bench::history::History;
 use checker::{drivers, ExploreEngine, Explorer, Limits};
 use klex_core::KlConfig;
+use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -62,6 +67,21 @@ fn measure_parallel(threads: usize, rounds: usize) -> (f64, checker::Exploration
     (best, last.expect("at least one round"))
 }
 
+/// The delta-vs-interned gate threshold: half the median historical
+/// `speedup_delta_vs_interned` from the `BENCH_explorer.json` history, floored at 1.0×.
+/// A missing, unreadable or legacy history falls back to the plain 1.0× floor — the gate
+/// never *loosens* below the old behavior, it only tightens as history accumulates.
+fn delta_threshold() -> f64 {
+    let path = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explorer.json"));
+    let median = History::load(path, "exhaustive_checker")
+        .ok()
+        .and_then(|history| history.recent_median("speedup_delta_vs_interned"));
+    match median {
+        Some(median) => (median / 2.0).max(1.0),
+        None => 1.0,
+    }
+}
+
 fn reports_match(a: &checker::ExplorationReport, b: &checker::ExplorationReport) -> bool {
     a.configurations == b.configurations
         && a.transitions == b.transitions
@@ -93,21 +113,23 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = host_cores();
     let ratio = delta_rate / interned_rate;
     let parallel_ratio = parallel_rate / delta_rate;
+    let threshold = delta_threshold();
     println!(
-        "perf_smoke: figure3-pusher ({} configurations) — delta {:.0} states/s, interned {:.0} states/s, ratio {:.2}x",
+        "perf_smoke: figure3-pusher ({} configurations) — delta {:.0} states/s, interned {:.0} states/s, ratio {:.2}x (threshold {threshold:.2}x)",
         delta.configurations, delta_rate, interned_rate, ratio
     );
     println!(
         "perf_smoke: parallel(2 threads, {cores} core(s)) {:.0} states/s, {:.2}x delta",
         parallel_rate, parallel_ratio
     );
-    if ratio < 1.0 {
+    if ratio < threshold {
         eprintln!(
-            "perf_smoke: REGRESSION — delta engine at {ratio:.2}x interned (threshold 1.0x); \
-             the delta successor path has lost its advantage"
+            "perf_smoke: REGRESSION — delta engine at {ratio:.2}x interned (threshold \
+             {threshold:.2}x = max(1.0, half the median historical speedup from \
+             BENCH_explorer.json)); the delta successor path has lost its advantage"
         );
         return ExitCode::FAILURE;
     }

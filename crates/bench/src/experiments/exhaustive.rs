@@ -22,7 +22,7 @@ fn limits(max_configurations: usize) -> Limits {
 /// instead of two time-slicing workers.  (The canonical replay guarantees results identical
 /// to a sequential run at any count.)
 fn explore_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    analysis::harness::host_cores()
 }
 
 /// E12 — exhaustive checking of small instances.

@@ -61,8 +61,9 @@
 //! novelty-finding result is a regression gate.
 
 use analysis::coverage::CoverageSignature;
-use analysis::harness::{auto_shards, run_sharded, trial_seed};
+use analysis::harness::{auto_shards, host_cores, run_sharded, trial_seed};
 use analysis::monitor;
+use analysis::{NullSink, ProgressSink};
 use analysis::scenario::{mutate_spec, random_spec, GenLimits, ScenarioSpec, StopSpec};
 use checker::{ExplorationReport, ExploreEngine};
 use rand::rngs::StdRng;
@@ -396,6 +397,18 @@ pub fn run_campaign(opts: &FuzzOptions) -> Result<FuzzSummary, String> {
 
 /// Runs a campaign against a caller-managed corpus (which is mutated, not saved).
 pub fn run_campaign_with(opts: &FuzzOptions, corpus: &mut Corpus) -> FuzzSummary {
+    run_campaign_observed(opts, corpus, &NullSink)
+}
+
+/// [`run_campaign_with`] under observation: `sink` hears `"fuzz"` progress after every
+/// evaluated batch and is polled for cancellation between batches (a batch is the
+/// campaign's determinism unit, so stopping on its boundary leaves the corpus coherent —
+/// the summary simply covers fewer scenarios).
+pub fn run_campaign_observed(
+    opts: &FuzzOptions,
+    corpus: &mut Corpus,
+    sink: &dyn ProgressSink,
+) -> FuzzSummary {
     let limits = GenLimits {
         sim_steps: opts.sim_steps,
         max_configurations: opts.max_configurations,
@@ -412,6 +425,9 @@ pub fn run_campaign_with(opts: &FuzzOptions, corpus: &mut Corpus) -> FuzzSummary
     let mut strata: StratumStats = BTreeMap::new();
     let mut index = 0u64;
     while index < opts.scenarios {
+        if sink.cancelled() {
+            break;
+        }
         let batch = BATCH.min(opts.scenarios - index);
         // Generation sees the corpus and stratum-stats snapshots at the batch start; the
         // evaluation fans out over the shards; the merge below walks results in index
@@ -468,6 +484,7 @@ pub fn run_campaign_with(opts: &FuzzOptions, corpus: &mut Corpus) -> FuzzSummary
             }
         }
         index += batch;
+        sink.progress("fuzz", index, opts.scenarios);
     }
     summary.distinct_signatures = seen.len();
     summary.corpus_size = corpus.len();
@@ -482,7 +499,7 @@ fn resolved_threads(threads: usize, shards: usize) -> usize {
     if threads != 0 {
         threads
     } else {
-        (auto_shards() / shards.max(1)).max(2)
+        (host_cores() / shards.max(1)).max(2)
     }
 }
 

@@ -1,0 +1,379 @@
+//! Append-only benchmark history with trend summaries.
+//!
+//! The two checked-in baselines at the workspace root — `BENCH_explorer.json` and
+//! `BENCH_treenet.json` — used to be single snapshot objects that each bench run
+//! overwrote, so a regression was only visible if someone diffed the overwrite.  This
+//! module turns them into *histories*: version-2 documents holding an array of dated
+//! entries (capped at [`MAX_ENTRIES`], oldest dropped first) plus a `trend` block
+//! summarizing the last [`TREND_WINDOW`] entries per tracked metric (`n`, `last`,
+//! `median`, `last_vs_median`).  A legacy single-object file loads as a one-entry
+//! history, so conversion is automatic on the first append.
+//!
+//! The `perf_smoke` CI gate reads the same history: instead of a fixed 1.0× floor it
+//! gates the live delta-vs-interned ratio against half the *median historical* speedup
+//! (never below 1.0), so a slow erosion across runs trips the gate even when each
+//! individual step stays above 1.0.
+//!
+//! The workspace's `serde_json` shim has no [`Value`] serializer, so [`render`] is the
+//! writer: stable 2-space-indented JSON with objects in key order.
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Maximum entries a history retains; appending beyond it drops the oldest.
+pub const MAX_ENTRIES: usize = 24;
+
+/// Entries the `trend` block (and the `perf_smoke` gate) summarize.
+pub const TREND_WINDOW: usize = 8;
+
+/// An append-only, capped history of dated benchmark entries.
+#[derive(Clone, Debug)]
+pub struct History {
+    /// The bench this history tracks (`"exhaustive_checker"`, `"treenet_engine"`).
+    pub bench: String,
+    /// The entries, oldest first.  Each is a JSON object; dated entries carry
+    /// `recorded_unix` / `recorded` (added by [`History::append_dated`]).
+    pub entries: Vec<Value>,
+}
+
+impl History {
+    /// An empty history for `bench`.
+    pub fn new(bench: &str) -> History {
+        History { bench: bench.to_string(), entries: Vec::new() }
+    }
+
+    /// Loads the history stored at `path`.  A missing file yields an empty history; a
+    /// legacy single-object snapshot (no `version`) becomes its sole entry; a version-2
+    /// document loads its `entries` array.
+    pub fn load(path: &Path, bench: &str) -> Result<History, String> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(History::new(bench))
+            }
+            Err(err) => return Err(format!("unreadable {}: {err}", path.display())),
+        };
+        let doc = serde_json::from_str(&text)
+            .map_err(|e| format!("unparsable {}: {e}", path.display()))?;
+        let mut history = History::new(bench);
+        match doc.get("version").and_then(Value::as_u64) {
+            Some(2) => {
+                let Some(Value::Array(entries)) = doc.get("entries") else {
+                    return Err(format!("{}: version 2 without `entries`", path.display()));
+                };
+                history.entries = entries.clone();
+            }
+            // A pre-history snapshot: the whole object is the first entry.
+            None => history.entries.push(doc),
+            Some(v) => {
+                return Err(format!("{}: unknown history version {v}", path.display()))
+            }
+        }
+        Ok(history)
+    }
+
+    /// Appends `entry`, dropping the oldest entries beyond [`MAX_ENTRIES`].
+    pub fn append(&mut self, entry: Value) {
+        self.entries.push(entry);
+        if self.entries.len() > MAX_ENTRIES {
+            let excess = self.entries.len() - MAX_ENTRIES;
+            self.entries.drain(..excess);
+        }
+    }
+
+    /// [`History::append`] after stamping the entry with `recorded_unix` (seconds) and a
+    /// `recorded` `YYYY-MM-DD` date derived from it.
+    pub fn append_dated(&mut self, entry: Value, recorded_unix: u64) {
+        let mut entry = entry;
+        if let Value::Object(map) = &mut entry {
+            map.insert("recorded_unix".to_string(), Value::Integer(recorded_unix as i128));
+            map.insert("recorded".to_string(), Value::String(utc_date(recorded_unix)));
+        }
+        self.append(entry);
+    }
+
+    /// The values of (dotted-path) `key` over the last [`TREND_WINDOW`] entries, oldest
+    /// first; entries missing the key are skipped.
+    pub fn recent(&self, key: &str) -> Vec<f64> {
+        let start = self.entries.len().saturating_sub(TREND_WINDOW);
+        self.entries[start..].iter().filter_map(|entry| lookup(entry, key)).collect()
+    }
+
+    /// Median of `key` over the last [`TREND_WINDOW`] entries; `None` when no entry has it.
+    pub fn recent_median(&self, key: &str) -> Option<f64> {
+        median(self.recent(key))
+    }
+
+    /// The `trend` block: per tracked key, how many recent entries carried it, the latest
+    /// value, the window median, and their ratio.
+    pub fn trend(&self, keys: &[&str]) -> Value {
+        let mut out = BTreeMap::new();
+        for &key in keys {
+            let values = self.recent(key);
+            let Some(med) = median(values.clone()) else { continue };
+            let last = *values.last().expect("median implies non-empty");
+            let mut row = BTreeMap::new();
+            row.insert("n".to_string(), Value::Integer(values.len() as i128));
+            row.insert("last".to_string(), Value::Number(last));
+            row.insert("median".to_string(), Value::Number(med));
+            let ratio = if med != 0.0 { last / med } else { 0.0 };
+            row.insert("last_vs_median".to_string(), Value::Number(ratio));
+            out.insert(key.to_string(), Value::Object(row));
+        }
+        Value::Object(out)
+    }
+
+    /// Writes the version-2 document — `{version, bench, entries, trend}` with the trend
+    /// computed over `trend_keys` — to `path`.
+    pub fn save(&self, path: &Path, trend_keys: &[&str]) -> Result<(), String> {
+        let mut doc = BTreeMap::new();
+        doc.insert("version".to_string(), Value::Integer(2));
+        doc.insert("bench".to_string(), Value::String(self.bench.clone()));
+        doc.insert("entries".to_string(), Value::Array(self.entries.clone()));
+        doc.insert("trend".to_string(), self.trend(trend_keys));
+        let mut text = render(&Value::Object(doc));
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))
+    }
+}
+
+/// Resolves a dotted path (`"random_fair.speedup_fused_vs_baseline"`) to a number.
+fn lookup(entry: &Value, key: &str) -> Option<f64> {
+    let mut value = entry;
+    for part in key.split('.') {
+        value = value.get(part)?;
+    }
+    value.as_f64()
+}
+
+/// Median of `values` (mean of the middle pair for even counts); `None` when empty.
+fn median(mut values: Vec<f64>) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(f64::total_cmp);
+    let mid = values.len() / 2;
+    Some(if values.len() % 2 == 1 {
+        values[mid]
+    } else {
+        (values[mid - 1] + values[mid]) / 2.0
+    })
+}
+
+/// `YYYY-MM-DD` (UTC) of a unix timestamp — Howard Hinnant's civil-from-days algorithm.
+fn utc_date(unix_secs: u64) -> String {
+    let days = (unix_secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let year = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = if month <= 2 { year + 1 } else { year };
+    format!("{year:04}-{month:02}-{day:02}")
+}
+
+/// Renders a [`Value`] as stable, 2-space-indented JSON (objects in key order).  The
+/// inverse of the shim's `serde_json::from_str` up to insignificant whitespace and
+/// integer-vs-float representation of whole numbers.
+pub fn render(value: &Value) -> String {
+    let mut out = String::new();
+    render_into(value, 0, &mut out);
+    out
+}
+
+fn render_into(value: &Value, indent: usize, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Integer(i) => out.push_str(&i.to_string()),
+        Value::Number(n) => {
+            if n.is_finite() {
+                out.push_str(&format!("{n}"));
+            } else {
+                // JSON has no NaN/Infinity literal; histories treat them as absent data.
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => render_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                out.push('\n');
+                push_indent(indent + 1, out);
+                render_into(item, indent + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                out.push('\n');
+                push_indent(indent + 1, out);
+                render_string(key, out);
+                out.push_str(": ");
+                render_into(item, indent + 1, out);
+                if i + 1 < map.len() {
+                    out.push(',');
+                }
+            }
+            out.push('\n');
+            push_indent(indent, out);
+            out.push('}');
+        }
+    }
+}
+
+fn push_indent(indent: usize, out: &mut String) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A small builder for entry objects (the shim has no `json!` macro).
+#[derive(Clone, Debug, Default)]
+pub struct Entry(BTreeMap<String, Value>);
+
+impl Entry {
+    /// An empty entry.
+    pub fn new() -> Entry {
+        Entry::default()
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Entry {
+        self.0.insert(key.to_string(), Value::String(value.to_string()));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, key: &str, value: i128) -> Entry {
+        self.0.insert(key.to_string(), Value::Integer(value));
+        self
+    }
+
+    /// Adds a float field.
+    pub fn num(mut self, key: &str, value: f64) -> Entry {
+        self.0.insert(key.to_string(), Value::Number(value));
+        self
+    }
+
+    /// Adds an arbitrary [`Value`] field.
+    pub fn val(mut self, key: &str, value: Value) -> Entry {
+        self.0.insert(key.to_string(), value);
+        self
+    }
+
+    /// The finished object.
+    pub fn build(self) -> Value {
+        Value::Object(self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(rate: f64) -> Value {
+        Entry::new().num("delta_states_per_sec", rate).num("speedup", rate / 100.0).build()
+    }
+
+    #[test]
+    fn legacy_single_object_loads_as_one_entry() {
+        let dir = std::env::temp_dir().join(format!("klex-history-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.json");
+        std::fs::write(&path, "{\"bench\": \"exhaustive_checker\", \"delta_states_per_sec\": 250}\n")
+            .unwrap();
+        let history = History::load(&path, "exhaustive_checker").unwrap();
+        assert_eq!(history.entries.len(), 1);
+        assert_eq!(history.recent("delta_states_per_sec"), vec![250.0]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_save_load_round_trips_and_caps() {
+        let dir = std::env::temp_dir().join(format!("klex-history-rt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("history.json");
+        let mut history = History::new("exhaustive_checker");
+        for i in 0..(MAX_ENTRIES + 5) {
+            history.append_dated(entry(100.0 + i as f64), 1_700_000_000 + i as u64 * 86_400);
+        }
+        assert_eq!(history.entries.len(), MAX_ENTRIES, "cap drops the oldest entries");
+        history.save(&path, &["delta_states_per_sec", "speedup", "absent"]).unwrap();
+
+        let reloaded = History::load(&path, "exhaustive_checker").unwrap();
+        assert_eq!(reloaded.entries.len(), MAX_ENTRIES);
+        // The trend block summarizes the last TREND_WINDOW entries and skips absent keys.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = serde_json::from_str(&text).unwrap();
+        assert_eq!(doc["version"], 2u64);
+        assert_eq!(doc["trend"]["delta_states_per_sec"]["n"], TREND_WINDOW as u64);
+        assert_eq!(doc["trend"].get("absent"), None);
+        let last = 100.0 + (MAX_ENTRIES + 4) as f64;
+        assert_eq!(doc["trend"]["delta_states_per_sec"]["last"], last);
+        assert!(doc["entries"][0].get("recorded").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn medians_and_dates_are_exact()  {
+        let mut history = History::new("b");
+        for rate in [300.0, 100.0, 200.0] {
+            history.append(entry(rate));
+        }
+        assert_eq!(history.recent_median("delta_states_per_sec"), Some(200.0));
+        history.append(entry(400.0));
+        assert_eq!(history.recent_median("delta_states_per_sec"), Some(250.0));
+        assert_eq!(history.recent_median("missing"), None);
+        assert_eq!(utc_date(0), "1970-01-01");
+        assert_eq!(utc_date(1_754_524_800), "2025-08-07");
+    }
+
+    #[test]
+    fn renderer_output_reparses() {
+        let value = Entry::new()
+            .str("name", "a \"quoted\"\nlabel")
+            .int("big", (1i128 << 63) + 1)
+            .num("rate", 2.5)
+            .val("list", Value::Array(vec![Value::Null, Value::Bool(true)]))
+            .val("empty", Value::Object(BTreeMap::new()))
+            .build();
+        let reparsed = serde_json::from_str(&render(&value)).unwrap();
+        assert_eq!(reparsed, value);
+    }
+}

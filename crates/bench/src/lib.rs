@@ -14,6 +14,9 @@
 
 pub mod experiments;
 pub mod fuzz;
+pub mod history;
+pub mod runner;
+pub mod serve;
 pub mod support;
 
 pub use support::Scale;

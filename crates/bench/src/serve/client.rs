@@ -1,0 +1,91 @@
+//! Loopback client for the serve daemon — the implementation behind `klex submit`,
+//! `klex status` and `klex watch` (and the integration tests).
+
+use super::http;
+use serde_json::Value;
+
+/// `GET /healthz`, parsed.
+pub fn healthz(addr: &str) -> Result<Value, String> {
+    get_json(addr, "/healthz")
+}
+
+/// `POST /jobs` with `body`; returns the assigned job id.
+pub fn submit(addr: &str, body: &str) -> Result<u64, String> {
+    let response = http::request(addr, "POST", "/jobs", Some(body), None)?;
+    let doc = serde_json::from_str(&response.body)
+        .map_err(|e| format!("unparsable submit response: {e}"))?;
+    if response.status != 201 {
+        let detail = doc.get("error").and_then(Value::as_str).unwrap_or("unknown error");
+        return Err(format!("submit rejected ({}): {detail}", response.status));
+    }
+    doc.get("id").and_then(Value::as_u64).ok_or_else(|| "submit response has no id".to_string())
+}
+
+/// `GET /jobs`, parsed.
+pub fn jobs(addr: &str) -> Result<Value, String> {
+    get_json(addr, "/jobs")
+}
+
+/// `GET /jobs/<id>`, parsed (includes the result payload once the job is done).
+pub fn status(addr: &str, id: u64) -> Result<Value, String> {
+    get_json(addr, &format!("/jobs/{id}"))
+}
+
+/// `DELETE /jobs/<id>`; returns the job's state after the cancel request.
+pub fn cancel(addr: &str, id: u64) -> Result<String, String> {
+    let response = http::request(addr, "DELETE", &format!("/jobs/{id}"), None, None)?;
+    let doc = serde_json::from_str(&response.body)
+        .map_err(|e| format!("unparsable cancel response: {e}"))?;
+    if response.status != 200 {
+        let detail = doc.get("error").and_then(Value::as_str).unwrap_or("unknown error");
+        return Err(format!("cancel rejected ({}): {detail}", response.status));
+    }
+    doc.get("state")
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| "cancel response has no state".to_string())
+}
+
+/// `GET /jobs/<id>/stream`: feeds every JSONL line to `on_line` as it arrives, then
+/// returns the job's final status (via [`status`]).
+pub fn watch(
+    addr: &str,
+    id: u64,
+    on_line: &mut dyn FnMut(&str),
+) -> Result<Value, String> {
+    let response =
+        http::request(addr, "GET", &format!("/jobs/{id}/stream"), None, Some(on_line))?;
+    if response.status != 200 {
+        return Err(format!("stream rejected ({})", response.status));
+    }
+    status(addr, id)
+}
+
+/// `GET /metrics` (raw Prometheus text).
+pub fn metrics(addr: &str) -> Result<String, String> {
+    let response = http::request(addr, "GET", "/metrics", None, None)?;
+    if response.status != 200 {
+        return Err(format!("metrics rejected ({})", response.status));
+    }
+    Ok(response.body)
+}
+
+/// `POST /shutdown`.
+pub fn shutdown(addr: &str) -> Result<(), String> {
+    let response = http::request(addr, "POST", "/shutdown", None, None)?;
+    if response.status != 200 {
+        return Err(format!("shutdown rejected ({})", response.status));
+    }
+    Ok(())
+}
+
+fn get_json(addr: &str, path: &str) -> Result<Value, String> {
+    let response = http::request(addr, "GET", path, None, None)?;
+    let doc = serde_json::from_str(&response.body)
+        .map_err(|e| format!("unparsable {path} response: {e}"))?;
+    if response.status != 200 {
+        let detail = doc.get("error").and_then(Value::as_str).unwrap_or("unknown error");
+        return Err(format!("{path} failed ({}): {detail}", response.status));
+    }
+    Ok(doc)
+}

@@ -1,0 +1,61 @@
+//! Prometheus text-exposition rendering for the `/metrics` endpoint.
+//!
+//! The daemon's counters live in an [`analysis::MetricsRegistry`] (lock-striped, fed by
+//! lock-free [`analysis::Counter`] handles from the job sinks); gauges are computed at
+//! scrape time from the job table and the server clock.  This module only renders — the
+//! format is the Prometheus text exposition format, version 0.0.4: one `# TYPE` line per
+//! family followed by `name value` samples.
+
+/// One metric sample with its declared type.
+pub struct Sample {
+    /// The metric name (already Prometheus-legal: `[a-zA-Z_][a-zA-Z0-9_]*`).
+    pub name: String,
+    /// `"counter"` or `"gauge"`.
+    pub kind: &'static str,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// A monotonic counter sample.
+    pub fn counter(name: &str, value: u64) -> Sample {
+        Sample { name: name.to_string(), kind: "counter", value: value as f64 }
+    }
+
+    /// A point-in-time gauge sample.
+    pub fn gauge(name: &str, value: f64) -> Sample {
+        Sample { name: name.to_string(), kind: "gauge", value }
+    }
+}
+
+/// Renders the samples in the Prometheus text exposition format.
+pub fn render(samples: &[Sample]) -> String {
+    let mut out = String::new();
+    for sample in samples {
+        out.push_str(&format!("# TYPE {} {}\n", sample.name, sample.kind));
+        if sample.value.fract() == 0.0 && sample.value.abs() < 1e15 {
+            out.push_str(&format!("{} {}\n", sample.name, sample.value as i64));
+        } else {
+            out.push_str(&format!("{} {}\n", sample.name, sample.value));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_the_text_exposition_format() {
+        let text = render(&[
+            Sample::counter("klex_jobs_done_total", 3),
+            Sample::gauge("klex_states_per_sec", 1234.5),
+        ]);
+        assert_eq!(
+            text,
+            "# TYPE klex_jobs_done_total counter\nklex_jobs_done_total 3\n\
+             # TYPE klex_states_per_sec gauge\nklex_states_per_sec 1234.5\n"
+        );
+    }
+}

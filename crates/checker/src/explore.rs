@@ -332,6 +332,35 @@ impl ExplorationReport {
     }
 }
 
+/// Observer of a running exploration: throttled progress callbacks plus cooperative
+/// cancellation.
+///
+/// An explorer with a registered observer calls [`ExploreProgress::on_progress`] every
+/// [`PROGRESS_STRIDE`] expanded states (and once more when the run finishes) with the
+/// current interned-configuration and transition counts, and polls
+/// [`ExploreProgress::should_stop`] before every expansion.  A `true` answer abandons the
+/// run: the report comes back with `truncated` set, exactly as if a [`Limits`] bound had
+/// tripped.  Observers are shared across worker threads during parallel discovery, hence
+/// the [`Sync`] bound; both methods default to no-ops so an observer can implement only
+/// the half it cares about.
+///
+/// Observation never changes what a run computes — a cancelled run aside, reports are
+/// bit-identical with and without an observer (the parity contract is indifferent to it).
+pub trait ExploreProgress: Sync {
+    /// Called with the configurations interned and transitions executed so far.
+    fn on_progress(&self, configurations: usize, transitions: usize) {
+        let _ = (configurations, transitions);
+    }
+
+    /// Polled before each expansion; returning `true` abandons the run (`truncated` is set).
+    fn should_stop(&self) -> bool {
+        false
+    }
+}
+
+/// How many expansions pass between consecutive [`ExploreProgress::on_progress`] calls.
+pub const PROGRESS_STRIDE: usize = 256;
+
 /// Bounded-exhaustive explorer over the reachable configurations of a protocol network.
 pub struct Explorer<'a, P: CheckableNode, T: Topology> {
     net: &'a mut Network<P, T>,
@@ -340,6 +369,7 @@ pub struct Explorer<'a, P: CheckableNode, T: Topology> {
     record_graph: bool,
     stop_on_violation: bool,
     check_liveness: bool,
+    progress: Option<&'a dyn ExploreProgress>,
     graph: StateGraph,
 }
 
@@ -353,8 +383,16 @@ impl<'a, P: CheckableNode, T: Topology> Explorer<'a, P, T> {
             record_graph: false,
             stop_on_violation: true,
             check_liveness: false,
+            progress: None,
             graph: StateGraph::default(),
         }
+    }
+
+    /// Registers a progress observer (see [`ExploreProgress`]): throttled counters during
+    /// the run plus a cooperative cancellation poll before every expansion.
+    pub fn with_progress(mut self, progress: &'a dyn ExploreProgress) -> Self {
+        self.progress = Some(progress);
+        self
     }
 
     /// Overrides the exploration bounds.
@@ -437,6 +475,7 @@ impl<'a, P: CheckableNode, T: Topology> Explorer<'a, P, T> {
     /// The restore → full capture → full hash triple of the interned engine is gone from the
     /// per-transition cost; what remains is O(touched state) work plus one memcpy.
     pub fn run_delta(&mut self) -> ExplorationReport {
+        let progress = self.progress;
         let net = &mut *self.net;
         let mut scratch = DeltaScratch::for_net(net);
         let record_graph = self.record_graph;
@@ -453,7 +492,11 @@ impl<'a, P: CheckableNode, T: Topology> Explorer<'a, P, T> {
         let mut queue: VecDeque<StateId> = VecDeque::new();
         queue.push_back(0);
 
+        let mut ticker = ProgressTicker::new(progress);
         'outer: while let Some(id) = queue.pop_front() {
+            if ticker.observe(&mut engine) {
+                break 'outer;
+            }
             let depth = engine.depths[id as usize] as usize;
             engine.report.max_depth = engine.report.max_depth.max(depth);
             if depth >= engine.limits.max_depth {
@@ -493,6 +536,7 @@ impl<'a, P: CheckableNode, T: Topology> Explorer<'a, P, T> {
             }
         }
 
+        ticker.finish(&engine);
         self.finish_run(engine.finish())
     }
 
@@ -500,6 +544,7 @@ impl<'a, P: CheckableNode, T: Topology> Explorer<'a, P, T> {
     /// execute, capture and hash the full successor.  Retained as the oracle the delta
     /// engine's parity suite runs against.
     pub fn run_interned(&mut self) -> ExplorationReport {
+        let progress = self.progress;
         let net = &mut *self.net;
         let mut engine =
             Engine::new(self.limits, &self.properties, self.record_graph, self.stop_on_violation);
@@ -510,7 +555,11 @@ impl<'a, P: CheckableNode, T: Topology> Explorer<'a, P, T> {
         let mut queue: VecDeque<StateId> = VecDeque::new();
         queue.push_back(0);
 
+        let mut ticker = ProgressTicker::new(progress);
         'outer: while let Some(id) = queue.pop_front() {
+            if ticker.observe(&mut engine) {
+                break 'outer;
+            }
             let depth = engine.depths[id as usize] as usize;
             engine.report.max_depth = engine.report.max_depth.max(depth);
             if depth >= engine.limits.max_depth {
@@ -548,6 +597,7 @@ impl<'a, P: CheckableNode, T: Topology> Explorer<'a, P, T> {
             }
         }
 
+        ticker.finish(&engine);
         self.finish_run(engine.finish())
     }
 
@@ -571,6 +621,7 @@ impl<'a, P: CheckableNode, T: Topology> Explorer<'a, P, T> {
         }
 
         // ---- Discovery: work-stealing delta workers over the sharded arena.
+        let progress = self.progress;
         let net = &mut *self.net;
         let mut scratch = DeltaScratch::for_net(net);
         let mut root_buf = Vec::new();
@@ -603,7 +654,7 @@ impl<'a, P: CheckableNode, T: Topology> Explorer<'a, P, T> {
                     let arena = &arena;
                     let factory = &factory;
                     scope.spawn(move || {
-                        discover(w, pool, arena, factory, record_graph, max_depth, budget)
+                        discover(w, pool, arena, factory, record_graph, max_depth, budget, progress)
                     })
                 })
                 .collect();
@@ -631,7 +682,11 @@ impl<'a, P: CheckableNode, T: Topology> Explorer<'a, P, T> {
         queue.push_back(0);
         let mut parent_buf = root_buf;
 
+        let mut ticker = ProgressTicker::new(progress);
         'outer: while let Some(id) = queue.pop_front() {
+            if ticker.observe(&mut engine) {
+                break 'outer;
+            }
             let depth = engine.depths[id as usize] as usize;
             engine.report.max_depth = engine.report.max_depth.max(depth);
             if depth >= engine.limits.max_depth {
@@ -723,6 +778,7 @@ impl<'a, P: CheckableNode, T: Topology> Explorer<'a, P, T> {
             }
         }
 
+        ticker.finish(&engine);
         self.finish_run(engine.finish())
     }
 
@@ -738,6 +794,44 @@ impl<'a, P: CheckableNode, T: Topology> Explorer<'a, P, T> {
             report.liveness = crate::liveness::find_fair_cycles(&self.graph);
         }
         report
+    }
+}
+
+/// Per-loop progress bookkeeping shared by the sequential engines and the canonical replay:
+/// polls [`ExploreProgress::should_stop`] before every expansion and emits throttled
+/// [`ExploreProgress::on_progress`] callbacks every [`PROGRESS_STRIDE`] expansions.
+struct ProgressTicker<'a> {
+    progress: Option<&'a dyn ExploreProgress>,
+    since: usize,
+}
+
+impl<'a> ProgressTicker<'a> {
+    fn new(progress: Option<&'a dyn ExploreProgress>) -> Self {
+        ProgressTicker { progress, since: 0 }
+    }
+
+    /// Called once per popped state; returns `true` when the observer cancelled the run
+    /// (the report's `truncated` flag is set before returning, so a cancelled run never
+    /// claims exhaustiveness).
+    fn observe(&mut self, engine: &mut Engine<'_>) -> bool {
+        let Some(progress) = self.progress else { return false };
+        if progress.should_stop() {
+            engine.report.truncated = true;
+            return true;
+        }
+        self.since += 1;
+        if self.since >= PROGRESS_STRIDE {
+            self.since = 0;
+            progress.on_progress(engine.arena.len(), engine.report.transitions);
+        }
+        false
+    }
+
+    /// Emits the final counters when a run leaves its loop.
+    fn finish(self, engine: &Engine<'_>) {
+        if let Some(progress) = self.progress {
+            progress.on_progress(engine.arena.len(), engine.report.transitions);
+        }
     }
 }
 
@@ -1110,6 +1204,7 @@ impl StealPool {
 /// One discovery worker: pops (or steals) states, expands each with the shared delta loop on
 /// its private network, interns successors into the sharded arena, and logs every transition
 /// for the canonical replay.
+#[allow(clippy::too_many_arguments)]
 fn discover<P, T, F>(
     worker: usize,
     pool: &StealPool,
@@ -1118,6 +1213,7 @@ fn discover<P, T, F>(
     record_graph: bool,
     max_depth: usize,
     budget: usize,
+    progress: Option<&dyn ExploreProgress>,
 ) -> WorkerLog
 where
     P: CheckableNode,
@@ -1131,6 +1227,12 @@ where
 
     loop {
         if pool.abandoned.load(Ordering::Relaxed) {
+            break;
+        }
+        // A cancelled observer abandons discovery exactly like a tripped budget: workers
+        // drain out and the canonical replay (which polls the observer itself) stops early.
+        if progress.is_some_and(|p| p.should_stop()) {
+            pool.abandoned.store(true, Ordering::Relaxed);
             break;
         }
         let Some((prov, depth)) = pool.pop(worker) else {

@@ -87,8 +87,8 @@ pub mod snapshot;
 pub use cycles::{find_progress_cycle, CycleWitness};
 pub use liveness::{find_fair_cycles, LassoWitness};
 pub use explore::{
-    DeadlockWitness, Edge, ExplorationReport, ExploreEngine, Explorer, GraphSummary, Limits,
-    StateGraph, Violation,
+    DeadlockWitness, Edge, ExplorationReport, ExploreEngine, ExploreProgress, Explorer,
+    GraphSummary, Limits, StateGraph, Violation,
 };
 pub use properties::Property;
 pub use snapshot::{

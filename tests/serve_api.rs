@@ -1,0 +1,185 @@
+//! Loopback integration tests for the `klex serve` daemon: concurrent submissions over
+//! real sockets, JSONL progress streaming, mid-run cancellation, the Prometheus scrape,
+//! and the byte-identity contract — a served job's result is exactly what a direct
+//! `klex run <spec> --format jsonl` of the same spec renders, at any worker count.
+
+use analysis::harness::render_jsonl;
+use analysis::scenario::preset;
+use bench::runner::{run_rows, Backend, RunRequest};
+use bench::serve::{client, ServeOptions, Server};
+use serde_json::Value;
+use std::time::{Duration, Instant};
+
+/// Starts a daemon on an ephemeral loopback port and returns it with its dial address.
+fn start(workers: usize) -> (Server, String) {
+    let opts = ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_cap: 64,
+        seed: 7,
+    };
+    let server = Server::start(&opts).expect("bind an ephemeral loopback port");
+    let addr = server.addr().to_string();
+    (server, addr)
+}
+
+/// Polls `GET /jobs/<id>` until the job's state satisfies `accept`, failing after
+/// `deadline`.
+fn wait_for_state(addr: &str, id: u64, accept: &[&str], deadline: Duration) -> Value {
+    let start = Instant::now();
+    loop {
+        let doc = client::status(addr, id).expect("status");
+        let state = doc.get("state").and_then(Value::as_str).unwrap_or("unknown").to_string();
+        if accept.contains(&state.as_str()) {
+            return doc;
+        }
+        assert!(
+            start.elapsed() < deadline,
+            "job {id} stuck in state `{state}` (wanted one of {accept:?})"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn concurrent_submissions_all_stream_to_completion() {
+    let (server, addr) = start(2);
+    // Four presets submitted from four client threads at once; every stream must run to
+    // a terminal `state` event even though only two workers execute them.
+    let presets = ["figure2", "figure2-pusher", "figure2-ss", "checker-safety"];
+    let handles: Vec<_> = presets
+        .iter()
+        .map(|name| {
+            let addr = addr.clone();
+            let body = format!("{{\"preset\": {name:?}}}");
+            std::thread::spawn(move || {
+                let id = client::submit(&addr, &body).expect("submit");
+                let mut lines = Vec::new();
+                let doc = client::watch(&addr, id, &mut |line: &str| lines.push(line.to_string()))
+                    .expect("watch");
+                (id, lines, doc)
+            })
+        })
+        .collect();
+    let mut ids = Vec::new();
+    for handle in handles {
+        let (id, lines, doc) = handle.join().expect("client thread");
+        ids.push(id);
+        assert_eq!(doc.get("state").and_then(Value::as_str), Some("done"), "job {id}");
+        // The stream carries lifecycle events and finishes with the result rows (one JSON
+        // object per line, no `event` key).
+        assert!(
+            lines.iter().any(|l| l.contains("\"event\": \"state\"")
+                || l.contains("\"event\":\"state\"")),
+            "job {id} streamed no state event: {lines:?}"
+        );
+        let rows: Vec<&String> =
+            lines.iter().filter(|l| !l.contains("\"event\"")).collect();
+        assert!(!rows.is_empty(), "job {id} streamed no result rows");
+        for row in rows {
+            serde_json::from_str(row).expect("result rows are JSONL");
+        }
+    }
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), 4, "four distinct job ids");
+
+    let listing = client::jobs(&addr).expect("job listing");
+    let Some(Value::Array(jobs)) = listing.get("jobs") else { panic!("no jobs array") };
+    assert_eq!(jobs.len(), 4);
+
+    client::shutdown(&addr).expect("shutdown");
+    server.wait();
+}
+
+#[test]
+fn job_results_are_byte_identical_to_direct_runs_at_any_worker_count() {
+    // The contract under test: serve executes jobs through bench::runner::run_rows, the
+    // same function `klex run` calls, so the JSONL payload matches byte for byte.
+    let scenario = preset("checker-safety").expect("preset").compile().expect("compile");
+    let request = RunRequest { backend: Backend::All, shards: 2, threads: None, bench: false };
+    let direct = run_rows(&scenario, &request, None).expect("direct run");
+    let expected = render_jsonl(&direct.rows);
+
+    for workers in [1usize, 3] {
+        let (server, addr) = start(workers);
+        let body = r#"{"preset": "checker-safety", "backend": "all", "shards": 2}"#;
+        let id = client::submit(&addr, body).expect("submit");
+        let doc = wait_for_state(&addr, id, &["done", "failed"], Duration::from_secs(120));
+        assert_eq!(doc.get("state").and_then(Value::as_str), Some("done"));
+        let result = doc.get("result").and_then(Value::as_str).expect("done job has a result");
+        assert_eq!(
+            result, expected,
+            "served result differs from the direct run at {workers} worker(s)"
+        );
+        client::shutdown(&addr).expect("shutdown");
+        server.wait();
+    }
+}
+
+#[test]
+fn running_jobs_cancel_mid_flight() {
+    let (server, addr) = start(1);
+    // A fuzz campaign far too large to finish: the single worker claims it, then the
+    // cancel flag stops it at the next batch boundary and the result is discarded.
+    let id = client::submit(&addr, r#"{"fuzz": {"scenarios": 100000}}"#).expect("submit");
+    wait_for_state(&addr, id, &["running"], Duration::from_secs(30));
+    let state = client::cancel(&addr, id).expect("cancel");
+    assert!(
+        state == "running" || state == "cancelled",
+        "cancel of a running job reported `{state}`"
+    );
+    let doc = wait_for_state(&addr, id, &["cancelled"], Duration::from_secs(60));
+    assert!(doc.get("result").is_none(), "a cancelled job keeps no result");
+
+    // Cancelling a queued job is immediate: block the worker with a second big campaign,
+    // queue a third job behind it, cancel the queued one.
+    let blocker = client::submit(&addr, r#"{"fuzz": {"scenarios": 100000}}"#).expect("submit");
+    let queued = client::submit(&addr, r#"{"preset": "figure2"}"#).expect("submit");
+    wait_for_state(&addr, blocker, &["running"], Duration::from_secs(30));
+    assert_eq!(client::cancel(&addr, queued).expect("cancel queued"), "cancelled");
+    client::cancel(&addr, blocker).expect("cancel blocker");
+
+    client::shutdown(&addr).expect("shutdown");
+    server.wait();
+}
+
+#[test]
+fn metrics_scrape_exposes_the_daemon_counters() {
+    let (server, addr) = start(1);
+    let health = client::healthz(&addr).expect("healthz");
+    assert_eq!(health.get("status").and_then(Value::as_str), Some("ok"));
+
+    let id = client::submit(&addr, r#"{"preset": "figure2"}"#).expect("submit");
+    wait_for_state(&addr, id, &["done"], Duration::from_secs(120));
+
+    let text = client::metrics(&addr).expect("metrics");
+    for name in [
+        "klex_http_requests_total",
+        "klex_jobs_submitted_total",
+        "klex_jobs_done_total",
+        "klex_jobs_failed_total",
+        "klex_jobs_cancelled_total",
+        "klex_states_explored_total",
+        "klex_trials_completed_total",
+        "klex_fuzz_scenarios_total",
+        "klex_jobs_queued",
+        "klex_jobs_running",
+        "klex_queue_depth",
+        "klex_workers_total",
+        "klex_workers_busy",
+        "klex_uptime_seconds",
+        "klex_states_per_sec",
+        "klex_scenarios_per_sec",
+    ] {
+        assert!(
+            text.contains(&format!("# TYPE {name} ")),
+            "metrics scrape is missing {name}:\n{text}"
+        );
+    }
+    assert!(text.contains("klex_jobs_done_total 1"), "done counter should be 1:\n{text}");
+    assert!(text.contains("klex_jobs_submitted_total 1"));
+
+    client::shutdown(&addr).expect("shutdown");
+    server.wait();
+}
