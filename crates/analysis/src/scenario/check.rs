@@ -20,6 +20,7 @@
 //!   [`super::spec::CheckSpec`].
 
 use super::compile::{CompiledScenario, ScenarioNode};
+use super::schedule;
 use super::spec::{ProtocolSpec, WorkloadSpec};
 use super::ScenarioError;
 use crate::harness::auto_workers;
@@ -29,9 +30,11 @@ use checker::{
     drivers, properties, ExplorationReport, ExploreEngine, ExploreProgress, Explorer, Limits,
 };
 use klex_core::{naive, nonstab, pusher, ss, KlConfig, Message};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use topology::{OrientedTree, Topology};
 use treenet::app::BoxedDriver;
-use treenet::{Network, NodeId};
+use treenet::{FaultInjector, Network, NodeId};
 
 impl CompiledScenario {
     /// Exhaustively explores the scenario's reachable configuration space (bounded by the
@@ -82,13 +85,22 @@ impl CompiledScenario {
         let spec = self.spec();
         match spec.protocol {
             ProtocolSpec::Naive => {
-                self.check_net(self.lowered_net(|t, c, d| naive::network(t, c, d))?, engine, sink)
+                let construct = |t, c, d: &mut dyn FnMut(NodeId) -> BoxedDriver| naive::network(t, c, d);
+                let mut net = self.lowered_net(construct)?;
+                self.apply_schedule_prologue(&mut net, &construct);
+                self.check_net(net, engine, sink)
             }
             ProtocolSpec::Pusher => {
-                self.check_net(self.lowered_net(|t, c, d| pusher::network(t, c, d))?, engine, sink)
+                let construct = |t, c, d: &mut dyn FnMut(NodeId) -> BoxedDriver| pusher::network(t, c, d);
+                let mut net = self.lowered_net(construct)?;
+                self.apply_schedule_prologue(&mut net, &construct);
+                self.check_net(net, engine, sink)
             }
             ProtocolSpec::NonStab => {
-                self.check_net(self.lowered_net(|t, c, d| nonstab::network(t, c, d))?, engine, sink)
+                let construct = |t, c, d: &mut dyn FnMut(NodeId) -> BoxedDriver| nonstab::network(t, c, d);
+                let mut net = self.lowered_net(construct)?;
+                self.apply_schedule_prologue(&mut net, &construct);
+                self.check_net(net, engine, sink)
             }
             ProtocolSpec::Ss if spec.check.from_legitimate => {
                 // Closure checking (Definition 1): stabilize the lowered instance under a
@@ -98,18 +110,23 @@ impl CompiledScenario {
                 let tree = spec.topology.build(0);
                 let cfg = spec.config.to_kl(tree.len());
                 let mut drivers = lower_workload(&spec.workload)?;
-                let net = checker::scenarios::stabilized_ss(
+                let mut net = checker::scenarios::stabilized_ss(
                     tree,
                     cfg,
                     &mut *drivers,
                     STABILIZATION_BUDGET,
                 );
+                drop(drivers);
+                let construct =
+                    |t, c, d: &mut dyn FnMut(NodeId) -> BoxedDriver| checker::scenarios::ss_for_checking(t, c, d);
+                self.apply_schedule_prologue(&mut net, &construct);
                 self.check_net(net, engine, sink)
             }
             ProtocolSpec::Ss => {
-                let mut net = self.lowered_net(|t, c, d| {
+                let construct = |t, c: KlConfig, d: &mut dyn FnMut(NodeId) -> BoxedDriver| {
                     ss::network(t, c.with_timeout(checker::scenarios::DISABLED_TIMEOUT), d)
-                })?;
+                };
+                let mut net = self.lowered_net(construct)?;
                 // Without its timer the protocol cannot bootstrap on its own; hand it the
                 // controller message the first timeout would have sent — unless the spec
                 // already places its own messages in flight.
@@ -119,11 +136,62 @@ impl CompiledScenario {
                     let root = 0;
                     net.inject_from(root, 0, Message::Ctrl { c: 0, r: false, pt: 0, ppr: 0 });
                 }
+                self.apply_schedule_prologue(&mut net, &construct);
                 self.check_net(net, engine, sink)
             }
             ProtocolSpec::Ring => Err(ScenarioError::NotCheckable(
                 "the ring baseline has no checker snapshot support".to_string(),
             )),
+        }
+    }
+
+    /// The fault-schedule prologue of a checking run: applies the campaign's events to the
+    /// lowered network with trial-0 seeds, running a bounded deterministic round-robin
+    /// settle after each one, so exploration starts from the post-fault / post-churn
+    /// configuration — the closure half of Definition 1 under the campaign.  Exhaustive
+    /// per-epoch re-convergence is the simulator's job; the checker certifies the reachable
+    /// space *from* where the campaign leaves the system.
+    fn apply_schedule_prologue<P, F>(&self, net: &mut Network<P, OrientedTree>, construct: &F)
+    where
+        P: ScenarioNode + treenet::Restartable,
+        F: Fn(
+            OrientedTree,
+            KlConfig,
+            &mut dyn FnMut(NodeId) -> BoxedDriver,
+        ) -> Network<P, OrientedTree>,
+    {
+        let spec = self.spec();
+        let Some(sched) = &spec.fault_schedule else { return };
+        if sched.epochs.is_empty() {
+            return;
+        }
+        // Pinned to the spec'd size, like the simulator's campaign (churn does not
+        // reconfigure the protocol parameters).
+        let cfg = spec.config.to_kl(spec.topology.len());
+        let mut placement = StdRng::seed_from_u64(schedule::placement_seed(sched.seed, 0));
+        let mut injector = FaultInjector::new(schedule::injector_seed(sched.seed, 0));
+        let mut daemon = treenet::RoundRobin::new();
+        let settle = sched.max_steps.min(CHECKER_EPOCH_SETTLE);
+        for event in &sched.epochs {
+            schedule::apply_event(net, event, &cfg, &mut placement, &mut injector, &mut |tree| {
+                let mut drivers = lower_workload(&spec.workload)
+                    .expect("workload validated by the main lowering");
+                construct(tree.clone(), cfg, &mut *drivers)
+            });
+            treenet::engine::run(&mut *net, &mut daemon, settle);
+            // The ss rung is lowered with its root timer disabled (the explorer's state
+            // abstraction has no hidden clocks), so a fault epoch that destroys every
+            // in-flight message leaves the finite model permanently dead even though the
+            // real protocol recovers at the next timeout.  Replay that elided transition:
+            // when an epoch settles into a message-free configuration, re-inject the
+            // retransmission the root's timeout would send and settle again.
+            if net.in_flight() == 0 {
+                let root = net.topology().root();
+                if let Some((label, msg)) = net.node(root).timeout_message() {
+                    net.inject_from(root, label, msg);
+                    treenet::engine::run(&mut *net, &mut daemon, settle);
+                }
+            }
         }
     }
 
@@ -143,45 +211,57 @@ impl CompiledScenario {
         let spec = self.spec();
         match spec.protocol {
             ProtocolSpec::Naive => {
-                let net = self.lowered_net(|t, c, d| naive::network(t, c, d))?;
-                let make = || self.worker_net(|t, c, d| naive::network(t, c, d));
+                let construct = |t, c, d: &mut dyn FnMut(NodeId) -> BoxedDriver| naive::network(t, c, d);
+                let mut net = self.lowered_net(construct)?;
+                self.apply_schedule_prologue(&mut net, &construct);
+                let make = || self.worker_net(construct);
                 self.check_net_parallel(net, make, threads, sink)
             }
             ProtocolSpec::Pusher => {
-                let net = self.lowered_net(|t, c, d| pusher::network(t, c, d))?;
-                let make = || self.worker_net(|t, c, d| pusher::network(t, c, d));
+                let construct = |t, c, d: &mut dyn FnMut(NodeId) -> BoxedDriver| pusher::network(t, c, d);
+                let mut net = self.lowered_net(construct)?;
+                self.apply_schedule_prologue(&mut net, &construct);
+                let make = || self.worker_net(construct);
                 self.check_net_parallel(net, make, threads, sink)
             }
             ProtocolSpec::NonStab => {
-                let net = self.lowered_net(|t, c, d| nonstab::network(t, c, d))?;
-                let make = || self.worker_net(|t, c, d| nonstab::network(t, c, d));
+                let construct = |t, c, d: &mut dyn FnMut(NodeId) -> BoxedDriver| nonstab::network(t, c, d);
+                let mut net = self.lowered_net(construct)?;
+                self.apply_schedule_prologue(&mut net, &construct);
+                let make = || self.worker_net(construct);
                 self.check_net_parallel(net, make, threads, sink)
             }
             ProtocolSpec::Ss if spec.check.from_legitimate => {
                 let tree = spec.topology.build(0);
                 let cfg = spec.config.to_kl(tree.len());
                 let mut drivers = lower_workload(&spec.workload)?;
-                let net = checker::scenarios::stabilized_ss(
+                let mut net = checker::scenarios::stabilized_ss(
                     tree,
                     cfg,
                     &mut *drivers,
                     STABILIZATION_BUDGET,
                 );
+                drop(drivers);
+                let construct =
+                    |t, c, d: &mut dyn FnMut(NodeId) -> BoxedDriver| checker::scenarios::ss_for_checking(t, c, d);
+                self.apply_schedule_prologue(&mut net, &construct);
                 // Workers only need the stabilized network's *shape* (same disabled-timeout
                 // construction); every configuration they touch is restored over.
-                let make = || self.worker_net(|t, c, d| checker::scenarios::ss_for_checking(t, c, d));
+                let make = || self.worker_net(construct);
                 self.check_net_parallel(net, make, threads, sink)
             }
             ProtocolSpec::Ss => {
-                let mut net = self.lowered_net(|t, c, d| {
+                let construct = |t, c: KlConfig, d: &mut dyn FnMut(NodeId) -> BoxedDriver| {
                     ss::network(t, c.with_timeout(checker::scenarios::DISABLED_TIMEOUT), d)
-                })?;
+                };
+                let mut net = self.lowered_net(construct)?;
                 let inject_bootstrap =
                     spec.init.as_ref().is_none_or(|init| init.inject.is_empty());
                 if inject_bootstrap {
                     let root = 0;
                     net.inject_from(root, 0, Message::Ctrl { c: 0, r: false, pt: 0, ppr: 0 });
                 }
+                self.apply_schedule_prologue(&mut net, &construct);
                 let make = || self.worker_net(|t, c, d| checker::scenarios::ss_for_checking(t, c, d));
                 self.check_net_parallel(net, make, threads, sink)
             }
@@ -212,12 +292,16 @@ impl CompiledScenario {
 
     /// Builds a parallel worker's network: same shape as [`CompiledScenario::lowered_net`]
     /// (topology, config, lowered drivers) minus the init overrides — workers restore a
-    /// packed configuration over every state before using it, so only the shape matters.
-    /// Callable only after the main lowering validated the workload.
+    /// packed configuration over every state before using it, so only the shape and the
+    /// driver assignment matter.  Under a fault schedule the campaign's churn is replayed
+    /// ([`schedule::replay_churn`]), reproducing both the **post-campaign** tree and the
+    /// carryover driver assignment of the root network the prologue produced (survivors
+    /// keep the driver of their pre-churn id).  Callable only after the main lowering
+    /// validated the workload.
     fn worker_net<P, F>(&self, construct: F) -> Network<P, OrientedTree>
     where
         P: ScenarioNode,
-        F: FnOnce(
+        F: Fn(
             OrientedTree,
             KlConfig,
             &mut dyn FnMut(NodeId) -> BoxedDriver,
@@ -225,10 +309,19 @@ impl CompiledScenario {
     {
         let spec = self.spec();
         let tree = spec.topology.build(0);
+        // Config pinned to the pre-churn size, exactly like the prologue's donor templates.
         let cfg = spec.config.to_kl(tree.len());
         let mut drivers =
             lower_workload(&spec.workload).expect("workload validated by the main lowering");
-        construct(tree, cfg, &mut *drivers)
+        let mut net = construct(tree, cfg, &mut *drivers);
+        if let Some(sched) = &spec.fault_schedule {
+            schedule::replay_churn(&mut net, sched, 0, &mut |new_tree| {
+                let mut drivers = lower_workload(&spec.workload)
+                    .expect("workload validated by the main lowering");
+                construct(new_tree.clone(), cfg, &mut *drivers)
+            });
+        }
+        net
     }
 
     /// Configures an explorer over `net` with the spec's limits and properties — the one
@@ -335,6 +428,12 @@ impl ExploreProgress for ExploreSinkAdapter<'_> {
 /// prelude; the schedule is deterministic, so exceeding it indicates a protocol bug (the
 /// prelude panics), not an unlucky run.
 const STABILIZATION_BUDGET: u64 = 2_000_000;
+
+/// Per-epoch cap on the checking prologue's deterministic settle run.  The simulator owns
+/// per-epoch convergence *measurement*; the prologue only needs to move the configuration a
+/// representative distance past each event, and an uncapped `max_steps` (sized for
+/// simulation budgets) would make small exhaustive checks pay millions of settle steps.
+const CHECKER_EPOCH_SETTLE: u64 = 50_000;
 
 /// Lowers a workload spec into the checker's stateless drivers.
 fn lower_workload(

@@ -15,9 +15,12 @@
 //! reproduces the spec's seeds exactly, and harness results are independent of the shard
 //! count (the discipline inherited from [`crate::harness::run_sharded`]).
 
+use super::schedule;
 use super::spec::{
-    DaemonSpec, ProtocolSpec, ScenarioSpec, StopSpec, WorkloadSpec,
+    DaemonSpec, FaultEventSpec, ProtocolSpec, ScenarioSpec, StopSpec, WorkloadSpec,
 };
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use crate::fairness::FairnessReport;
 use crate::harness::{self, ExperimentRow};
 use crate::progress::ProgressSink;
@@ -32,6 +35,11 @@ use treenet::{
     Activation, Adversarial, CsState, EnabledShape, EnabledView, EventScheduler, FaultInjector,
     Network, NodeId, Process, RandomFair, RoundRobin, RunOutcome, Scheduler, Synchronous, Trace,
 };
+
+/// Per-epoch fault applier threaded through `drive`'s measured phase: the caller owns the
+/// placement/injector streams so churn events can borrow spec context for donor templates.
+type EventApplier<'a, P, T> =
+    &'a mut dyn FnMut(&mut Network<P, T>, &FaultEventSpec, &mut StdRng, &mut FaultInjector);
 
 /// A daemon instantiated from a [`DaemonSpec`]: one concrete enum over the bundled daemons,
 /// usable both as a drop-in [`Scheduler`] and on the fused [`treenet::engine`] path.
@@ -144,6 +152,14 @@ pub trait ScenarioNode: Process<Msg = Message> + KlInspect + treenet::Corruptibl
 
     /// Marks the root as already bootstrapped, where the rung supports it.
     fn mark_bootstrapped(&mut self) {}
+
+    /// The `(channel, message)` the node's recovery timer would send right now, for rungs
+    /// that have one (the ss root's controller retransmission).  Timer-disabled executions
+    /// — the checker's fault-schedule prologue — replay it when injected faults have
+    /// destroyed every in-flight message.
+    fn timeout_message(&self) -> Option<(usize, Message)> {
+        None
+    }
 }
 
 impl ScenarioNode for naive::NaiveNode {
@@ -197,6 +213,9 @@ impl ScenarioNode for ss::SsNode {
     fn set_driver(&mut self, driver: BoxedDriver) {
         self.app.set_driver(driver);
     }
+    fn timeout_message(&self) -> Option<(usize, Message)> {
+        self.timeout_retransmission()
+    }
 }
 
 impl ScenarioNode for baselines::ring::RingSsNode {
@@ -210,6 +229,21 @@ impl ScenarioNode for baselines::ring::RingSsNode {
     }
 }
 
+/// The result of one fault-schedule epoch: the perturbation applied and whether (and how
+/// fast) the network re-converged within the epoch's budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochOutcome {
+    /// The epoch's event label ([`FaultEventSpec::label`]).
+    pub event: String,
+    /// Network size *after* the event (differs across churn epochs).
+    pub nodes: usize,
+    /// Logical time at which the event was applied.
+    pub started_at: u64,
+    /// Activations from the event to the start of the sustained-legitimacy streak
+    /// (`None`: the re-convergence budget was exhausted).
+    pub convergence: Option<u64>,
+}
+
 /// The result of one simulated scenario run.
 #[derive(Debug, Clone)]
 pub struct ScenarioOutcome {
@@ -217,6 +251,9 @@ pub struct ScenarioOutcome {
     pub outcome: RunOutcome,
     /// Activations the warmup phase took to stabilize (`None`: no warmup, or it failed).
     pub warmup_activations: Option<u64>,
+    /// Per-epoch results of the fault-schedule campaign (empty without one, or when the run
+    /// was abandoned before the campaign).
+    pub epochs: Vec<EpochOutcome>,
     /// Logical time at which the measured phase started (after warmup and fault injection).
     pub started_at: u64,
     /// Logical time at which the measured phase ended.
@@ -268,8 +305,8 @@ impl HarnessReport {
     /// the two must not look alike.
     pub fn distribution(&self, metric: &str, buckets: usize) -> crate::Histogram {
         assert!(
-            super::spec::METRIC_NAMES.contains(&metric),
-            "unknown metric {metric:?} (known: {:?})",
+            super::spec::is_metric_name(metric),
+            "unknown metric {metric:?} (known: {:?} plus epoch<i>_convergence)",
             super::spec::METRIC_NAMES
         );
         let samples: Vec<u64> = self
@@ -381,6 +418,16 @@ impl CompiledScenario {
         if let Some(at) = outcome.warmup_activations {
             monitor::observe_all(&mut monitors, &MonitorEvent::Legitimate { at });
         }
+        // Every re-converged fault epoch is a witnessed legitimacy point: a multi-epoch
+        // campaign certifies `ConvergenceWitnessed` once per recovery.
+        for epoch in &outcome.epochs {
+            if let Some(convergence) = epoch.convergence {
+                monitor::observe_all(
+                    &mut monitors,
+                    &MonitorEvent::Legitimate { at: epoch.started_at + convergence },
+                );
+            }
+        }
         monitor::feed_trace(&mut monitors, &outcome.trace);
         if let StopSpec::Predicate { name, .. } = &self.spec.stop {
             if name == "legitimate" && outcome.outcome.is_satisfied() {
@@ -408,31 +455,90 @@ impl CompiledScenario {
     ) -> ScenarioOutcome {
         match self.spec.protocol {
             ProtocolSpec::Naive => {
-                let (mut net, victim) =
-                    self.build_tree_net(index, stream, |t, c, d| naive::network(t, c, d));
-                self.drive(&mut net, victim, stream, klex_core::is_legitimate, sink)
+                let construct = |t, c, d: &mut dyn FnMut(NodeId) -> BoxedDriver| naive::network(t, c, d);
+                let (mut net, victim) = self.build_tree_net(index, stream, construct);
+                self.drive_tree(&mut net, victim, stream, sink, &construct)
             }
             ProtocolSpec::Pusher => {
-                let (mut net, victim) =
-                    self.build_tree_net(index, stream, |t, c, d| pusher::network(t, c, d));
-                self.drive(&mut net, victim, stream, klex_core::is_legitimate, sink)
+                let construct = |t, c, d: &mut dyn FnMut(NodeId) -> BoxedDriver| pusher::network(t, c, d);
+                let (mut net, victim) = self.build_tree_net(index, stream, construct);
+                self.drive_tree(&mut net, victim, stream, sink, &construct)
             }
             ProtocolSpec::NonStab => {
-                let (mut net, victim) =
-                    self.build_tree_net(index, stream, |t, c, d| nonstab::network(t, c, d));
-                self.drive(&mut net, victim, stream, klex_core::is_legitimate, sink)
+                let construct = |t, c, d: &mut dyn FnMut(NodeId) -> BoxedDriver| nonstab::network(t, c, d);
+                let (mut net, victim) = self.build_tree_net(index, stream, construct);
+                self.drive_tree(&mut net, victim, stream, sink, &construct)
             }
             ProtocolSpec::Ss => {
-                let (mut net, victim) =
-                    self.build_tree_net(index, stream, |t, c, d| ss::network(t, c, d));
-                self.drive(&mut net, victim, stream, klex_core::is_legitimate, sink)
+                let construct = |t, c, d: &mut dyn FnMut(NodeId) -> BoxedDriver| ss::network(t, c, d);
+                let (mut net, victim) = self.build_tree_net(index, stream, construct);
+                self.drive_tree(&mut net, victim, stream, sink, &construct)
             }
             ProtocolSpec::Ring => {
                 let mut net = self.build_ring_net(stream);
                 let victim = net.len() - 1;
-                self.drive(&mut net, victim, stream, baselines::ring::is_legitimate, sink)
+                let cfg = self.spec.config.to_kl(net.len());
+                // The ring baseline has no churn/crash support (validated away); the only
+                // schedule epochs reaching it are injector-driven.
+                let mut apply = |net: &mut Network<baselines::ring::RingSsNode, topology::Ring>,
+                                 event: &FaultEventSpec,
+                                 _placement: &mut StdRng,
+                                 injector: &mut FaultInjector| match event {
+                    FaultEventSpec::Transient { plan } => {
+                        injector.inject(net, &plan.to_plan(&cfg));
+                    }
+                    FaultEventSpec::MessageBurst { drop, duplicate, garbage } => {
+                        let plan = treenet::FaultPlan {
+                            corrupt_node_prob: 0.0,
+                            channel_garbage_max: *garbage,
+                            drop_prob: *drop,
+                            duplicate_prob: *duplicate,
+                            clear_channel_prob: 0.0,
+                        };
+                        injector.inject(net, &plan);
+                    }
+                    _ => unreachable!("tree-only fault epochs are rejected at compile time"),
+                };
+                self.drive(&mut net, victim, stream, baselines::ring::is_legitimate, sink, &mut apply)
             }
         }
+    }
+
+    /// [`CompiledScenario::drive`] specialized to tree-protocol networks: wires up the full
+    /// fault-schedule event applier (including churn, which rebuilds the network over the
+    /// placed tree with `construct` providing the donor).
+    fn drive_tree<P, F>(
+        &self,
+        net: &mut Network<P, OrientedTree>,
+        fallback_victim: NodeId,
+        stream: u64,
+        sink: Option<&dyn ProgressSink>,
+        construct: &F,
+    ) -> ScenarioOutcome
+    where
+        P: ScenarioNode + treenet::Restartable,
+        F: Fn(
+            OrientedTree,
+            KlConfig,
+            &mut dyn FnMut(NodeId) -> BoxedDriver,
+        ) -> Network<P, OrientedTree>,
+    {
+        // The config is pinned to the spec'd size for the whole run: churn is the paper's
+        // transient-fault regime (the protocol recovers under fixed parameters), not a
+        // reconfiguration of ℓ/CMAX/timeout.
+        let cfg = self.spec.config.to_kl(self.spec.topology.len());
+        let spec = &self.spec;
+        let mut apply = |net: &mut Network<P, OrientedTree>,
+                         event: &FaultEventSpec,
+                         placement: &mut StdRng,
+                         injector: &mut FaultInjector| {
+            schedule::apply_event(net, event, &cfg, placement, injector, &mut |tree| {
+                let leaves: Vec<bool> = (0..tree.len()).map(|v| tree.is_leaf(v)).collect();
+                let mut drivers = spec.workload.driver_factory(stream, leaves);
+                construct(tree.clone(), cfg, &mut *drivers)
+            });
+        };
+        self.drive(net, fallback_victim, stream, klex_core::is_legitimate, sink, &mut apply)
     }
 
     /// Runs the spec's trial plan sharded across up to `shards` worker threads.  Per-trial
@@ -515,15 +621,18 @@ impl CompiledScenario {
             ) -> Network<P, OrientedTree>
             + Sync,
     {
-        if self.spec.topology.is_seeded() {
+        // Churned trials end on a different shape than they started; a reused network would
+        // leak one trial's final topology into the next, so churn rebuilds per trial too.
+        if self.spec.topology.is_seeded() || self.spec.has_churn() {
             return harness::run_sharded(trials, self.spec.base_seed, shards, |index, stream| {
                 if observer.is_some_and(|o| o.cancelled()) {
                     return BTreeMap::new();
                 }
                 let (mut net, victim) =
                     self.build_tree_net(index, stream, |t, c, d| construct(t, c, d));
-                let metrics =
-                    self.drive(&mut net, victim, stream, klex_core::is_legitimate, None).metrics;
+                let metrics = self
+                    .drive_tree(&mut net, victim, stream, None, &|t, c, d: &mut dyn FnMut(NodeId) -> BoxedDriver| construct(t, c, d))
+                    .metrics;
                 if let Some(observer) = observer {
                     observer.completed_one();
                 }
@@ -561,8 +670,9 @@ impl CompiledScenario {
                         slot.insert(net)
                     }
                 };
-                let metrics =
-                    self.drive(net, victim, stream, klex_core::is_legitimate, None).metrics;
+                let metrics = self
+                    .drive_tree(net, victim, stream, None, &|t, c, d: &mut dyn FnMut(NodeId) -> BoxedDriver| construct(t, c, d))
+                    .metrics;
                 if let Some(observer) = observer {
                     observer.completed_one();
                 }
@@ -678,6 +788,7 @@ impl CompiledScenario {
         stream: u64,
         legit: L,
         sink: Option<&dyn ProgressSink>,
+        apply_event: EventApplier<'_, P, T>,
     ) -> ScenarioOutcome
     where
         P: ScenarioNode,
@@ -720,6 +831,7 @@ impl CompiledScenario {
                     return ScenarioOutcome {
                         outcome: RunOutcome::Exhausted(net.now()),
                         warmup_activations: None,
+                        epochs: Vec::new(),
                         started_at: net.now(),
                         ended_at: net.now(),
                         metrics,
@@ -739,6 +851,7 @@ impl CompiledScenario {
             return ScenarioOutcome {
                 outcome: RunOutcome::Exhausted(net.now()),
                 warmup_activations,
+                epochs: Vec::new(),
                 started_at: net.now(),
                 ended_at: net.now(),
                 metrics: BTreeMap::new(),
@@ -755,6 +868,52 @@ impl CompiledScenario {
             }
         }
 
+        // Phase 2b: the fault-schedule campaign.  Each epoch applies its event and then runs
+        // the main daemon until sustained legitimacy (or the epoch budget); the activations
+        // from event to streak start are the epoch's recorded stabilization time.  The
+        // campaign is a gauntlet preamble to the measured phase, so trace and metrics are
+        // reset afterwards just like after warmup.
+        let mut epochs = Vec::new();
+        if let Some(sched) = &self.spec.fault_schedule {
+            if !sched.epochs.is_empty() {
+                let mut placement =
+                    StdRng::seed_from_u64(schedule::placement_seed(sched.seed, stream));
+                let mut injector =
+                    FaultInjector::new(schedule::injector_seed(sched.seed, stream));
+                let mut daemon = self.spec.daemon.instantiate(stream, fallback_victim);
+                let total = sched.epochs.len() as u64;
+                for (i, event) in sched.epochs.iter().enumerate() {
+                    if sink.is_some_and(|s| s.cancelled()) {
+                        break;
+                    }
+                    let started_at = net.now();
+                    apply_event(&mut *net, event, &mut placement, &mut injector);
+                    let window = sched
+                        .window
+                        .unwrap_or_else(|| crate::convergence::default_window(net.len()));
+                    let outcome =
+                        run_sustained(&mut *net, &mut daemon, sched.max_steps, window, |net| {
+                            legit(net, &cfg)
+                        });
+                    let convergence = match outcome {
+                        RunOutcome::Satisfied(at) => Some(at - started_at),
+                        _ => None,
+                    };
+                    epochs.push(EpochOutcome {
+                        event: event.label().to_string(),
+                        nodes: net.len(),
+                        started_at,
+                        convergence,
+                    });
+                    if let Some(sink) = sink {
+                        sink.progress("epoch", (i + 1) as u64, total);
+                    }
+                }
+                net.trace_mut().clear();
+                net.metrics_mut().reset();
+            }
+        }
+
         // Phase 3: the measured run.
         if let Some(sink) = sink {
             sink.progress("measure", 0, 1);
@@ -762,8 +921,9 @@ impl CompiledScenario {
         let mut daemon = self.spec.daemon.instantiate(stream, fallback_victim);
         let phase_start = net.now();
         let base_entries = net.trace().cs_entries(None) as u64;
+        // `net.len()`, not the entry-time `n`: a churn campaign may have changed the size.
         let requesters: Vec<NodeId> =
-            (0..n).filter(|&v| net.node(v).is_unsatisfied_requester()).collect();
+            (0..net.len()).filter(|&v| net.node(v).is_unsatisfied_requester()).collect();
         let requester_base: Vec<u64> =
             requesters.iter().map(|&v| net.trace().cs_entries(Some(v)) as u64).collect();
         let outcome = match &self.spec.stop {
@@ -800,12 +960,20 @@ impl CompiledScenario {
         if let Some(sink) = sink {
             sink.progress("measure", 1, 1);
         }
-        let metrics =
-            self.collect(&*net, &cfg, outcome, phase_start, warmup_activations, base_entries);
+        let metrics = self.collect(
+            &*net,
+            &cfg,
+            outcome,
+            phase_start,
+            warmup_activations,
+            base_entries,
+            &epochs,
+        );
         let ended_at = net.now();
         ScenarioOutcome {
             outcome,
             warmup_activations,
+            epochs,
             started_at: phase_start,
             ended_at,
             // Moved, not cloned: harness runs drop the outcome's trace immediately, and a
@@ -816,6 +984,7 @@ impl CompiledScenario {
     }
 
     /// Computes the selected metrics from the post-run network state.
+    #[allow(clippy::too_many_arguments)]
     fn collect<P, T>(
         &self,
         net: &Network<P, T>,
@@ -824,6 +993,7 @@ impl CompiledScenario {
         phase_start: u64,
         warmup_activations: Option<u64>,
         base_entries: u64,
+        epochs: &[EpochOutcome],
     ) -> BTreeMap<String, f64>
     where
         P: ScenarioNode,
@@ -881,10 +1051,37 @@ impl CompiledScenario {
                 "census_matches" => {
                     Some(f64::from(u8::from(count_tokens(net).matches(cfg.l))))
                 }
+                "epochs_total" | "epochs_converged" | "epoch_convergence_mean"
+                | "epoch_convergence_max" => None, // inserted below for schedule runs
                 _ => unreachable!("metric names are validated at compile time"),
             };
             if let Some(value) = value {
                 metrics.insert(name, value);
+            }
+        }
+        // Fault-schedule runs always report the campaign: the per-epoch convergence times
+        // are the point of running one, whatever else was selected.  Epochs that failed to
+        // re-converge omit their `epoch<i>_convergence` entry (the harness histogram then
+        // counts them as exhausted, like `convergence_activations`).
+        if self.spec.fault_schedule.is_some() {
+            metrics.insert("epochs_total".into(), epochs.len() as f64);
+            let conv: Vec<f64> =
+                epochs.iter().filter_map(|e| e.convergence.map(|c| c as f64)).collect();
+            metrics.insert("epochs_converged".into(), conv.len() as f64);
+            if !conv.is_empty() {
+                metrics.insert(
+                    "epoch_convergence_mean".into(),
+                    conv.iter().sum::<f64>() / conv.len() as f64,
+                );
+                metrics.insert(
+                    "epoch_convergence_max".into(),
+                    conv.iter().copied().fold(f64::MIN, f64::max),
+                );
+            }
+            for (i, epoch) in epochs.iter().enumerate() {
+                if let Some(c) = epoch.convergence {
+                    metrics.insert(format!("epoch{i}_convergence"), c as f64);
+                }
             }
         }
         metrics

@@ -9,9 +9,9 @@
 //! proptest in `tests/scenario_api.rs`).
 
 use super::spec::{
-    CheckSpec, ConfigSpec, CsStateSpec, DaemonSpec, FaultPlanSpec, FaultSpec, InitSpec,
-    InjectSpec, MessageSpec, NodeInit, ProtocolSpec, ScenarioSpec, StopSpec, TopologySpec,
-    WarmupSpec, WorkloadSpec,
+    CheckSpec, ConfigSpec, CsStateSpec, DaemonSpec, FaultEventSpec, FaultPlanSpec,
+    FaultScheduleSpec, FaultSpec, InitSpec, InjectSpec, MessageSpec, NodeInit, ProtocolSpec,
+    ScenarioSpec, StopSpec, TopologySpec, WarmupSpec, WorkloadSpec,
 };
 use super::ScenarioError;
 use serde_json::Value;
@@ -319,14 +319,69 @@ fn warmup_of(v: &Value) -> Parsed<WarmupSpec> {
 
 fn fault_of(v: &Value) -> Parsed<FaultSpec> {
     let ctx = "fault";
-    let (tag, _) = variant_of(get(v, "plan", ctx)?, "fault.plan")?;
-    let plan = match tag.as_str() {
+    let plan = fault_plan_of(get(v, "plan", ctx)?, "fault.plan")?;
+    Ok(FaultSpec { seed: u64_of(get(v, "seed", ctx)?, ctx)?, plan })
+}
+
+fn fault_plan_of(v: &Value, ctx: &str) -> Parsed<FaultPlanSpec> {
+    let (tag, _) = variant_of(v, ctx)?;
+    Ok(match tag.as_str() {
         "Catastrophic" => FaultPlanSpec::Catastrophic,
         "Moderate" => FaultPlanSpec::Moderate,
         "MessageOnly" => FaultPlanSpec::MessageOnly,
-        other => return fail(format!("fault.plan: unknown variant `{other}`")),
-    };
-    Ok(FaultSpec { seed: u64_of(get(v, "seed", ctx)?, ctx)?, plan })
+        other => return fail(format!("{ctx}: unknown variant `{other}`")),
+    })
+}
+
+fn fault_event_of(v: &Value) -> Parsed<FaultEventSpec> {
+    let ctx = "fault_schedule.epochs";
+    let (tag, body) = variant_of(v, ctx)?;
+    Ok(match tag.as_str() {
+        "TargetTokenPath" => FaultEventSpec::TargetTokenPath,
+        "JoinLeaf" => FaultEventSpec::JoinLeaf,
+        "LeaveLeaf" => FaultEventSpec::LeaveLeaf,
+        "RewireEdge" => FaultEventSpec::RewireEdge,
+        "Transient" => {
+            let body = payload(body, &tag, ctx)?;
+            FaultEventSpec::Transient {
+                plan: fault_plan_of(get(body, "plan", ctx)?, "fault_schedule.epochs.plan")?,
+            }
+        }
+        "MessageBurst" => {
+            let body = payload(body, &tag, ctx)?;
+            FaultEventSpec::MessageBurst {
+                drop: f64_of(get(body, "drop", ctx)?, ctx)?,
+                duplicate: f64_of(get(body, "duplicate", ctx)?, ctx)?,
+                garbage: usize_of(get(body, "garbage", ctx)?, ctx)?,
+            }
+        }
+        "Crash" => {
+            let body = payload(body, &tag, ctx)?;
+            FaultEventSpec::Crash {
+                count: usize_of(get(body, "count", ctx)?, ctx)?,
+                lose_incoming: bool_of(get(body, "lose_incoming", ctx)?, ctx)?,
+            }
+        }
+        other => return fail(format!("{ctx}: unknown variant `{other}`")),
+    })
+}
+
+/// Decodes a [`FaultScheduleSpec`] document — also the format the CLI's `--fault-schedule`
+/// file uses.
+pub fn schedule_from_value(v: &Value) -> Parsed<FaultScheduleSpec> {
+    let ctx = "fault_schedule";
+    Ok(FaultScheduleSpec {
+        seed: u64_of(get(v, "seed", ctx)?, ctx)?,
+        epochs: array_of(get(v, "epochs", ctx)?, ctx)?
+            .iter()
+            .map(fault_event_of)
+            .collect::<Parsed<Vec<_>>>()?,
+        max_steps: u64_of(get(v, "max_steps", ctx)?, ctx)?,
+        window: match v.get("window") {
+            Some(Value::Null) | None => None,
+            Some(field) => Some(u64_of(field, ctx)?),
+        },
+    })
 }
 
 fn stop_of(v: &Value) -> Parsed<StopSpec> {
@@ -406,6 +461,11 @@ pub fn spec_from_value(v: &Value) -> Parsed<ScenarioSpec> {
         fault: match v.get("fault") {
             Some(Value::Null) | None => None,
             Some(field) => Some(fault_of(field)?),
+        },
+        // Optional for backward compatibility with pre-schedule spec documents.
+        fault_schedule: match v.get("fault_schedule") {
+            Some(Value::Null) | None => None,
+            Some(field) => Some(schedule_from_value(field)?),
         },
         stop: stop_of(get(v, "stop", ctx)?)?,
         metrics: match v.get("metrics") {

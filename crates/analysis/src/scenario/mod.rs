@@ -44,20 +44,23 @@ mod compile;
 mod json;
 pub mod mutate;
 mod presets;
+mod schedule;
 mod spec;
 
 pub use compile::{
-    deepest_node, CompiledScenario, Daemon, HarnessReport, Scenario, ScenarioNode,
+    deepest_node, CompiledScenario, Daemon, EpochOutcome, HarnessReport, Scenario, ScenarioNode,
     ScenarioOutcome,
 };
+pub use json::schedule_from_value;
 pub use mutate::{mutate_spec, random_spec, GenLimits};
 pub use presets::{
     figure2_deadlock_init, preset, FIGURE2_NEEDS, FIGURE3_NEEDS, PRESET_NAMES,
 };
 pub use spec::{
-    CheckSpec, ConfigSpec, CsStateSpec, DaemonSpec, FaultPlanSpec, FaultSpec, InitSpec,
-    InjectSpec, MessageSpec, NodeInit, ProtocolSpec, ScenarioBuilder, ScenarioSpec, StopSpec,
-    TopologySpec, WarmupSpec, WorkloadSpec, DEFAULT_METRICS, METRIC_NAMES,
+    is_metric_name, CheckSpec, ConfigSpec, CsStateSpec, DaemonSpec, FaultEventSpec,
+    FaultPlanSpec, FaultScheduleSpec, FaultSpec, InitSpec, InjectSpec, MessageSpec, NodeInit,
+    ProtocolSpec, ScenarioBuilder, ScenarioSpec, StopSpec, TopologySpec, WarmupSpec,
+    WorkloadSpec, DEFAULT_METRICS, METRIC_NAMES,
 };
 
 use std::fmt;

@@ -21,8 +21,8 @@
 //! thousands of mutation chains, including lossless JSON round-trips of every mutant.
 
 use super::spec::{
-    CheckSpec, DaemonSpec, FaultPlanSpec, InitSpec, ProtocolSpec, ScenarioSpec, StopSpec,
-    TopologySpec, WorkloadSpec,
+    CheckSpec, DaemonSpec, FaultEventSpec, FaultPlanSpec, FaultScheduleSpec, InitSpec,
+    ProtocolSpec, ScenarioSpec, StopSpec, TopologySpec, WorkloadSpec,
 };
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -38,11 +38,19 @@ pub struct GenLimits {
     pub sim_steps: u64,
     /// Checker state budget per scenario.
     pub max_configurations: usize,
+    /// Largest number of fault epochs in a generated schedule.
+    pub max_epochs: usize,
 }
 
 impl Default for GenLimits {
     fn default() -> Self {
-        GenLimits { max_nodes: 9, max_l: 3, sim_steps: 3_000, max_configurations: 20_000 }
+        GenLimits {
+            max_nodes: 9,
+            max_l: 3,
+            sim_steps: 3_000,
+            max_configurations: 20_000,
+            max_epochs: 3,
+        }
     }
 }
 
@@ -74,6 +82,9 @@ pub fn random_spec(rng: &mut StdRng, limits: &GenLimits, name: impl Into<String>
     // checker explores the fault-free instance either way; faulty scenarios exercise the
     // simulator path and are excluded from the sim-vs-checker safety oracle).
     let fault = rng.gen_bool(0.25).then(|| (rng.gen::<u64>(), random_fault_plan(rng)));
+    // A fifth carry a multi-epoch fault schedule (campaign runs are likewise excluded from
+    // the sim-vs-checker oracle; the checker replays the campaign prologue instead).
+    let schedule = rng.gen_bool(0.2).then(|| random_schedule(rng, limits));
 
     let mut builder = ScenarioSpec::builder(name)
         .topology(topology)
@@ -93,6 +104,9 @@ pub fn random_spec(rng: &mut StdRng, limits: &GenLimits, name: impl Into<String>
     if let Some((seed, plan)) = fault {
         builder = builder.fault(seed, plan);
     }
+    if let Some(schedule) = schedule {
+        builder = builder.fault_schedule(schedule);
+    }
     let spec = builder.spec();
     debug_assert!(spec.clone().compile().is_ok(), "generated specs always validate");
     spec
@@ -104,7 +118,7 @@ pub fn mutate_spec(spec: &ScenarioSpec, rng: &mut StdRng, limits: &GenLimits) ->
     let base = normalize(spec, rng, limits);
     for _ in 0..12 {
         let mut candidate = base.clone();
-        let operator = rng.gen_range(0u32..10);
+        let operator = rng.gen_range(0u32..13);
         match operator {
             0 => grow_topology(&mut candidate, rng, limits),
             1 => shrink_topology(&mut candidate, rng),
@@ -115,6 +129,9 @@ pub fn mutate_spec(spec: &ScenarioSpec, rng: &mut StdRng, limits: &GenLimits) ->
             6 => swap_fault(&mut candidate, rng),
             7 => flip_init(&mut candidate, rng),
             8 => perturb_workload(&mut candidate, rng),
+            9 => candidate.fault_schedule = Some(random_schedule(rng, limits)),
+            10 => drop_schedule(&mut candidate, rng),
+            11 => perturb_schedule(&mut candidate, rng, limits),
             _ => candidate.base_seed = rng.gen::<u64>(),
         }
         if candidate != base && candidate.clone().compile().is_ok() {
@@ -146,6 +163,11 @@ fn normalize(spec: &ScenarioSpec, rng: &mut StdRng, limits: &GenLimits) -> Scena
         WorkloadSpec::Needs { needs, .. } => needs.truncate(n),
         _ => {}
     }
+    // Churn rebuilds invalidate the adversary's node-count assumptions; campaigns run under
+    // the dynamic-size-safe daemons only.
+    if spec.has_churn() && matches!(spec.daemon, DaemonSpec::Adversarial { .. }) {
+        spec.daemon = random_daemon(rng);
+    }
     if spec.clone().compile().is_err() {
         // Residual invalidity (out-of-range init overrides, bad stop predicate, …): drop the
         // exotic parts and re-anchor on a freshly generated scenario's scaffolding.
@@ -153,6 +175,67 @@ fn normalize(spec: &ScenarioSpec, rng: &mut StdRng, limits: &GenLimits) -> Scena
         return fresh;
     }
     spec
+}
+
+fn random_fault_event(rng: &mut StdRng) -> FaultEventSpec {
+    match rng.gen_range(0u32..7) {
+        0 => FaultEventSpec::Transient { plan: random_fault_plan(rng) },
+        1 => FaultEventSpec::MessageBurst {
+            drop: f64::from(rng.gen_range(0u32..=10)) / 10.0,
+            duplicate: f64::from(rng.gen_range(0u32..=10)) / 10.0,
+            garbage: rng.gen_range(0usize..=2),
+        },
+        2 => FaultEventSpec::Crash {
+            count: rng.gen_range(1usize..=2),
+            lose_incoming: rng.gen_bool(0.5),
+        },
+        3 => FaultEventSpec::TargetTokenPath,
+        4 => FaultEventSpec::JoinLeaf,
+        5 => FaultEventSpec::LeaveLeaf,
+        _ => FaultEventSpec::RewireEdge,
+    }
+}
+
+fn random_schedule(rng: &mut StdRng, limits: &GenLimits) -> FaultScheduleSpec {
+    let epochs = rng.gen_range(1usize..=limits.max_epochs.max(1));
+    FaultScheduleSpec {
+        seed: rng.gen::<u64>(),
+        epochs: (0..epochs).map(|_| random_fault_event(rng)).collect(),
+        max_steps: limits.sim_steps.max(1),
+        window: None,
+    }
+}
+
+/// Removes one epoch from the schedule, or the whole schedule once it is down to one epoch.
+fn drop_schedule(spec: &mut ScenarioSpec, rng: &mut StdRng) {
+    if let Some(schedule) = &mut spec.fault_schedule {
+        if schedule.epochs.len() > 1 {
+            let slot = rng.gen_range(0usize..schedule.epochs.len());
+            schedule.epochs.remove(slot);
+        } else {
+            spec.fault_schedule = None;
+        }
+    }
+}
+
+/// Reseeds the campaign or swaps one epoch for a freshly drawn event; attaches a fresh
+/// single-epoch schedule when the spec has none.
+fn perturb_schedule(spec: &mut ScenarioSpec, rng: &mut StdRng, limits: &GenLimits) {
+    match &mut spec.fault_schedule {
+        Some(schedule) if rng.gen_bool(0.5) => schedule.seed = rng.gen::<u64>(),
+        Some(schedule) => {
+            let slot = rng.gen_range(0usize..schedule.epochs.len());
+            schedule.epochs[slot] = random_fault_event(rng);
+        }
+        None => {
+            spec.fault_schedule = Some(FaultScheduleSpec {
+                seed: rng.gen::<u64>(),
+                epochs: vec![random_fault_event(rng)],
+                max_steps: limits.sim_steps.max(1),
+                window: None,
+            });
+        }
+    }
 }
 
 fn random_rung(rng: &mut StdRng) -> ProtocolSpec {

@@ -6,13 +6,13 @@
 //! (`klex run figure2`).
 
 use super::spec::{
-    CheckSpec, ConfigSpec, CsStateSpec, DaemonSpec, FaultPlanSpec, InitSpec, MessageSpec,
-    NodeInit, InjectSpec, ProtocolSpec, ScenarioSpec, StopSpec, TopologySpec, WarmupSpec,
-    WorkloadSpec,
+    CheckSpec, ConfigSpec, CsStateSpec, DaemonSpec, FaultEventSpec, FaultPlanSpec,
+    FaultScheduleSpec, InitSpec, MessageSpec, NodeInit, InjectSpec, ProtocolSpec, ScenarioSpec,
+    StopSpec, TopologySpec, WarmupSpec, WorkloadSpec,
 };
 
 /// The names accepted by [`preset`], in presentation order.
-pub const PRESET_NAMES: [&str; 15] = [
+pub const PRESET_NAMES: [&str; 18] = [
     "figure2",
     "figure2-pusher",
     "figure2-ss",
@@ -25,9 +25,12 @@ pub const PRESET_NAMES: [&str; 15] = [
     "timeout",
     "unbounded",
     "ring",
+    "churn-campaign",
+    "fault-gauntlet",
     "checker-safety",
     "checker-liveness",
     "checker-liveness-nonstab",
+    "checker-churn",
 ];
 
 /// Requested units per node in the Figure-2 scenario (`r,a,b,c,d,e,f,g`).
@@ -261,6 +264,68 @@ pub fn preset(name: &str) -> Option<ScenarioSpec> {
             })
             .metrics(&["steps", "satisfied", "cs_entries", "converged"])
             .spec(),
+        // A multi-epoch fault campaign with topology churn: stabilize, then survive a
+        // moderate transient fault, a leaf joining, a message burst, and a leaf leaving —
+        // each epoch's re-convergence time is certified and reported separately.
+        "churn-campaign" => ScenarioSpec::builder("churn campaign — faults and topology churn")
+            .topology(TopologySpec::Random { n: 9, seed: 41 })
+            .protocol(ProtocolSpec::Ss)
+            .kl(2, 4)
+            .workload(WorkloadSpec::Saturated { units: 1, hold: 6 })
+            .daemon(DaemonSpec::RandomFair { seed: 90 })
+            .warmup(1_500_000)
+            .fault_schedule(FaultScheduleSpec {
+                seed: 9_001,
+                epochs: vec![
+                    FaultEventSpec::Transient { plan: FaultPlanSpec::Moderate },
+                    FaultEventSpec::JoinLeaf,
+                    FaultEventSpec::MessageBurst { drop: 0.3, duplicate: 0.2, garbage: 2 },
+                    FaultEventSpec::LeaveLeaf,
+                ],
+                max_steps: 1_500_000,
+                window: None,
+            })
+            .stop(StopSpec::Steps { steps: 20_000 })
+            .metrics(&[
+                "epochs_total",
+                "epochs_converged",
+                "epoch_convergence_mean",
+                "epoch_convergence_max",
+                "cs_entries",
+                "satisfied",
+            ])
+            .trials(3)
+            .spec(),
+        // The adversarial fault gauntlet: every epoch aims at the protocol's weak spot —
+        // the token-holder root path, a crash-restart of two processes, then a catastrophic
+        // wipe — measuring how quickly the self-stabilizing rung repairs each.
+        "fault-gauntlet" => ScenarioSpec::builder("fault gauntlet — adversarial placement")
+            .topology(TopologySpec::Random { n: 9, seed: 7 })
+            .protocol(ProtocolSpec::Ss)
+            .kl(2, 4)
+            .workload(WorkloadSpec::Saturated { units: 1, hold: 8 })
+            .daemon(DaemonSpec::RandomFair { seed: 51 })
+            .warmup(1_500_000)
+            .fault_schedule(FaultScheduleSpec {
+                seed: 1_337,
+                epochs: vec![
+                    FaultEventSpec::TargetTokenPath,
+                    FaultEventSpec::Crash { count: 2, lose_incoming: true },
+                    FaultEventSpec::Transient { plan: FaultPlanSpec::Catastrophic },
+                ],
+                max_steps: 1_500_000,
+                window: None,
+            })
+            .stop(StopSpec::Steps { steps: 20_000 })
+            .metrics(&[
+                "epochs_total",
+                "epochs_converged",
+                "epoch_convergence_mean",
+                "epoch_convergence_max",
+                "cs_entries",
+            ])
+            .trials(3)
+            .spec(),
         // A small instance meant for the checking backend: exhaustively verify the safety
         // bounds *and* (k, ℓ)-liveness (no fair starvation cycle) of the full protocol on
         // the Figure-3 tree.
@@ -293,6 +358,34 @@ pub fn preset(name: &str) -> Option<ScenarioSpec> {
             ProtocolSpec::NonStab,
             1_500_000,
         ),
+        // Exhaustive checking from a post-campaign configuration: a tiny chain survives a
+        // transient fault, a leaf joining, and a message burst, then the checker explores
+        // every reachable configuration from where the campaign left the network.
+        "checker-churn" => ScenarioSpec::builder("checker — safety after a churn campaign")
+            .topology(TopologySpec::Chain { n: 3 })
+            .protocol(ProtocolSpec::Ss)
+            .kl(1, 2)
+            .workload(WorkloadSpec::Saturated { units: 1, hold: 0 })
+            .daemon(DaemonSpec::RoundRobin)
+            .fault_schedule(FaultScheduleSpec {
+                seed: 77,
+                epochs: vec![
+                    FaultEventSpec::Transient { plan: FaultPlanSpec::MessageOnly },
+                    FaultEventSpec::JoinLeaf,
+                    FaultEventSpec::MessageBurst { drop: 0.5, duplicate: 0.0, garbage: 1 },
+                ],
+                max_steps: 100_000,
+                window: None,
+            })
+            .stop(StopSpec::Steps { steps: 5_000 })
+            .properties(&["at-most-k-in-cs", "l-availability"])
+            .check(CheckSpec {
+                max_configurations: 40_000,
+                max_depth: 0,
+                properties: vec!["safety".into()],
+                ..CheckSpec::default()
+            })
+            .spec(),
         _ => return None,
     })
 }

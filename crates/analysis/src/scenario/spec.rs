@@ -459,6 +459,96 @@ impl FaultPlanSpec {
     }
 }
 
+/// One epoch of a [`FaultScheduleSpec`]: the perturbation applied at the start of the epoch.
+/// Every event is followed by a re-convergence phase whose stabilization time is measured
+/// and recorded per epoch.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FaultEventSpec {
+    /// A transient fault at one of the bundled severities (the legacy one-shot plans).
+    Transient {
+        /// Fault severity.
+        plan: FaultPlanSpec,
+    },
+    /// A burst of message-level faults on the in-flight channels: each queued message is
+    /// independently dropped with probability `drop` or duplicated with probability
+    /// `duplicate`, then up to `garbage` arbitrary messages are injected per channel.
+    MessageBurst {
+        /// Per-message drop probability.
+        drop: f64,
+        /// Per-message duplication probability.
+        duplicate: f64,
+        /// Garbage messages injected.
+        garbage: usize,
+    },
+    /// Crash-restart of `count` random nodes: local state reset to the initial process
+    /// state, optionally losing the crashed nodes' incoming channels.
+    Crash {
+        /// Nodes crashed (each restarted in place).
+        count: usize,
+        /// Also clear the crashed nodes' incoming channels.
+        lose_incoming: bool,
+    },
+    /// The adversarial placer: corrupts every node on the root path of the current deepest
+    /// token holder (the paper's worst case — faults chase the resource tokens).
+    TargetTokenPath,
+    /// Topology churn: a fresh leaf joins under a random node.
+    JoinLeaf,
+    /// Topology churn: a random non-root leaf leaves the network (skipped when the network
+    /// is already at the 2-node minimum).
+    LeaveLeaf,
+    /// Topology churn: a random non-root node is re-attached (with its whole subtree) under
+    /// a new parent outside that subtree (skipped when no valid rewiring exists).
+    RewireEdge,
+}
+
+impl FaultEventSpec {
+    /// Short lowercase label used in per-epoch report rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultEventSpec::Transient { .. } => "transient",
+            FaultEventSpec::MessageBurst { .. } => "message-burst",
+            FaultEventSpec::Crash { .. } => "crash",
+            FaultEventSpec::TargetTokenPath => "target-token-path",
+            FaultEventSpec::JoinLeaf => "join-leaf",
+            FaultEventSpec::LeaveLeaf => "leave-leaf",
+            FaultEventSpec::RewireEdge => "rewire-edge",
+        }
+    }
+
+    /// True for the topology-churn events (those that change the network's shape).
+    pub fn is_churn(&self) -> bool {
+        matches!(
+            self,
+            FaultEventSpec::JoinLeaf | FaultEventSpec::LeaveLeaf | FaultEventSpec::RewireEdge
+        )
+    }
+
+    /// True for events only the tree rungs support (churn rebuilds an oriented tree;
+    /// crash-restart and the token-path placer need the tree-side process traits).
+    pub fn needs_tree(&self) -> bool {
+        self.is_churn()
+            || matches!(self, FaultEventSpec::Crash { .. } | FaultEventSpec::TargetTokenPath)
+    }
+}
+
+/// A declarative multi-epoch fault campaign: a timeline of fault epochs, each an event
+/// followed by a measured re-convergence phase.  The schedule runs after warmup (and after
+/// the legacy one-shot [`FaultSpec`], when both are present) and before the measured phase.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultScheduleSpec {
+    /// Campaign RNG seed (offset by the per-trial stream in harness runs).  Churn placement
+    /// draws from an independent stream of this seed, so the epoch topology sequence is
+    /// reproducible from the spec alone.
+    pub seed: u64,
+    /// The fault epochs, applied in order.
+    pub epochs: Vec<FaultEventSpec>,
+    /// Per-epoch re-convergence step budget.
+    pub max_steps: u64,
+    /// Sustained-legitimacy confirmation window (default: `4 n²` for the epoch's network
+    /// size).
+    pub window: Option<u64>,
+}
+
 /// When the measured (main) phase of a run stops.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum StopSpec {
@@ -546,7 +636,7 @@ impl Default for CheckSpec {
 }
 
 /// Metric names the sim/harness backends can compute (see [`ScenarioSpec::metrics`]).
-pub const METRIC_NAMES: [&str; 14] = [
+pub const METRIC_NAMES: [&str; 18] = [
     "steps",
     "satisfied",
     "converged",
@@ -561,7 +651,22 @@ pub const METRIC_NAMES: [&str; 14] = [
     "convergence_activations",
     "resource_tokens",
     "census_matches",
+    "epochs_total",
+    "epochs_converged",
+    "epoch_convergence_mean",
+    "epoch_convergence_max",
 ];
+
+/// True for names the sim/harness backends can emit: every [`METRIC_NAMES`] entry plus the
+/// per-epoch family `epoch<i>_convergence` produced by fault-schedule runs.
+pub fn is_metric_name(name: &str) -> bool {
+    if METRIC_NAMES.contains(&name) {
+        return true;
+    }
+    name.strip_prefix("epoch")
+        .and_then(|rest| rest.strip_suffix("_convergence"))
+        .is_some_and(|digits| !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()))
+}
 
 /// The default metric selection when [`ScenarioSpec::metrics`] is empty.
 pub const DEFAULT_METRICS: [&str; 4] = ["steps", "satisfied", "cs_entries", "messages_sent"];
@@ -593,6 +698,9 @@ pub struct ScenarioSpec {
     pub warmup: Option<WarmupSpec>,
     /// Optional transient fault after warmup.
     pub fault: Option<FaultSpec>,
+    /// Optional multi-epoch fault campaign run between the (warmup + one-shot fault)
+    /// preamble and the measured phase, with per-epoch re-convergence measurement.
+    pub fault_schedule: Option<FaultScheduleSpec>,
     /// Stop condition of the measured phase.
     pub stop: StopSpec,
     /// Metric selection (empty = [`DEFAULT_METRICS`]).
@@ -626,6 +734,14 @@ impl ScenarioSpec {
         let value = serde_json::from_str(input)
             .map_err(|e| ScenarioError::Json(format!("unparsable spec: {e}")))?;
         super::json::spec_from_value(&value)
+    }
+
+    /// True when the fault schedule contains a topology-churn epoch (the network's shape
+    /// changes mid-run).
+    pub fn has_churn(&self) -> bool {
+        self.fault_schedule
+            .as_ref()
+            .is_some_and(|s| s.epochs.iter().any(FaultEventSpec::is_churn))
     }
 
     /// The metric selection in effect (the default set when none was chosen).
@@ -758,6 +874,47 @@ impl ScenarioSpec {
                 }
             }
         }
+        if let Some(schedule) = &self.fault_schedule {
+            if !schedule.epochs.is_empty() && schedule.max_steps == 0 {
+                return err("fault-schedule re-convergence budget (max_steps) must be positive".into());
+            }
+            if schedule.window == Some(0) {
+                return err("fault-schedule window must be at least 1 when set".into());
+            }
+            for (i, epoch) in schedule.epochs.iter().enumerate() {
+                if let FaultEventSpec::MessageBurst { drop, duplicate, .. } = epoch {
+                    for (name, p) in [("drop", drop), ("duplicate", duplicate)] {
+                        if !(0.0..=1.0).contains(p) {
+                            return err(format!(
+                                "fault-schedule epoch {i}: {name} probability {p} is not a \
+                                 probability"
+                            ));
+                        }
+                    }
+                }
+                if let FaultEventSpec::Crash { count, .. } = epoch {
+                    if *count == 0 {
+                        return err(format!(
+                            "fault-schedule epoch {i}: a crash event must crash at least one node"
+                        ));
+                    }
+                }
+                if matches!(self.protocol, ProtocolSpec::Ring) && epoch.needs_tree() {
+                    return err(format!(
+                        "fault-schedule epoch {i} ({}) needs a tree; the ring baseline supports \
+                         only transient and message-burst fault epochs",
+                        epoch.label()
+                    ));
+                }
+            }
+            if self.has_churn() && matches!(self.daemon, DaemonSpec::Adversarial { .. }) {
+                return err(
+                    "an adversarial daemon addresses concrete victim nodes, whose ids are not \
+                     stable under topology churn; use a fair daemon with a churn schedule"
+                        .into(),
+                );
+            }
+        }
         for metric in &self.metrics {
             if !METRIC_NAMES.contains(&metric.as_str()) {
                 return err(format!("unknown metric {metric:?} (known: {METRIC_NAMES:?})"));
@@ -823,6 +980,7 @@ impl ScenarioBuilder {
                 init: None,
                 warmup: None,
                 fault: None,
+                fault_schedule: None,
                 stop: StopSpec::Steps { steps: 10_000 },
                 metrics: Vec::new(),
                 properties: Vec::new(),
@@ -891,6 +1049,12 @@ impl ScenarioBuilder {
     /// Injects a transient fault after warmup.
     pub fn fault(mut self, seed: u64, plan: FaultPlanSpec) -> Self {
         self.spec.fault = Some(FaultSpec { seed, plan });
+        self
+    }
+
+    /// Attaches a multi-epoch fault campaign (see [`FaultScheduleSpec`]).
+    pub fn fault_schedule(mut self, schedule: FaultScheduleSpec) -> Self {
+        self.spec.fault_schedule = Some(schedule);
         self
     }
 

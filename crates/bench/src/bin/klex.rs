@@ -25,7 +25,9 @@
 //! JSONL result is byte-identical to `klex run <spec> --format jsonl` of the same spec.
 
 use analysis::harness::{render_csv, render_jsonl, render_markdown_table};
-use analysis::scenario::{preset, CompiledScenario, ScenarioSpec, PRESET_NAMES};
+use analysis::scenario::{
+    preset, schedule_from_value, CompiledScenario, ScenarioSpec, PRESET_NAMES,
+};
 use bench::runner::{run_rows, Backend, RunRequest};
 use bench::serve::{self, ServeOptions};
 use bench::{experiments, history, ExperimentReport, Scale};
@@ -61,6 +63,8 @@ fn usage() -> &'static str {
                                                      core, 1 = sequential delta engine)\n\
        --bench                                       add checker throughput columns\n\
                                                      (states_per_sec, arena_bytes)\n\
+       --fault-schedule FILE.json                    override the spec's fault campaign\n\
+                                                     ({seed, epochs, max_steps[, window]})\n\
      \n\
      OPTIONS (fuzz):\n\
        --smoke                                       the fixed-seed CI campaign\n\
@@ -140,15 +144,24 @@ fn main() -> ExitCode {
     }
 }
 
-/// Resolves a scenario source: a named preset, or a path to a JSON spec file.
-fn load_scenario(source: &str) -> Result<CompiledScenario, String> {
-    let spec = if let Some(spec) = preset(source) {
+/// Resolves a scenario source: a named preset, or a path to a JSON spec file.  A
+/// `--fault-schedule` file overrides the spec's campaign before validation.
+fn load_scenario(source: &str, schedule_path: Option<&str>) -> Result<CompiledScenario, String> {
+    let mut spec = if let Some(spec) = preset(source) {
         spec
     } else {
         let text = std::fs::read_to_string(source)
             .map_err(|e| format!("`{source}` is neither a preset (try `klex list`) nor a readable file: {e}"))?;
         ScenarioSpec::from_json(&text).map_err(|e| e.to_string())?
     };
+    if let Some(path) = schedule_path {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("unreadable fault schedule `{path}`: {e}"))?;
+        let value = serde_json::from_str(&text)
+            .map_err(|e| format!("unparsable fault schedule `{path}`: {e}"))?;
+        let schedule = schedule_from_value(&value).map_err(|e| e.to_string())?;
+        spec.fault_schedule = Some(schedule);
+    }
     spec.compile().map_err(|e| e.to_string())
 }
 
@@ -159,6 +172,7 @@ fn run_command(args: &[String]) -> ExitCode {
     };
     let mut request = RunRequest::default();
     let mut format = "markdown".to_string();
+    let mut schedule_path: Option<String> = None;
     let mut iter = args[1..].iter();
     while let Some(arg) = iter.next() {
         let mut value = |flag: &str| {
@@ -179,6 +193,9 @@ fn run_command(args: &[String]) -> ExitCode {
                 request.bench = true;
                 Ok(())
             }
+            "--fault-schedule" => {
+                value("--fault-schedule").map(|v| schedule_path = Some(v))
+            }
             other => Err(format!("unknown option `{other}`")),
         };
         if let Err(message) = result {
@@ -192,7 +209,7 @@ fn run_command(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let scenario = match load_scenario(source) {
+    let scenario = match load_scenario(source, schedule_path.as_deref()) {
         Ok(scenario) => scenario,
         Err(message) => {
             eprintln!("{message}");

@@ -46,6 +46,12 @@ impl History {
     /// Loads the history stored at `path`.  A missing file yields an empty history; a
     /// legacy single-object snapshot (no `version`) becomes its sole entry; a version-2
     /// document loads its `entries` array.
+    ///
+    /// A file that exists but does not parse — truncated by a killed bench run, corrupted
+    /// by a bad merge — degrades to a **fresh history with a warning** instead of an
+    /// error: losing the trend window must never block the bench that would rebuild it
+    /// (the next [`History::save`] overwrites the corrupt file).  Only I/O failures other
+    /// than not-found are surfaced as `Err`.
     pub fn load(path: &Path, bench: &str) -> Result<History, String> {
         let text = match std::fs::read_to_string(path) {
             Ok(text) => text,
@@ -54,21 +60,25 @@ impl History {
             }
             Err(err) => return Err(format!("unreadable {}: {err}", path.display())),
         };
-        let doc = serde_json::from_str(&text)
-            .map_err(|e| format!("unparsable {}: {e}", path.display()))?;
+        let fresh = |detail: String| {
+            eprintln!("warning: discarding bench history {}: {detail}", path.display());
+            Ok(History::new(bench))
+        };
+        let doc = match serde_json::from_str(&text) {
+            Ok(doc) => doc,
+            Err(err) => return fresh(format!("unparsable ({err})")),
+        };
         let mut history = History::new(bench);
         match doc.get("version").and_then(Value::as_u64) {
             Some(2) => {
                 let Some(Value::Array(entries)) = doc.get("entries") else {
-                    return Err(format!("{}: version 2 without `entries`", path.display()));
+                    return fresh("version 2 without an `entries` array".to_string());
                 };
                 history.entries = entries.clone();
             }
             // A pre-history snapshot: the whole object is the first entry.
             None => history.entries.push(doc),
-            Some(v) => {
-                return Err(format!("{}: unknown history version {v}", path.display()))
-            }
+            Some(v) => return fresh(format!("unknown history version {v}")),
         }
         Ok(history)
     }
@@ -347,6 +357,28 @@ mod tests {
         let last = 100.0 + (MAX_ENTRIES + 4) as f64;
         assert_eq!(doc["trend"]["delta_states_per_sec"]["last"], last);
         assert!(doc["entries"][0].get("recorded").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_or_truncated_files_degrade_to_a_fresh_history() {
+        let dir = std::env::temp_dir().join(format!("klex-history-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, content) in [
+            ("truncated.json", "{\"version\": 2, \"entries\": [{\"a\""),
+            ("not-json.json", "== bench crashed mid-write =="),
+            ("bad-shape.json", "{\"version\": 2, \"entries\": 7}"),
+            ("future.json", "{\"version\": 99, \"entries\": []}"),
+        ] {
+            let path = dir.join(name);
+            std::fs::write(&path, content).unwrap();
+            let history = History::load(&path, "exhaustive_checker").unwrap();
+            assert!(history.entries.is_empty(), "{name} must load as a fresh history");
+            // The fresh history can immediately be saved over the corrupt file…
+            history.save(&path, &[]).unwrap();
+            // …after which it loads cleanly.
+            assert!(History::load(&path, "exhaustive_checker").unwrap().entries.is_empty());
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

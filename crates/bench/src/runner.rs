@@ -115,6 +115,20 @@ pub fn run_rows(
             }
         }
         product.rows.push(row);
+        // One note per fault epoch: what hit the network, its size afterwards, and the
+        // certified re-convergence time (or the exhausted budget).
+        for (index, epoch) in outcome.epochs.iter().enumerate() {
+            product.notes.push(match epoch.convergence {
+                Some(activations) => format!(
+                    "epoch {index} [{}] n={}: reconverged in {activations} activations",
+                    epoch.event, epoch.nodes
+                ),
+                None => format!(
+                    "epoch {index} [{}] n={}: did NOT reconverge within budget",
+                    epoch.event, epoch.nodes
+                ),
+            });
+        }
     }
 
     if matches!(backend, Backend::Harness | Backend::All) {

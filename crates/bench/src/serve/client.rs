@@ -46,19 +46,73 @@ pub fn cancel(addr: &str, id: u64) -> Result<String, String> {
         .ok_or_else(|| "cancel response has no state".to_string())
 }
 
+/// Consecutive reconnection attempts before a dropped stream is given up on.
+const WATCH_MAX_ATTEMPTS: u32 = 6;
+/// First reconnection delay; doubles per consecutive failure up to the cap.
+const WATCH_BACKOFF_START_MS: u64 = 200;
+/// Reconnection-delay ceiling.
+const WATCH_BACKOFF_CAP_MS: u64 = 5_000;
+
 /// `GET /jobs/<id>/stream`: feeds every JSONL line to `on_line` as it arrives, then
 /// returns the job's final status (via [`status`]).
+///
+/// A dropped connection does not end the watch: the stream is reconnected with capped
+/// exponential backoff (200 ms doubling to 5 s, `WATCH_MAX_ATTEMPTS` consecutive
+/// failures before giving up).  The daemon replays a job's whole event buffer on every
+/// stream request, so reconnects skip the lines already delivered — `on_line` sees each
+/// event exactly once.  A drop after the job reached a terminal state is not an error;
+/// the final status is fetched and returned as if the stream had ended cleanly.
 pub fn watch(
     addr: &str,
     id: u64,
     on_line: &mut dyn FnMut(&str),
 ) -> Result<Value, String> {
-    let response =
-        http::request(addr, "GET", &format!("/jobs/{id}/stream"), None, Some(on_line))?;
-    if response.status != 200 {
-        return Err(format!("stream rejected ({})", response.status));
+    let mut delivered = 0usize;
+    let mut attempts = 0u32;
+    let mut backoff = WATCH_BACKOFF_START_MS;
+    loop {
+        let mut fresh = 0usize;
+        let mut replayed = 0usize;
+        let mut relay = |line: &str| {
+            if replayed < delivered {
+                replayed += 1;
+            } else {
+                fresh += 1;
+                on_line(line);
+            }
+        };
+        let result =
+            http::request(addr, "GET", &format!("/jobs/{id}/stream"), None, Some(&mut relay));
+        delivered += fresh;
+        match result {
+            Ok(response) if response.status == 200 => return status(addr, id),
+            Ok(response) => return Err(format!("stream rejected ({})", response.status)),
+            Err(err) => {
+                // A connection dropped at (or after) job completion is not a failure —
+                // the terminal status is the same answer a clean stream end produces.
+                if let Ok(doc) = status(addr, id) {
+                    let state = doc.get("state").and_then(Value::as_str).unwrap_or("");
+                    if matches!(state, "done" | "failed" | "cancelled") {
+                        return Ok(doc);
+                    }
+                }
+                if fresh > 0 {
+                    // The stream made progress before dropping: a fresh outage, not a
+                    // continuation of the previous one.
+                    attempts = 0;
+                    backoff = WATCH_BACKOFF_START_MS;
+                }
+                attempts += 1;
+                if attempts >= WATCH_MAX_ATTEMPTS {
+                    return Err(format!(
+                        "stream dropped after {attempts} reconnection attempts: {err}"
+                    ));
+                }
+                std::thread::sleep(std::time::Duration::from_millis(backoff));
+                backoff = (backoff * 2).min(WATCH_BACKOFF_CAP_MS);
+            }
+        }
     }
-    status(addr, id)
 }
 
 /// `GET /metrics` (raw Prometheus text).

@@ -70,6 +70,20 @@ pub fn read_request(stream: &TcpStream) -> Result<Option<Request>, String> {
         }
     }
     if content_length > MAX_BODY {
+        // Drain (a bounded amount of) the oversized body before erroring: the client is
+        // still writing it, and closing the socket mid-upload resets the connection before
+        // the 400 response can be read.  Reading the declared body lets the client finish
+        // its write and see the error; the cap keeps a lying Content-Length from pinning
+        // the worker.
+        let mut remaining = content_length.min(4 * MAX_BODY);
+        let mut scratch = [0u8; 8192];
+        while remaining > 0 {
+            let take = remaining.min(scratch.len());
+            match reader.read(&mut scratch[..take]) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => remaining -= n,
+            }
+        }
         return Err(format!("body of {content_length} bytes exceeds the {MAX_BODY} limit"));
     }
     let mut body = vec![0u8; content_length];

@@ -251,6 +251,9 @@ fn event_stride(phase: &str) -> u64 {
     match phase {
         "explore" => 4_096,
         "trials" => 16,
+        // Fault-campaign epochs are few and each marks a measured re-convergence: every
+        // one is worth a stream event.
+        "epoch" => 1,
         _ => 1,
     }
 }

@@ -456,6 +456,22 @@ impl SsNode {
         }
     }
 
+    /// The retransmission `root_timeout` would send right now (Algorithm 1 lines
+    /// 99–102): the controller message carrying the current counter, aimed at `Succ`.
+    /// `None` on non-root nodes.
+    ///
+    /// Exposed for executions that run the protocol with its timer disabled (the
+    /// bounded-exhaustive checker's state abstraction) but still need the recovery the
+    /// timeout provides when every in-flight message has been lost to injected faults.
+    pub fn timeout_retransmission(&self) -> Option<(ChannelLabel, Message)> {
+        match &self.role {
+            SsRole::Root(r) => {
+                Some((r.succ, Message::Ctrl { c: r.my_c, r: r.reset, pt: 0, ppr: 0 }))
+            }
+            SsRole::NonRoot(_) => None,
+        }
+    }
+
     /// Lines 78–98 (root) / 62–76 (non-root): request handling and priority release.
     fn bottom_of_loop(&mut self, ctx: &mut Context<'_, Message>) {
         self.app.poll_request(&self.cfg, ctx);

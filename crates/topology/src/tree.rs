@@ -237,6 +237,95 @@ impl OrientedTree {
     pub fn max_degree(&self) -> usize {
         (0..self.len()).map(|v| self.degree(v)).max().unwrap_or(0)
     }
+
+    /// True when `node` lies in the subtree rooted at `ancestor` (inclusive).
+    pub fn in_subtree(&self, node: NodeId, ancestor: NodeId) -> bool {
+        let mut cur = node;
+        loop {
+            if cur == ancestor {
+                return true;
+            }
+            match self.parent[cur] {
+                Some(p) => cur = p,
+                None => return false,
+            }
+        }
+    }
+
+    /// Returns the tree with a fresh leaf (id `len()`) attached as the **last** child of
+    /// `parent`.
+    ///
+    /// Appending at the tail is what makes leaf joins a *local* topology fault: every
+    /// channel label of every existing node is unchanged — only `parent` gains one new
+    /// channel, at label `degree(parent)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is out of range.
+    pub fn with_leaf_added(&self, parent: NodeId) -> OrientedTree {
+        assert!(parent < self.len(), "join parent {parent} out of range");
+        let fresh = self.len();
+        let mut parents = self.parent.clone();
+        let mut children = self.children.clone();
+        children[parent].push(fresh);
+        children.push(Vec::new());
+        parents.push(Some(parent));
+        let tree = OrientedTree { parent: parents, children };
+        tree.assert_connected();
+        tree
+    }
+
+    /// Returns the tree with leaf `v` removed, together with the id remapping:
+    /// `old_of_new[w]` is the id that node `w` of the new tree had in `self` (every id
+    /// above `v` shifts down by one, so node `0` stays the root).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is the root or not a leaf, or if the tree has only two nodes.
+    pub fn with_leaf_removed(&self, v: NodeId) -> (OrientedTree, Vec<NodeId>) {
+        assert!(self.len() > 2, "removing a leaf from a 2-node tree leaves no network");
+        assert!(v < self.len() && !self.is_root(v), "only a non-root node can leave");
+        assert!(self.is_leaf(v), "node {v} has children and cannot leave as a leaf");
+        let old_of_new: Vec<NodeId> = (0..self.len()).filter(|&w| w != v).collect();
+        let new_of_old = |w: NodeId| if w < v { w } else { w - 1 };
+        let mut parent = Vec::with_capacity(self.len() - 1);
+        let mut children = Vec::with_capacity(self.len() - 1);
+        for &old in &old_of_new {
+            parent.push(self.parent[old].map(new_of_old));
+            children.push(
+                self.children[old].iter().filter(|&&c| c != v).map(|&c| new_of_old(c)).collect(),
+            );
+        }
+        let tree = OrientedTree { parent, children };
+        tree.assert_connected();
+        (tree, old_of_new)
+    }
+
+    /// Returns the tree with the parent edge of `v` severed and `v` re-attached as the
+    /// last child of `new_parent`.  Node ids are unchanged; the whole subtree under `v`
+    /// moves with it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is the root, `new_parent` is out of range, or `new_parent` lies
+    /// inside `v`'s own subtree (the result would not be a tree).
+    pub fn with_edge_rewired(&self, v: NodeId, new_parent: NodeId) -> OrientedTree {
+        assert!(v < self.len() && !self.is_root(v), "cannot rewire the root");
+        assert!(new_parent < self.len(), "rewire target {new_parent} out of range");
+        assert!(
+            !self.in_subtree(new_parent, v),
+            "rewiring {v} under {new_parent} would create a cycle"
+        );
+        let old_parent = self.parent[v].expect("non-root node has a parent");
+        let mut parent = self.parent.clone();
+        let mut children = self.children.clone();
+        children[old_parent].retain(|&c| c != v);
+        children[new_parent].push(v);
+        parent[v] = Some(new_parent);
+        let tree = OrientedTree { parent, children };
+        tree.assert_connected();
+        tree
+    }
 }
 
 impl Topology for OrientedTree {
@@ -369,6 +458,80 @@ mod tests {
         for w in order.windows(2) {
             assert!(t.depth(w[0]) <= t.depth(w[1]));
         }
+    }
+
+    #[test]
+    fn leaf_join_keeps_every_existing_label() {
+        let t = paper_tree();
+        let grown = t.with_leaf_added(3);
+        assert_eq!(grown.len(), t.len() + 1);
+        let fresh = t.len();
+        assert_eq!(grown.parent(fresh), Some(3));
+        assert_eq!(grown.label_of(fresh, 3), 0);
+        // The joined leaf sits on the parent's newest channel; all old labels survive.
+        assert_eq!(grown.label_of(3, fresh), t.degree(3));
+        for v in 0..t.len() {
+            for l in 0..t.degree(v) {
+                assert_eq!(grown.neighbor(v, l), t.neighbor(v, l), "label ({v},{l}) moved");
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_removal_remaps_ids_and_stays_a_tree() {
+        let t = paper_tree();
+        let leaf = (1..t.len()).find(|&v| t.is_leaf(v)).unwrap();
+        let (shrunk, old_of_new) = t.with_leaf_removed(leaf);
+        assert_eq!(shrunk.len(), t.len() - 1);
+        assert_eq!(old_of_new.len(), shrunk.len());
+        assert!(shrunk.is_root(0));
+        // Every surviving parent edge is preserved under the remapping.
+        for (new, &old) in old_of_new.iter().enumerate() {
+            assert_ne!(old, leaf);
+            let old_parent = t.parent(old);
+            let new_parent = shrunk.parent(new).map(|p| old_of_new[p]);
+            assert_eq!(old_parent, new_parent, "parent of old node {old} changed");
+        }
+        for v in 0..shrunk.len() {
+            for l in 0..shrunk.degree(v) {
+                let (p, pl) = shrunk.endpoint(v, l);
+                assert_eq!(shrunk.endpoint(p, pl), (v, l));
+            }
+        }
+    }
+
+    #[test]
+    fn rewire_moves_a_whole_subtree() {
+        // Chain 0-1-2-3-4: rewire node 3 (subtree {3,4}) under node 1.
+        let t = builders::chain(5);
+        let rewired = t.with_edge_rewired(3, 1);
+        assert_eq!(rewired.parent(3), Some(1));
+        assert_eq!(rewired.parent(4), Some(3));
+        assert_eq!(rewired.children(1), &[2, 3]);
+        assert_eq!(rewired.len(), t.len());
+        assert_eq!(rewired.subtree_size(0), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn rewire_into_own_subtree_is_rejected() {
+        let t = builders::chain(5);
+        t.with_edge_rewired(1, 3); // 3 is a descendant of 1
+    }
+
+    #[test]
+    #[should_panic(expected = "non-root")]
+    fn root_cannot_leave() {
+        let t = builders::chain(3);
+        t.with_leaf_removed(0);
+    }
+
+    #[test]
+    fn in_subtree_is_reflexive_and_follows_ancestry() {
+        let t = builders::chain(4);
+        assert!(t.in_subtree(3, 0));
+        assert!(t.in_subtree(2, 2));
+        assert!(!t.in_subtree(1, 2));
     }
 
     #[test]

@@ -233,6 +233,35 @@ impl FaultInjector {
         report
     }
 
+    /// Corrupts the local state of exactly the listed processes (duplicates corrupted only
+    /// once; out-of-range ids ignored).
+    ///
+    /// This is the targeted counterpart of [`FaultInjector::inject`]'s per-node corruption
+    /// coin, for adversarial fault placers that choose their victims from the *live*
+    /// configuration — e.g. the fault-schedule engine's token-holder-path event, which
+    /// corrupts the whole root path the resource tokens travel on.
+    pub fn corrupt_nodes<P, T>(
+        &mut self,
+        net: &mut Network<P, T>,
+        nodes: &[crate::NodeId],
+    ) -> FaultReport
+    where
+        P: Process + Corruptible,
+        T: Topology,
+    {
+        let mut report = FaultReport::default();
+        let mut seen = vec![false; net.len()];
+        for &v in nodes {
+            if v >= net.len() || seen[v] {
+                continue;
+            }
+            seen[v] = true;
+            net.node_mut(v).corrupt(&mut self.rng);
+            report.nodes_corrupted += 1;
+        }
+        report
+    }
+
     /// Crash-restarts `count` distinct processes chosen uniformly at random (see
     /// [`FaultInjector::crash`]).  Returns the chosen processes and the damage report.
     pub fn crash_random<P, T>(

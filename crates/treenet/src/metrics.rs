@@ -47,6 +47,17 @@ impl Metrics {
         let n = self.sent_by_node.len();
         *self = Metrics::new(n);
     }
+
+    /// Remaps the per-node send counters onto a churned id space: entry `v` of the result
+    /// is the old counter of node `old_of_new[v]`, or `0` for a freshly joined node.  The
+    /// aggregate counters are untouched — a departed node's traffic already happened.
+    pub fn remap_nodes(&mut self, old_of_new: &[Option<NodeId>]) {
+        let old = std::mem::take(&mut self.sent_by_node);
+        self.sent_by_node = old_of_new
+            .iter()
+            .map(|slot| slot.and_then(|ov| old.get(ov).copied()).unwrap_or(0))
+            .collect();
+    }
 }
 
 #[cfg(test)]
@@ -72,6 +83,20 @@ mod tests {
         m.record_send(5, "ResT");
         assert_eq!(m.messages_sent, 1);
         assert_eq!(m.sent_by_node, vec![0]);
+    }
+
+    #[test]
+    fn remap_nodes_shifts_and_zeroes_counters() {
+        let mut m = Metrics::new(4);
+        for (node, sends) in [(0, 1), (1, 2), (2, 3), (3, 4)] {
+            for _ in 0..sends {
+                m.record_send(node, "ResT");
+            }
+        }
+        // Node 1 leaves (ids above shift down), then a fresh node joins at the tail.
+        m.remap_nodes(&[Some(0), Some(2), Some(3), None]);
+        assert_eq!(m.sent_by_node, vec![1, 3, 4, 0]);
+        assert_eq!(m.messages_sent, 10, "aggregates survive the remap");
     }
 
     #[test]

@@ -562,6 +562,102 @@ impl<P: Process, T: Topology> Network<P, T> {
         self.now = template.now;
     }
 
+    /// Rebuilds this network over the (churned) topology of `donor`, carrying state over —
+    /// the topology-churn primitive of the fault-schedule engine.
+    ///
+    /// `donor` is a freshly constructed network over the *new* topology; `old_of_new[v]`
+    /// names the node of `self` that becomes node `v` of the rebuilt network (`None` for a
+    /// freshly joined node).  The carryover rules are chosen so the result is always
+    /// structurally consistent, and every deviation from a clean rebuild is a bona-fide
+    /// transient fault of the paper's model:
+    ///
+    /// * a surviving node keeps its process state iff its labelled neighbourhood is
+    ///   unchanged — same degree, and every channel label leads to the same surviving
+    ///   neighbour.  A node whose incident edges changed (the churn parent, a rewired
+    ///   node's old and new parents) is restarted from the donor's fresh process: the
+    ///   local-state reset at the locus of churn.  This also guarantees no carried process
+    ///   ever references a channel label outside its new degree;
+    /// * a channel is carried whole — contents *and* conservation counters — iff both of
+    ///   its endpoints survive and the link itself survives (matched by endpoint pair, not
+    ///   by label, so links whose labels shifted still carry).  Messages on severed links
+    ///   vanish with their channel: the whole-channel loss of a topology fault;
+    /// * the logical clock, the trace, and the aggregate metrics counters continue across
+    ///   the churn (they are run-time accumulators, not configuration); the per-node send
+    ///   counters are remapped onto the new id space via [`Metrics::remap_nodes`].
+    ///
+    /// The enabled set is rebuilt for the new degree structure and re-synced from the
+    /// carried channels, so the CSR layout and every incremental invariant hold by
+    /// construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `old_of_new` does not have one entry per donor node, names an
+    /// out-of-range old node, or maps two new ids to the same old node.
+    pub fn rebuild_from(&mut self, donor: Network<P, T>, old_of_new: &[Option<NodeId>]) {
+        let old_n = self.nodes.len();
+        let new_n = donor.nodes.len();
+        assert_eq!(old_of_new.len(), new_n, "old_of_new must cover every donor node");
+        let mut claimed = vec![false; old_n];
+        for &ov in old_of_new.iter().flatten() {
+            assert!(ov < old_n, "old node {ov} out of range");
+            assert!(!claimed[ov], "old node {ov} mapped twice");
+            claimed[ov] = true;
+        }
+
+        let mut old_nodes: Vec<Option<P>> = self.nodes.drain(..).map(Some).collect();
+        let mut old_channels: Vec<Vec<Option<Channel<P::Msg>>>> = self
+            .channels
+            .drain(..)
+            .map(|row| row.into_iter().map(Some).collect())
+            .collect();
+
+        let new_topo = donor.topo;
+        let mut nodes = donor.nodes;
+        let mut channels = donor.channels;
+        let old_topo = &self.topo;
+
+        for v in 0..new_n {
+            let Some(ov) = old_of_new[v] else { continue };
+            let degree = new_topo.degree(v);
+            let same_neighbourhood = degree == old_topo.degree(ov)
+                && (0..degree).all(|l| {
+                    old_of_new[new_topo.endpoint(v, l).0] == Some(old_topo.endpoint(ov, l).0)
+                });
+            if same_neighbourhood {
+                nodes[v] = old_nodes[ov].take().expect("each old node is claimed once");
+            }
+            // Channels carry independently of the process decision: in-flight messages
+            // outlive a local restart, exactly as they outlive a crash.
+            for l in 0..degree {
+                let Some(old_peer) = old_of_new[new_topo.endpoint(v, l).0] else { continue };
+                let survived = (0..old_topo.degree(ov))
+                    .find(|&ol| old_topo.endpoint(ov, ol).0 == old_peer);
+                if let Some(ol) = survived {
+                    channels[v][l] =
+                        old_channels[ov][ol].take().expect("each old channel is claimed once");
+                }
+            }
+        }
+
+        let degrees: Vec<usize> = (0..new_n).map(|v| new_topo.degree(v)).collect();
+        let mut enabled = EnabledSet::new(&degrees);
+        for (v, row) in channels.iter().enumerate() {
+            for (l, channel) in row.iter().enumerate() {
+                enabled.note_len(v, l, channel.len());
+            }
+        }
+
+        self.topo = new_topo;
+        self.nodes = nodes;
+        self.channels = channels;
+        self.enabled = enabled;
+        self.metrics.remap_nodes(old_of_new);
+        // Per-step scratch never survives an activation; clear it anyway so a rebuild
+        // mid-surgery can't smuggle stale labels across topologies.
+        self.outbox.clear();
+        self.event_buf.clear();
+    }
+
     /// Zeroes every run-time accumulator in place (channels, enabled set, clock, trace,
     /// metrics), keeping all allocations.  Process state is untouched.
     fn reset_runtime(&mut self) {
@@ -802,6 +898,113 @@ mod tests {
         for v in 0..net.len() {
             assert_eq!(net.node(v).received, fresh.node(v).received);
         }
+    }
+
+    fn fresh_forwarder(id: NodeId) -> Forwarder {
+        Forwarder { is_root: id == 0, started: false, received: vec![] }
+    }
+
+    /// Brute-force re-derivation of the enabled set from the channel matrix.
+    fn assert_enabled_consistent(net: &Network<Forwarder, topology::OrientedTree>) {
+        let enabled = net.enabled_set();
+        let mut in_flight = 0usize;
+        for v in 0..net.len() {
+            let degree = net.topology().degree(v);
+            assert_eq!(enabled.degree(v), degree);
+            let nonempty: Vec<usize> =
+                (0..degree).filter(|&l| !net.channel(v, l).is_empty()).collect();
+            assert_eq!(enabled.deliverable_count(v), nonempty.len());
+            for (i, &l) in nonempty.iter().enumerate() {
+                assert_eq!(enabled.nth_deliverable(v, i), Some(l));
+            }
+            in_flight += (0..degree).map(|l| net.channel(v, l).len()).sum::<usize>();
+        }
+        assert_eq!(net.in_flight(), in_flight);
+    }
+
+    #[test]
+    fn rebuild_from_carries_survivors_and_restarts_the_churn_locus() {
+        // Figure-1 tree: r{a,d}, a{b,c}, d{e,f,g}; ids 0=r, 1=a, 2=b, 3=c, 4=d, 5=e...
+        let mut net = forwarder_net();
+        let mut sched = RoundRobin::new();
+        for _ in 0..50 {
+            net.step(&mut sched);
+        }
+        let received_before: Vec<Vec<u64>> =
+            (0..net.len()).map(|v| net.node(v).received.clone()).collect();
+        let clock = net.now();
+        let messages_sent = net.metrics().messages_sent;
+
+        // A fresh leaf joins under node 1 (a): only node 1's neighbourhood changes.
+        let grown = net.topology().with_leaf_added(1);
+        let donor = Network::new(grown, fresh_forwarder);
+        let old_of_new: Vec<Option<NodeId>> = (0..8).map(Some).chain([None]).collect();
+        // Park a message on a surviving link and one on the changed node's parent link.
+        net.inject_into(2, 0, Num(77));
+        let parked = net.channel(2, 0).len();
+        net.rebuild_from(donor, &old_of_new);
+
+        assert_eq!(net.len(), 9);
+        assert_eq!(net.now(), clock, "the logical clock continues across churn");
+        assert_eq!(net.metrics().messages_sent, messages_sent);
+        assert_enabled_consistent(&net);
+        // Node 1 gained a channel: restarted.  Its old subtree kept their state.
+        assert!(net.node(1).received.is_empty(), "churn locus is restarted");
+        assert_eq!(net.node(2).received, received_before[2]);
+        assert_eq!(net.node(4).received, received_before[4]);
+        assert!(net.node(8).received.is_empty(), "joined leaf boots fresh");
+        // The surviving link 2<-parent carried contents and counters.
+        assert_eq!(net.channel(2, 0).len(), parked);
+        let law = |v: NodeId, l: ChannelLabel| {
+            let ch = net.channel(v, l);
+            assert_eq!(ch.enqueued(), ch.delivered() + ch.lost() + ch.len() as u64);
+        };
+        for v in 0..net.len() {
+            for l in 0..net.topology().degree(v) {
+                law(v, l);
+            }
+        }
+        // The rebuilt network keeps running.
+        for _ in 0..200 {
+            net.step(&mut sched);
+        }
+        assert_enabled_consistent(&net);
+    }
+
+    #[test]
+    fn rebuild_from_after_leaf_removal_remaps_ids() {
+        let mut net = forwarder_net();
+        let mut sched = RoundRobin::new();
+        for _ in 0..60 {
+            net.step(&mut sched);
+        }
+        // Remove leaf 3 (c, child of a): ids 4..8 shift down by one.
+        let received_before: Vec<Vec<u64>> =
+            (0..net.len()).map(|v| net.node(v).received.clone()).collect();
+        let (shrunk, old_of_new) = net.topology().with_leaf_removed(3);
+        let map: Vec<Option<NodeId>> = old_of_new.iter().copied().map(Some).collect();
+        let donor = Network::new(shrunk, fresh_forwarder);
+        net.rebuild_from(donor, &map);
+
+        assert_eq!(net.len(), 7);
+        assert_enabled_consistent(&net);
+        // Old node 4 (d) is new node 3 with an unchanged neighbourhood: state carried.
+        assert_eq!(net.node(3).received, received_before[4]);
+        // Node 1 (a) lost a child: restarted.
+        assert!(net.node(1).received.is_empty());
+        for _ in 0..200 {
+            net.step(&mut sched);
+        }
+        assert_enabled_consistent(&net);
+    }
+
+    #[test]
+    #[should_panic(expected = "mapped twice")]
+    fn rebuild_from_rejects_a_non_injective_map() {
+        let mut net = forwarder_net();
+        let donor = Network::new(builders::figure1_tree(), fresh_forwarder);
+        let map: Vec<Option<NodeId>> = vec![Some(0); 8];
+        net.rebuild_from(donor, &map);
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Integration tests for the adversarial fault-schedule engine (ISSUE 9 acceptance):
+//! a multi-epoch campaign with topology churn runs through all three backends —
+//! simulator, sharded harness, and bounded-exhaustive checker — with per-epoch
+//! convergence times in the report, identical across engines and shard counts.
+
+use checker::{ExplorationReport, ExploreEngine};
+use kl_exclusion::prelude::*;
+
+use analysis::scenario::{preset, FaultEventSpec, FaultScheduleSpec};
+
+/// Backend 1+2 — the bundled `churn-campaign` preset (4 epochs, 2 of them churn) runs a
+/// full campaign on the simulator, reports every epoch with its re-convergence time, and
+/// produces shard-count-independent harness results.
+#[test]
+fn churn_campaign_reports_per_epoch_convergence_on_sim_and_harness() {
+    let scenario = preset("churn-campaign").expect("bundled preset").compile().expect("compiles");
+    let spec = scenario.spec();
+    let schedule = spec.fault_schedule.as_ref().expect("the preset carries a schedule");
+    assert!(schedule.epochs.len() >= 3, "acceptance asks for a ≥3-epoch schedule");
+    assert!(
+        schedule.epochs.iter().any(|e| e.is_churn()),
+        "acceptance asks for at least one churn event"
+    );
+
+    let sim = scenario.run();
+    assert_eq!(sim.epochs.len(), schedule.epochs.len(), "one outcome per epoch");
+    for (epoch, event) in sim.epochs.iter().zip(&schedule.epochs) {
+        assert_eq!(epoch.event, event.label(), "epochs report in schedule order");
+    }
+    // The campaign is the point: every epoch of this tuned preset re-converges, and the
+    // times land in the metrics block alongside the aggregate campaign metrics.
+    for (i, epoch) in sim.epochs.iter().enumerate() {
+        let time = epoch.convergence.unwrap_or_else(|| {
+            panic!("epoch {i} [{}] failed to re-converge", epoch.event)
+        });
+        assert_eq!(sim.metric(&format!("epoch{i}_convergence")), Some(time as f64));
+    }
+    assert_eq!(sim.metric("epochs_total"), Some(sim.epochs.len() as f64));
+    assert_eq!(sim.metric("epochs_converged"), Some(sim.epochs.len() as f64));
+    assert!(sim.metric("epoch_convergence_mean").unwrap() > 0.0);
+
+    // Churn epochs record the network size *after* the event: the join grows the tree by
+    // one node, the leave shrinks it back.
+    let n = spec.topology.len();
+    let sizes: Vec<usize> = sim.epochs.iter().map(|e| e.nodes).collect();
+    assert_eq!(sizes, vec![n, n + 1, n + 1, n], "join-leaf then leave-leaf sizes");
+
+    // The sharded harness reports the identical per-trial campaign metrics at any shard
+    // count — trial decomposition must not perturb the per-trial schedule streams.
+    let harness = scenario.run_harness(4);
+    assert_eq!(harness.per_trial.len(), spec.trials as usize);
+    for trial in &harness.per_trial {
+        assert_eq!(trial.get("epochs_total"), Some(&(sim.epochs.len() as f64)));
+    }
+    assert_eq!(scenario.run_harness(1).per_trial, harness.per_trial);
+}
+
+/// The adversarial-by-construction gauntlet (targeted token-path corruption, double
+/// crash, catastrophic transient) also runs end to end: the self-stabilizing rung
+/// recovers from every epoch.
+#[test]
+fn fault_gauntlet_recovers_from_every_epoch() {
+    let scenario = preset("fault-gauntlet").expect("bundled preset").compile().expect("compiles");
+    let sim = scenario.run();
+    assert_eq!(sim.epochs.len(), 3);
+    assert_eq!(sim.metric("epochs_converged"), Some(3.0));
+    assert!(sim.outcome.is_satisfied() || sim.metric("satisfied") == Some(1.0), "{:?}", sim.outcome);
+}
+
+/// A schedule-bearing spec survives the JSON round trip (the `klex run <file>` path) and
+/// the round-tripped spec drives an identical campaign.
+#[test]
+fn schedule_bearing_specs_round_trip_through_json() {
+    let spec = preset("churn-campaign").expect("bundled preset");
+    let json = spec.to_json();
+    let back = ScenarioSpec::from_json(&json).expect("schedule specs round-trip");
+    assert_eq!(spec, back);
+
+    let original = spec.compile().expect("compiles").run();
+    let replayed = back.compile().expect("compiles").run();
+    assert_eq!(original.epochs, replayed.epochs, "the round trip preserves the campaign");
+    assert_eq!(original.metrics, replayed.metrics);
+}
+
+/// Field-for-field identity of two exploration reports (mirrors the parity suites).
+fn assert_reports_identical(name: &str, a: &ExplorationReport, b: &ExplorationReport) {
+    assert_eq!(a.configurations, b.configurations, "{name}: reachable-set size");
+    assert_eq!(a.transitions, b.transitions, "{name}: transitions");
+    assert_eq!(a.max_depth, b.max_depth, "{name}: max depth");
+    assert_eq!(a.frontier_sizes, b.frontier_sizes, "{name}: frontiers per level");
+    assert_eq!(a.truncated, b.truncated, "{name}: truncation");
+    assert_eq!(a.violations.len(), b.violations.len(), "{name}: violation count");
+    assert_eq!(a.deadlocks.len(), b.deadlocks.len(), "{name}: deadlock count");
+}
+
+/// Backend 3 — a churn schedule lowers into the checker: the prologue replays the
+/// campaign (including the topology churn) to a settled configuration, and the delta,
+/// interned, and parallel engines explore the identical reachable space from it.
+#[test]
+fn checker_engines_agree_on_a_churn_schedule() {
+    let scenario = preset("checker-churn").expect("bundled preset").compile().expect("compiles");
+    let schedule = scenario.spec().fault_schedule.as_ref().expect("schedule preset");
+    assert!(schedule.epochs.len() >= 3);
+    assert!(schedule.epochs.iter().any(|e| e.is_churn()));
+
+    let delta = scenario.check_with(ExploreEngine::Delta).expect("schedules lower");
+    let interned = scenario.check_with(ExploreEngine::Interned).expect("schedules lower");
+    let parallel = scenario.check_parallel(2).expect("schedules lower");
+    assert_reports_identical("delta vs interned", &delta, &interned);
+    assert_reports_identical("delta vs parallel", &delta, &parallel);
+
+    // The churn grew the chain by one leaf before exploration started, so the explored
+    // space is non-trivial and safety holds throughout it.
+    assert!(delta.configurations > 1, "the settled campaign state has successors");
+    assert!(delta.ok(), "safety violations: {:?}", delta.violations);
+}
+
+/// Regression (found by the fuzzer): a per-node `Needs` workload combined with a
+/// renumbering churn event must not desynchronize the parallel workers' driver
+/// assignment.  Removing a leaf renumbers the survivors, and the campaign carries each
+/// survivor's driver across under its *pre-churn* id; a worker net that re-indexed the
+/// `needs` vector by post-churn ids explored a genuinely different protocol instance
+/// (delta 6 vs parallel 11 configurations on this spec).
+#[test]
+fn parallel_workers_reproduce_carried_drivers_after_renumbering_churn() {
+    let scenario = ScenarioSpec::builder("needs + leave-leaf driver carryover")
+        .topology(TopologySpec::Figure3)
+        .protocol(ProtocolSpec::Pusher)
+        .kl(1, 1)
+        .workload(WorkloadSpec::Needs { needs: vec![0, 1, 0], hold: 0 })
+        .fault_schedule(FaultScheduleSpec {
+            seed: 560_697_444_765_385_336,
+            epochs: vec![FaultEventSpec::LeaveLeaf],
+            max_steps: 300,
+            window: None,
+        })
+        .check(CheckSpec {
+            max_configurations: 1_000,
+            max_depth: 0,
+            properties: vec!["safety".into()],
+            ..CheckSpec::default()
+        })
+        .build()
+        .expect("valid spec");
+    let delta = scenario.check_with(ExploreEngine::Delta).expect("lowers");
+    for threads in [2, 4] {
+        let parallel = scenario.check_parallel(threads).expect("lowers");
+        assert_reports_identical(&format!("delta vs parallel({threads})"), &delta, &parallel);
+    }
+}

@@ -145,6 +145,45 @@ fn running_jobs_cancel_mid_flight() {
 }
 
 #[test]
+fn malformed_and_oversized_submissions_get_a_400_json_error() {
+    use std::io::{Read, Write};
+
+    let (server, addr) = start(1);
+
+    // Unparsable JSON: the client helper surfaces the daemon's 400 with its error detail.
+    let err = client::submit(&addr, "{not json").expect_err("malformed body must be rejected");
+    assert!(err.contains("submit rejected (400)"), "unexpected error: {err}");
+
+    // An oversized body (over the daemon's 1 MiB limit) must also come back as a 400 with
+    // a JSON error body — not a dropped connection.  Raw socket: the client helper never
+    // generates such a request.
+    let body = vec![b'x'; 2 * (1 << 20)];
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+    write!(
+        stream,
+        "POST /jobs HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )
+    .expect("request head");
+    stream.write_all(&body).expect("the daemon drains the oversized body");
+    stream.flush().expect("flush");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read the 400 response");
+    assert!(response.starts_with("HTTP/1.1 400 "), "unexpected response: {response}");
+    let json = response.split("\r\n\r\n").nth(1).expect("response has a body");
+    let doc = serde_json::from_str(json).expect("the 400 body is JSON");
+    let detail = doc.get("error").and_then(Value::as_str).expect("error detail");
+    assert!(detail.contains("exceeds"), "unexpected detail: {detail}");
+
+    // The daemon is still healthy afterwards.
+    let health = client::healthz(&addr).expect("healthz after bad submissions");
+    assert_eq!(health.get("status").and_then(Value::as_str), Some("ok"));
+
+    client::shutdown(&addr).expect("shutdown");
+    server.wait();
+}
+
+#[test]
 fn metrics_scrape_exposes_the_daemon_counters() {
     let (server, addr) = start(1);
     let health = client::healthz(&addr).expect("healthz");
