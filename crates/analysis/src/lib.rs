@@ -9,6 +9,8 @@
 //!   sustained legitimacy as the empirical convergence criterion;
 //! * [`invariants`] — continuous safety checking (at most k units per process, at most ℓ in
 //!   use, token conservation) while an execution runs;
+//! * [`snapshot`] — cut-level safety verdicts ([`snapshot::CutVerdict`]) over the
+//!   in-simulation Chandy–Lamport snapshots assembled by [`treenet::SnapshotRunner`];
 //! * [`monitor`] — streaming temporal monitors (request-eventually-CS, at-most-k-in-CS,
 //!   ℓ-availability, convergence-witnessed) with one verdict abstraction over simulator
 //!   traces and checker lassos;
@@ -42,6 +44,7 @@ pub mod monitor;
 pub mod progress;
 pub mod scenario;
 pub mod scenarios;
+pub mod snapshot;
 pub mod stats;
 pub mod timeline;
 pub mod waiting;
@@ -56,6 +59,7 @@ pub use invariants::{SafetyMonitor, SafetyViolation};
 pub use monitor::{MonitorReport, TemporalMonitor, Verdict, MONITOR_NAMES};
 pub use progress::{Counter, MetricsRegistry, NullSink, ProgressSink};
 pub use scenario::{CompiledScenario, Scenario, ScenarioError, ScenarioSpec};
+pub use snapshot::{CutVerdict, SnapshotMonitor};
 pub use stats::Summary;
 pub use timeline::{render_activity_gantt, render_virtual_ring, CensusRecorder};
 pub use waiting::{waiting_times, WaitingRecord};

@@ -24,6 +24,7 @@ use rand::SeedableRng;
 use crate::fairness::FairnessReport;
 use crate::harness::{self, ExperimentRow};
 use crate::progress::ProgressSink;
+use crate::snapshot::{CutVerdict, SnapshotMonitor};
 use crate::stats::Summary;
 use crate::waiting::waiting_times;
 use klex_core::{count_tokens, naive, nonstab, pusher, ss, KlConfig, KlInspect, Message};
@@ -32,8 +33,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use topology::{OrientedTree, Topology};
 use treenet::app::BoxedDriver;
 use treenet::{
-    Activation, Adversarial, CsState, EnabledShape, EnabledView, EventScheduler, FaultInjector,
-    Network, NodeId, Process, RandomFair, RoundRobin, RunOutcome, Scheduler, Synchronous, Trace,
+    Activation, Adversarial, ChannelLabel, CsState, EnabledShape, EnabledView, EventScheduler,
+    FaultInjector, Network, NodeId, Process, RandomFair, RoundRobin, RunOutcome, Scheduler,
+    SnapshotMessage, SnapshotObserver, SnapshotRunner, Synchronous, Trace,
 };
 
 /// Per-epoch fault applier threaded through `drive`'s measured phase: the caller owns the
@@ -260,6 +262,9 @@ pub struct ScenarioOutcome {
     pub ended_at: u64,
     /// The selected metrics (see [`super::spec::METRIC_NAMES`]).
     pub metrics: BTreeMap<String, f64>,
+    /// Per-cut safety verdicts of the measured phase's consistent snapshots (empty without a
+    /// [`super::spec::SnapshotSpec`]).
+    pub snapshots: Vec<CutVerdict>,
     /// The application-event trace of the measured phase.
     pub trace: Trace,
 }
@@ -835,6 +840,7 @@ impl CompiledScenario {
                         started_at: net.now(),
                         ended_at: net.now(),
                         metrics,
+                        snapshots: Vec::new(),
                         trace: std::mem::take(net.trace_mut()),
                     };
                 }
@@ -855,6 +861,7 @@ impl CompiledScenario {
                 started_at: net.now(),
                 ended_at: net.now(),
                 metrics: BTreeMap::new(),
+                snapshots: Vec::new(),
                 trace: std::mem::take(net.trace_mut()),
             };
         }
@@ -926,19 +933,37 @@ impl CompiledScenario {
             (0..net.len()).filter(|&v| net.node(v).is_unsatisfied_requester()).collect();
         let requester_base: Vec<u64> =
             requesters.iter().map(|&v| net.trace().cs_entries(Some(v)) as u64).collect();
+        // Snapshot instrumentation is assembled only when the spec asks for it: the
+        // uninstrumented arms below are exactly the pre-snapshot code paths.
+        let mut snapshots = self.spec.snapshots.as_ref().map(|spec| {
+            let monitor = ObservedCuts { inner: SnapshotMonitor::new(&cfg), sink };
+            (SnapshotRunner::new(spec.to_plan()), monitor)
+        });
         let outcome = match &self.spec.stop {
             StopSpec::Steps { steps } => {
-                treenet::engine::run(&mut *net, &mut daemon, *steps);
+                match &mut snapshots {
+                    None => treenet::engine::run(&mut *net, &mut daemon, *steps),
+                    Some((runner, monitor)) => {
+                        treenet::run_with_snapshots(&mut *net, &mut daemon, *steps, runner, monitor)
+                    }
+                }
                 RunOutcome::Satisfied(net.now())
             }
-            StopSpec::Quiescent { max_steps, grace } => {
-                treenet::run_until_quiescent(&mut *net, &mut daemon, *max_steps, *grace)
-            }
+            StopSpec::Quiescent { max_steps, grace } => match &mut snapshots {
+                None => treenet::run_until_quiescent(&mut *net, &mut daemon, *max_steps, *grace),
+                Some((runner, monitor)) => run_quiescent_snapshots(
+                    &mut *net, &mut daemon, *max_steps, *grace, runner, monitor,
+                ),
+            },
             StopSpec::CsEntries { entries, max_steps } => {
                 let target = base_entries + entries;
-                treenet::run_until(&mut *net, &mut daemon, *max_steps, |net| {
-                    net.trace().cs_entries(None) as u64 >= target
-                })
+                let pred = |net: &Network<P, T>| net.trace().cs_entries(None) as u64 >= target;
+                match &mut snapshots {
+                    None => treenet::run_until(&mut *net, &mut daemon, *max_steps, pred),
+                    Some((runner, monitor)) => treenet::run_until_with_snapshots(
+                        &mut *net, &mut daemon, *max_steps, runner, monitor, pred,
+                    ),
+                }
             }
             StopSpec::Predicate { name, max_steps, sustained_for } => {
                 let pred = |net: &Network<P, T>| match name.as_str() {
@@ -949,13 +974,21 @@ impl CompiledScenario {
                     ),
                     _ => unreachable!("predicate names are validated at compile time"),
                 };
-                if *sustained_for > 0 {
-                    run_sustained(&mut *net, &mut daemon, *max_steps, *sustained_for, pred)
-                } else {
-                    treenet::run_until(&mut *net, &mut daemon, *max_steps, pred)
+                match (&mut snapshots, *sustained_for > 0) {
+                    (None, true) => {
+                        run_sustained(&mut *net, &mut daemon, *max_steps, *sustained_for, pred)
+                    }
+                    (None, false) => treenet::run_until(&mut *net, &mut daemon, *max_steps, pred),
+                    (Some((runner, monitor)), true) => run_sustained_snapshots(
+                        &mut *net, &mut daemon, *max_steps, *sustained_for, runner, monitor, pred,
+                    ),
+                    (Some((runner, monitor)), false) => treenet::run_until_with_snapshots(
+                        &mut *net, &mut daemon, *max_steps, runner, monitor, pred,
+                    ),
                 }
             }
         };
+        let snapshots = snapshots.map(|(_, m)| m.inner.into_verdicts()).unwrap_or_default();
 
         if let Some(sink) = sink {
             sink.progress("measure", 1, 1);
@@ -968,6 +1001,7 @@ impl CompiledScenario {
             warmup_activations,
             base_entries,
             &epochs,
+            &snapshots,
         );
         let ended_at = net.now();
         ScenarioOutcome {
@@ -980,6 +1014,7 @@ impl CompiledScenario {
             // per-trial O(events) copy of a 400k-activation trace is real money.
             trace: std::mem::take(net.trace_mut()),
             metrics,
+            snapshots,
         }
     }
 
@@ -994,6 +1029,7 @@ impl CompiledScenario {
         warmup_activations: Option<u64>,
         base_entries: u64,
         epochs: &[EpochOutcome],
+        snapshots: &[CutVerdict],
     ) -> BTreeMap<String, f64>
     where
         P: ScenarioNode,
@@ -1053,6 +1089,7 @@ impl CompiledScenario {
                 }
                 "epochs_total" | "epochs_converged" | "epoch_convergence_mean"
                 | "epoch_convergence_max" => None, // inserted below for schedule runs
+                "snapshots_taken" | "snapshots_clean" => None, // inserted below for snapshot runs
                 _ => unreachable!("metric names are validated at compile time"),
             };
             if let Some(value) = value {
@@ -1084,7 +1121,115 @@ impl CompiledScenario {
                 }
             }
         }
+        // Snapshot runs always report the cut tally: verifying the cuts is the point of
+        // taking them, whatever else was selected.
+        if self.spec.snapshots.is_some() {
+            metrics.insert("snapshots_taken".into(), snapshots.len() as f64);
+            metrics.insert(
+                "snapshots_clean".into(),
+                snapshots.iter().filter(|v| v.clean()).count() as f64,
+            );
+        }
         metrics
+    }
+}
+
+/// The scenario layer's snapshot observer: [`SnapshotMonitor`] plus per-cut progress
+/// reporting — every completed cut streams out as one unit of the `"snapshot"` phase
+/// (total 0: how many cuts a run takes is an outcome, not a plan).
+struct ObservedCuts<'s> {
+    inner: SnapshotMonitor,
+    sink: Option<&'s dyn ProgressSink>,
+}
+
+impl<P> SnapshotObserver<P> for ObservedCuts<'_>
+where
+    P: ScenarioNode,
+{
+    fn node_state(&mut self, snap: u32, node: NodeId, process: &P) {
+        SnapshotObserver::<P>::node_state(&mut self.inner, snap, node, process);
+    }
+
+    fn in_transit(&mut self, snap: u32, node: NodeId, label: ChannelLabel, msg: &P::Msg) {
+        SnapshotObserver::<P>::in_transit(&mut self.inner, snap, node, label, msg);
+    }
+
+    fn cut_complete(&mut self, snap: u32, initiated_at: u64, completed_at: u64) {
+        SnapshotObserver::<P>::cut_complete(&mut self.inner, snap, initiated_at, completed_at);
+        if let Some(sink) = self.sink {
+            sink.progress("snapshot", self.inner.cuts() as u64, 0);
+        }
+    }
+}
+
+/// [`run_sustained`] with snapshot interposition ([`SnapshotRunner::step`] instead of the
+/// plain step) — same streak accounting, same convergence boundary.
+#[allow(clippy::too_many_arguments)]
+fn run_sustained_snapshots<P, T, S, O>(
+    net: &mut Network<P, T>,
+    daemon: &mut S,
+    max_steps: u64,
+    window: u64,
+    runner: &mut SnapshotRunner,
+    observer: &mut O,
+    mut pred: impl FnMut(&Network<P, T>) -> bool,
+) -> RunOutcome
+where
+    P: Process,
+    P::Msg: SnapshotMessage,
+    T: Topology,
+    S: EventScheduler,
+    O: SnapshotObserver<P>,
+{
+    let mut streak_start = if pred(net) { Some(net.now()) } else { None };
+    for _ in 0..max_steps {
+        runner.step(net, daemon, observer);
+        if pred(net) {
+            let start = *streak_start.get_or_insert(net.now());
+            if net.now() - start >= window {
+                return RunOutcome::Satisfied(start);
+            }
+        } else {
+            streak_start = None;
+        }
+    }
+    RunOutcome::Exhausted(net.now())
+}
+
+/// [`treenet::run_until_quiescent`] with snapshot interposition.  Marker traffic counts as
+/// in-flight, so each cut resets the quiet streak; callers keep the grace below the
+/// snapshot interval (see [`super::spec::SnapshotSpec`]).
+fn run_quiescent_snapshots<P, T, S, O>(
+    net: &mut Network<P, T>,
+    daemon: &mut S,
+    max_steps: u64,
+    grace: u64,
+    runner: &mut SnapshotRunner,
+    observer: &mut O,
+) -> RunOutcome
+where
+    P: Process,
+    P::Msg: SnapshotMessage,
+    T: Topology,
+    S: EventScheduler,
+    O: SnapshotObserver<P>,
+{
+    let mut quiet_for = 0u64;
+    for _ in 0..max_steps {
+        if net.in_flight() == 0 {
+            quiet_for += 1;
+            if quiet_for >= grace {
+                return RunOutcome::Quiescent(net.now());
+            }
+        } else {
+            quiet_for = 0;
+        }
+        runner.step(net, daemon, observer);
+    }
+    if net.in_flight() == 0 {
+        RunOutcome::Quiescent(net.now())
+    } else {
+        RunOutcome::Exhausted(net.now())
     }
 }
 

@@ -10,8 +10,8 @@
 
 use super::spec::{
     CheckSpec, ConfigSpec, CsStateSpec, DaemonSpec, FaultEventSpec, FaultPlanSpec,
-    FaultScheduleSpec, FaultSpec, InitSpec, InjectSpec, MessageSpec, NodeInit, ProtocolSpec,
-    ScenarioSpec, StopSpec, TopologySpec, WarmupSpec, WorkloadSpec,
+    FaultScheduleSpec, FaultSpec, InitSpec, InitiatorSpec, InjectSpec, MessageSpec, NodeInit,
+    ProtocolSpec, ScenarioSpec, SnapshotSpec, StopSpec, TopologySpec, WarmupSpec, WorkloadSpec,
 };
 use super::ScenarioError;
 use serde_json::Value;
@@ -384,6 +384,19 @@ pub fn schedule_from_value(v: &Value) -> Parsed<FaultScheduleSpec> {
     })
 }
 
+fn snapshots_of(v: &Value) -> Parsed<SnapshotSpec> {
+    let ctx = "snapshots";
+    let initiator = {
+        let (tag, _) = variant_of(get(v, "initiator", ctx)?, "snapshots.initiator")?;
+        match tag.as_str() {
+            "Root" => InitiatorSpec::Root,
+            "Rotate" => InitiatorSpec::Rotate,
+            other => return fail(format!("snapshots.initiator: unknown variant `{other}`")),
+        }
+    };
+    Ok(SnapshotSpec { interval: u64_of(get(v, "interval", ctx)?, ctx)?, initiator })
+}
+
 fn stop_of(v: &Value) -> Parsed<StopSpec> {
     let ctx = "stop";
     let (tag, body) = variant_of(v, ctx)?;
@@ -466,6 +479,11 @@ pub fn spec_from_value(v: &Value) -> Parsed<ScenarioSpec> {
         fault_schedule: match v.get("fault_schedule") {
             Some(Value::Null) | None => None,
             Some(field) => Some(schedule_from_value(field)?),
+        },
+        // Optional for backward compatibility with pre-snapshot spec documents.
+        snapshots: match v.get("snapshots") {
+            Some(Value::Null) | None => None,
+            Some(field) => Some(snapshots_of(field)?),
         },
         stop: stop_of(get(v, "stop", ctx)?)?,
         metrics: match v.get("metrics") {

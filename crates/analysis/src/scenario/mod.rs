@@ -58,9 +58,9 @@ pub use presets::{
 };
 pub use spec::{
     is_metric_name, CheckSpec, ConfigSpec, CsStateSpec, DaemonSpec, FaultEventSpec,
-    FaultPlanSpec, FaultScheduleSpec, FaultSpec, InitSpec, InjectSpec, MessageSpec, NodeInit,
-    ProtocolSpec, ScenarioBuilder, ScenarioSpec, StopSpec, TopologySpec, WarmupSpec,
-    WorkloadSpec, DEFAULT_METRICS, METRIC_NAMES,
+    FaultPlanSpec, FaultScheduleSpec, FaultSpec, InitSpec, InitiatorSpec, InjectSpec,
+    MessageSpec, NodeInit, ProtocolSpec, ScenarioBuilder, ScenarioSpec, SnapshotSpec, StopSpec,
+    TopologySpec, WarmupSpec, WorkloadSpec, DEFAULT_METRICS, METRIC_NAMES,
 };
 
 use std::fmt;

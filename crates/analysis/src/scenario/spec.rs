@@ -549,6 +549,54 @@ pub struct FaultScheduleSpec {
     pub window: Option<u64>,
 }
 
+/// Which node initiates each snapshot — the serializable mirror of
+/// [`treenet::InitiatorPolicy`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InitiatorSpec {
+    /// The root (node 0) initiates every snapshot.
+    Root,
+    /// Snapshot `i` is initiated by node `i mod n`.
+    Rotate,
+}
+
+impl InitiatorSpec {
+    /// The simulator-side policy.
+    pub fn to_policy(self) -> treenet::InitiatorPolicy {
+        match self {
+            InitiatorSpec::Root => treenet::InitiatorPolicy::Root,
+            InitiatorSpec::Rotate => treenet::InitiatorPolicy::Rotate,
+        }
+    }
+}
+
+/// Periodic in-simulation Chandy–Lamport snapshots during the measured phase: every
+/// `interval` activations a consistent cut is assembled on the live channels (marker
+/// messages FIFO with protocol traffic) and handed to the cut-level safety monitor
+/// ([`crate::snapshot::SnapshotMonitor`]), which asserts the (ℓ, 1, 1) token census and the
+/// per-process `k` bounds on every cut.  Runs report the `snapshots_taken` and
+/// `snapshots_clean` metrics and carry the per-cut verdicts in
+/// [`crate::scenario::ScenarioOutcome::snapshots`].
+///
+/// Marker traffic is observability-only (never delivered to protocol code, never counted as
+/// tokens), but it does occupy channels: with a [`StopSpec::Quiescent`] stop, keep the
+/// quiescence grace shorter than the snapshot interval or in-flight markers will keep
+/// interrupting the quiet streak.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotSpec {
+    /// Activations between the completion of one cut and the initiation of the next (and
+    /// before the first).  Must be positive.
+    pub interval: u64,
+    /// Initiator choice per snapshot.
+    pub initiator: InitiatorSpec,
+}
+
+impl SnapshotSpec {
+    /// The simulator-side plan.
+    pub fn to_plan(&self) -> treenet::SnapshotPlan {
+        treenet::SnapshotPlan { interval: self.interval, initiator: self.initiator.to_policy() }
+    }
+}
+
 /// When the measured (main) phase of a run stops.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum StopSpec {
@@ -636,7 +684,7 @@ impl Default for CheckSpec {
 }
 
 /// Metric names the sim/harness backends can compute (see [`ScenarioSpec::metrics`]).
-pub const METRIC_NAMES: [&str; 18] = [
+pub const METRIC_NAMES: [&str; 20] = [
     "steps",
     "satisfied",
     "converged",
@@ -655,6 +703,8 @@ pub const METRIC_NAMES: [&str; 18] = [
     "epochs_converged",
     "epoch_convergence_mean",
     "epoch_convergence_max",
+    "snapshots_taken",
+    "snapshots_clean",
 ];
 
 /// True for names the sim/harness backends can emit: every [`METRIC_NAMES`] entry plus the
@@ -701,6 +751,9 @@ pub struct ScenarioSpec {
     /// Optional multi-epoch fault campaign run between the (warmup + one-shot fault)
     /// preamble and the measured phase, with per-epoch re-convergence measurement.
     pub fault_schedule: Option<FaultScheduleSpec>,
+    /// Optional periodic consistent snapshots (with cut-level safety verdicts) during the
+    /// measured phase.
+    pub snapshots: Option<SnapshotSpec>,
     /// Stop condition of the measured phase.
     pub stop: StopSpec,
     /// Metric selection (empty = [`DEFAULT_METRICS`]).
@@ -915,6 +968,11 @@ impl ScenarioSpec {
                 );
             }
         }
+        if let Some(snapshots) = &self.snapshots {
+            if snapshots.interval == 0 {
+                return err("snapshot interval must be positive".into());
+            }
+        }
         for metric in &self.metrics {
             if !METRIC_NAMES.contains(&metric.as_str()) {
                 return err(format!("unknown metric {metric:?} (known: {METRIC_NAMES:?})"));
@@ -981,6 +1039,7 @@ impl ScenarioBuilder {
                 warmup: None,
                 fault: None,
                 fault_schedule: None,
+                snapshots: None,
                 stop: StopSpec::Steps { steps: 10_000 },
                 metrics: Vec::new(),
                 properties: Vec::new(),
@@ -1055,6 +1114,19 @@ impl ScenarioBuilder {
     /// Attaches a multi-epoch fault campaign (see [`FaultScheduleSpec`]).
     pub fn fault_schedule(mut self, schedule: FaultScheduleSpec) -> Self {
         self.spec.fault_schedule = Some(schedule);
+        self
+    }
+
+    /// Enables root-initiated consistent snapshots every `interval` activations of the
+    /// measured phase.
+    pub fn snapshots(mut self, interval: u64) -> Self {
+        self.spec.snapshots = Some(SnapshotSpec { interval, initiator: InitiatorSpec::Root });
+        self
+    }
+
+    /// Sets the full snapshot spec.
+    pub fn snapshot_spec(mut self, snapshots: SnapshotSpec) -> Self {
+        self.spec.snapshots = Some(snapshots);
         self
     }
 

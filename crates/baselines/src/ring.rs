@@ -239,7 +239,8 @@ impl Process for RingSsNode {
                     self.nonroot_handle_ctrl(c, r, pt, ppr, ctx);
                 }
             }
-            Message::Garbage(_) => {}
+            // Garbage and stray snapshot markers alike: not protocol traffic, discarded.
+            Message::Garbage(_) | Message::Marker(_) => {}
         }
     }
 
@@ -321,6 +322,7 @@ pub fn count_tokens(net: &Network<RingSsNode, Ring>) -> klex_core::TokenCensus {
             Message::PrioT => census.priority += 1,
             Message::Ctrl { .. } => census.ctrl += 1,
             Message::Garbage(_) => census.garbage += 1,
+            Message::Marker(_) => {}
         }
     }
     for node in net.nodes() {

@@ -24,15 +24,20 @@
 //! recorded speedup is the allocation traffic saved per trial.
 
 use analysis::harness::host_cores;
+use analysis::SnapshotMonitor;
 use bench::history::{Entry, History};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use klex_core::{ss, KlConfig, SsNode};
+use serde_json::Value;
 use std::path::Path;
 use std::time::Instant;
 use topology::OrientedTree;
 use treenet::app::BoxedDriver;
 use treenet::scheduler::baseline;
-use treenet::{engine, run_for, Network, RandomFair, Restartable, RoundRobin, Synchronous};
+use treenet::{
+    engine, run_for, run_with_snapshots, InitiatorPolicy, Network, RandomFair, Restartable,
+    RoundRobin, SnapshotPlan, SnapshotRunner, Synchronous,
+};
 use workloads::UniformRandom;
 
 const NODES: usize = 1023;
@@ -266,14 +271,112 @@ fn emit_engine_baseline(_c: &mut Criterion) {
     );
 }
 
-/// The metrics the history's `trend` block tracks.
+/// The metrics the history's `trend` block tracks.  Entries of the two bench series in
+/// the file carry disjoint key sets, so each key's trend draws only on its own series
+/// (`History::recent` skips entries missing a key); `snapshot_overhead_pct` is tracked
+/// across both scale points because the overhead bound is size-independent.
 const TREENET_TREND_KEYS: &[&str] = &[
     "headline_speedup",
     "random_fair.fused_steps_per_sec",
     "round_robin.fused_steps_per_sec",
     "synchronous.fused_steps_per_sec",
     "trial_reuse.speedup_reuse_vs_rebuild",
+    "snapshot_overhead_pct",
 ];
 
-criterion_group!(benches, bench_step_throughput, emit_engine_baseline);
+/// The snapshot-scale instance: the self-stabilizing protocol on an `n`-node binary tree
+/// under the arena/SoA network layout.  The root timeout is short enough that the
+/// controller bootstraps tokens within the warmup horizon (legitimacy lands near 68n
+/// steps), so the measured window snapshots a *stabilized* network and every completed
+/// cut is expected clean.
+fn scale_net(n: usize) -> Network<SsNode, OrientedTree> {
+    let tree = topology::builders::binary(n);
+    let cfg = KlConfig::new(3, 5, n).with_timeout(50);
+    ss::network(tree, cfg, |id| {
+        Box::new(UniformRandom::new(1_000 + id as u64, 0.05, 3, 20)) as BoxedDriver
+    })
+}
+
+/// Measures one scale point: steps/second of the fused engine plain versus with periodic
+/// consistent snapshots at the default `klex --snapshots` interval (128n activations,
+/// counted from each cut's completion).  A cut's assembly takes roughly 40–50n activations
+/// under `RandomFair` — markers travel FIFO behind protocol traffic, so the last channel
+/// closures wait on the daemon draining the queues ahead of them — and every delivery
+/// during assembly pays the in-transit recording cost.  The 128n idle span between cuts
+/// keeps that recording duty cycle near 25%, holding the whole-run overhead under the 15%
+/// budget this entry tracks.  Appends a dated entry to `BENCH_treenet.json`.
+fn snapshot_scale_entry(n: usize, steps: u64) -> serde_json::Value {
+    let warmup = (80 * n) as u64;
+    let interval = 128 * n as u64;
+
+    let mut plain_net = scale_net(n);
+    let mut plain_daemon = RandomFair::new(42);
+    engine::run(&mut plain_net, &mut plain_daemon, warmup);
+    let start = Instant::now();
+    engine::run(&mut plain_net, &mut plain_daemon, steps);
+    let plain_rate = steps as f64 / start.elapsed().as_secs_f64();
+
+    let mut snap_net = scale_net(n);
+    let mut snap_daemon = RandomFair::new(42);
+    engine::run(&mut snap_net, &mut snap_daemon, warmup);
+    let cfg = KlConfig::new(3, 5, n);
+    let mut runner =
+        SnapshotRunner::new(SnapshotPlan { interval, initiator: InitiatorPolicy::Rotate });
+    let mut monitor = SnapshotMonitor::new(&cfg);
+    let start = Instant::now();
+    run_with_snapshots(&mut snap_net, &mut snap_daemon, steps, &mut runner, &mut monitor);
+    let snap_rate = steps as f64 / start.elapsed().as_secs_f64();
+
+    let overhead_pct = (1.0 - snap_rate / plain_rate) * 100.0;
+    let clean = monitor.verdicts().iter().filter(|v| v.clean()).count();
+    let ratio = |x: f64| (x * 100.0).round() / 100.0;
+    Entry::new()
+        .str("bench", "treenet_snapshot_scale")
+        .str("instance", &format!("ss k=3 l=5 on binary tree n={n}, UniformRandom(p=0.05)"))
+        .int("nodes", n as i128)
+        .int("measured_steps", steps as i128)
+        .int("snapshot_interval", interval as i128)
+        .num("plain_steps_per_sec", plain_rate.round())
+        .num("snapshot_steps_per_sec", snap_rate.round())
+        .num("snapshot_overhead_pct", ratio(overhead_pct))
+        .int("cuts_completed", runner.cuts_completed() as i128)
+        .int("cuts_clean", clean as i128)
+        .int("markers_sent", runner.markers_sent() as i128)
+        .build()
+}
+
+/// Records the snapshot-overhead scale sweep (n = 10⁵ and 10⁶ by default) to
+/// `BENCH_treenet.json`.  Override the sizes with `TREENET_SNAPSHOT_NODES`
+/// (comma-separated) and the per-size measured horizon with `TREENET_SNAPSHOT_STEPS`
+/// (default 400n — slightly over two full record+idle snapshot cycles, so every run
+/// completes at least two cuts and the measured window reflects the steady-state duty
+/// cycle rather than a window that is all recording or all idle).
+fn emit_snapshot_scale(_c: &mut Criterion) {
+    let sizes: Vec<usize> = std::env::var("TREENET_SNAPSHOT_NODES")
+        .map(|s| s.split(',').filter_map(|v| v.trim().parse().ok()).collect())
+        .unwrap_or_else(|_| vec![100_000, 1_000_000]);
+    let steps_override: Option<u64> =
+        std::env::var("TREENET_SNAPSHOT_STEPS").ok().and_then(|s| s.parse().ok());
+
+    let path = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_treenet.json"));
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock after the epoch")
+        .as_secs();
+    for n in sizes {
+        let steps = steps_override.unwrap_or(400 * n as u64);
+        let entry = snapshot_scale_entry(n, steps);
+        let overhead = entry.get("snapshot_overhead_pct").and_then(Value::as_f64);
+        let cuts = entry.get("cuts_completed").and_then(Value::as_u64).unwrap_or(0);
+        let mut history = History::load(path, "treenet_engine").expect("load BENCH_treenet.json");
+        history.append_dated(entry, now);
+        history.save(path, TREENET_TREND_KEYS).expect("write BENCH_treenet.json");
+        eprintln!(
+            "BENCH_treenet.json: snapshot scale n={n}: {cuts} cuts, overhead {:.2}%",
+            overhead.unwrap_or(f64::NAN),
+        );
+    }
+}
+
+criterion_group!(benches, bench_step_throughput, emit_engine_baseline, emit_snapshot_scale);
 criterion_main!(benches);

@@ -26,7 +26,8 @@
 
 use analysis::harness::{render_csv, render_jsonl, render_markdown_table};
 use analysis::scenario::{
-    preset, schedule_from_value, CompiledScenario, ScenarioSpec, PRESET_NAMES,
+    preset, schedule_from_value, CompiledScenario, InitiatorSpec, ScenarioSpec, SnapshotSpec,
+    PRESET_NAMES,
 };
 use bench::runner::{run_rows, Backend, RunRequest};
 use bench::serve::{self, ServeOptions};
@@ -65,6 +66,11 @@ fn usage() -> &'static str {
                                                      (states_per_sec, arena_bytes)\n\
        --fault-schedule FILE.json                    override the spec's fault campaign\n\
                                                      ({seed, epochs, max_steps[, window]})\n\
+       --snapshots                                   periodic consistent snapshots with\n\
+                                                     cut-level safety verdicts (default\n\
+                                                     interval: 128n activations, min 1024)\n\
+       --snapshot-interval N                         like --snapshots with an explicit\n\
+                                                     interval of N activations\n\
      \n\
      OPTIONS (fuzz):\n\
        --smoke                                       the fixed-seed CI campaign\n\
@@ -144,9 +150,27 @@ fn main() -> ExitCode {
     }
 }
 
+/// Default snapshot cadence for `--snapshots`: one cut every 128 activations per node,
+/// floored so tiny topologies still leave room for each cut to complete before the next.
+///
+/// The interval counts from each cut's *completion*, and a cut's assembly takes roughly
+/// 40–50 activations per node under fair random scheduling (the last markers wait for the
+/// daemon to drain the queues ahead of them), during which every delivery pays the
+/// in-transit recording cost.  128n keeps that recording duty cycle near 25%, which holds
+/// the whole-run overhead comfortably under the 15% budget the scale benchmark tracks.
+fn default_snapshot_interval(nodes: usize) -> u64 {
+    (128 * nodes as u64).max(1024)
+}
+
 /// Resolves a scenario source: a named preset, or a path to a JSON spec file.  A
-/// `--fault-schedule` file overrides the spec's campaign before validation.
-fn load_scenario(source: &str, schedule_path: Option<&str>) -> Result<CompiledScenario, String> {
+/// `--fault-schedule` file overrides the spec's campaign before validation, and
+/// `--snapshots` / `--snapshot-interval` (`Some(None)` / `Some(Some(n))`) attach a
+/// [`SnapshotSpec`] the same way.
+fn load_scenario(
+    source: &str,
+    schedule_path: Option<&str>,
+    snapshots: Option<Option<u64>>,
+) -> Result<CompiledScenario, String> {
     let mut spec = if let Some(spec) = preset(source) {
         spec
     } else {
@@ -162,6 +186,10 @@ fn load_scenario(source: &str, schedule_path: Option<&str>) -> Result<CompiledSc
         let schedule = schedule_from_value(&value).map_err(|e| e.to_string())?;
         spec.fault_schedule = Some(schedule);
     }
+    if let Some(interval) = snapshots {
+        let interval = interval.unwrap_or_else(|| default_snapshot_interval(spec.topology.len()));
+        spec.snapshots = Some(SnapshotSpec { interval, initiator: InitiatorSpec::Root });
+    }
     spec.compile().map_err(|e| e.to_string())
 }
 
@@ -173,6 +201,7 @@ fn run_command(args: &[String]) -> ExitCode {
     let mut request = RunRequest::default();
     let mut format = "markdown".to_string();
     let mut schedule_path: Option<String> = None;
+    let mut snapshots: Option<Option<u64>> = None;
     let mut iter = args[1..].iter();
     while let Some(arg) = iter.next() {
         let mut value = |flag: &str| {
@@ -196,6 +225,25 @@ fn run_command(args: &[String]) -> ExitCode {
             "--fault-schedule" => {
                 value("--fault-schedule").map(|v| schedule_path = Some(v))
             }
+            "--snapshots" => {
+                // An explicit `--snapshot-interval` wins regardless of flag order.
+                if snapshots.is_none() {
+                    snapshots = Some(None);
+                }
+                Ok(())
+            }
+            "--snapshot-interval" => value("--snapshot-interval").and_then(|v| {
+                v.parse::<u64>()
+                    .map_err(|e| e.to_string())
+                    .and_then(|v| {
+                        if v == 0 {
+                            Err("--snapshot-interval must be positive".to_string())
+                        } else {
+                            snapshots = Some(Some(v));
+                            Ok(())
+                        }
+                    })
+            }),
             other => Err(format!("unknown option `{other}`")),
         };
         if let Err(message) = result {
@@ -209,7 +257,7 @@ fn run_command(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let scenario = match load_scenario(source, schedule_path.as_deref()) {
+    let scenario = match load_scenario(source, schedule_path.as_deref(), snapshots) {
         Ok(scenario) => scenario,
         Err(message) => {
             eprintln!("{message}");

@@ -104,10 +104,16 @@ impl History {
     }
 
     /// The values of (dotted-path) `key` over the last [`TREND_WINDOW`] entries, oldest
-    /// first; entries missing the key are skipped.
+    /// first; entries missing the key — or carrying a non-finite value (a NaN/Infinity that
+    /// an earlier writer rendered as `null`, or that a corrupt entry smuggled in) — are
+    /// skipped, so medians and ratios are always computed over real data.
     pub fn recent(&self, key: &str) -> Vec<f64> {
         let start = self.entries.len().saturating_sub(TREND_WINDOW);
-        self.entries[start..].iter().filter_map(|entry| lookup(entry, key)).collect()
+        self.entries[start..]
+            .iter()
+            .filter_map(|entry| lookup(entry, key))
+            .filter(|v| v.is_finite())
+            .collect()
     }
 
     /// Median of `key` over the last [`TREND_WINDOW`] entries; `None` when no entry has it.
@@ -127,7 +133,11 @@ impl History {
             row.insert("n".to_string(), Value::Integer(values.len() as i128));
             row.insert("last".to_string(), Value::Number(last));
             row.insert("median".to_string(), Value::Number(med));
-            let ratio = if med != 0.0 { last / med } else { 0.0 };
+            // Guarded ratio: a zero median (an all-zero metric window) or any non-finite
+            // intermediate degrades to 0.0 — "no trend" — instead of writing NaN/Infinity
+            // into the document.  (`med != 0.0` alone is not enough: NaN passes it.)
+            let ratio = last / med;
+            let ratio = if med != 0.0 && ratio.is_finite() { ratio } else { 0.0 };
             row.insert("last_vs_median".to_string(), Value::Number(ratio));
             out.insert(key.to_string(), Value::Object(row));
         }
@@ -394,6 +404,48 @@ mod tests {
         assert_eq!(history.recent_median("missing"), None);
         assert_eq!(utc_date(0), "1970-01-01");
         assert_eq!(utc_date(1_754_524_800), "2025-08-07");
+    }
+
+    #[test]
+    fn zero_valued_window_yields_a_finite_trend_and_a_loadable_document() {
+        // Regression: a metric whose whole window is zero used to produce last/median =
+        // 0/0 = NaN in the trend block; with NaN values in entries the `med != 0.0` guard
+        // passed and the non-finite ratio reached the renderer.
+        let dir = std::env::temp_dir().join(format!("klex-history-zero-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("zero.json");
+        let mut history = History::new("treenet_engine");
+        for _ in 0..4 {
+            history.append(Entry::new().num("steps_per_sec", 0.0).build());
+        }
+        let trend = history.trend(&["steps_per_sec"]);
+        assert_eq!(trend["steps_per_sec"]["median"], 0.0);
+        assert_eq!(trend["steps_per_sec"]["last_vs_median"], 0.0, "0/0 must not reach NaN");
+        history.save(&path, &["steps_per_sec"]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(!text.contains("NaN") && !text.contains("inf"), "document stays valid JSON");
+        // Every later load sees a clean document, not a corrupted one.
+        let reloaded = History::load(&path, "treenet_engine").unwrap();
+        assert_eq!(reloaded.entries.len(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_finite_values_are_excluded_from_windows_and_ratios() {
+        let mut history = History::new("b");
+        history.append(Entry::new().num("rate", 100.0).build());
+        history.append(Entry::new().num("rate", f64::NAN).build());
+        history.append(Entry::new().num("rate", f64::INFINITY).build());
+        history.append(Entry::new().num("rate", 300.0).build());
+        assert_eq!(history.recent("rate"), vec![100.0, 300.0], "non-finite values skipped");
+        assert_eq!(history.recent_median("rate"), Some(200.0));
+        let trend = history.trend(&["rate"]);
+        assert_eq!(trend["rate"]["n"], 2u64);
+        assert_eq!(trend["rate"]["last_vs_median"], 1.5);
+        // A window that is *only* NaN has no usable data: the key is omitted entirely.
+        let mut nan_only = History::new("b");
+        nan_only.append(Entry::new().num("rate", f64::NAN).build());
+        assert_eq!(nan_only.trend(&["rate"]).get("rate"), None);
     }
 
     #[test]

@@ -53,37 +53,67 @@ const WATCH_BACKOFF_START_MS: u64 = 200;
 /// Reconnection-delay ceiling.
 const WATCH_BACKOFF_CAP_MS: u64 = 5_000;
 
+/// The `(boot, seq)` stamp the daemon appends to every event line, when present.
+fn event_key(line: &str) -> Option<(u64, u64)> {
+    let doc: Value = serde_json::from_str(line).ok()?;
+    let boot = doc.get("boot").and_then(Value::as_u64)?;
+    let seq = doc.get("seq").and_then(Value::as_u64)?;
+    Some((boot, seq))
+}
+
 /// `GET /jobs/<id>/stream`: feeds every JSONL line to `on_line` as it arrives, then
 /// returns the job's final status (via [`status`]).
 ///
 /// A dropped connection does not end the watch: the stream is reconnected with capped
 /// exponential backoff (200 ms doubling to 5 s, `WATCH_MAX_ATTEMPTS` consecutive
 /// failures before giving up).  The daemon replays a job's whole event buffer on every
-/// stream request, so reconnects skip the lines already delivered — `on_line` sees each
-/// event exactly once.  A drop after the job reached a terminal state is not an error;
-/// the final status is fetched and returned as if the stream had ended cleanly.
+/// stream request; reconnect dedup is keyed on the `(boot, seq)` stamp each event line
+/// carries, so `on_line` sees each event exactly once even when the reconnect lands on
+/// a *different daemon incarnation* that reuses the job id (a bounced server's fresh
+/// events share seq numbers with the old buffer but not its boot id — a delivered-count
+/// cursor would silently swallow them).  Unstamped lines (the result rows appended after
+/// a terminal state) are deduped by position among unstamped lines.  A drop after the
+/// job reached a terminal state is not an error; the final status is fetched and
+/// returned as if the stream had ended cleanly.
 pub fn watch(
     addr: &str,
     id: u64,
     on_line: &mut dyn FnMut(&str),
 ) -> Result<Value, String> {
-    let mut delivered = 0usize;
+    // Newest stamped line delivered; replays are lines with the same boot and seq ≤ this.
+    let mut last_seen: Option<(u64, u64)> = None;
+    // Unstamped (result-row) lines delivered so far — replayed verbatim from the start
+    // of the payload on every reconnect, so a plain position cursor is exact for them.
+    let mut rows_delivered = 0usize;
     let mut attempts = 0u32;
     let mut backoff = WATCH_BACKOFF_START_MS;
     loop {
         let mut fresh = 0usize;
-        let mut replayed = 0usize;
+        let mut rows_replayed = 0usize;
         let mut relay = |line: &str| {
-            if replayed < delivered {
-                replayed += 1;
-            } else {
-                fresh += 1;
-                on_line(line);
+            match event_key(line) {
+                Some((boot, seq)) => {
+                    let replay =
+                        matches!(last_seen, Some((b, s)) if boot == b && seq <= s);
+                    if !replay {
+                        last_seen = Some((boot, seq));
+                        fresh += 1;
+                        on_line(line);
+                    }
+                }
+                None => {
+                    if rows_replayed < rows_delivered {
+                        rows_replayed += 1;
+                    } else {
+                        rows_delivered += 1;
+                        fresh += 1;
+                        on_line(line);
+                    }
+                }
             }
         };
         let result =
             http::request(addr, "GET", &format!("/jobs/{id}/stream"), None, Some(&mut relay));
-        delivered += fresh;
         match result {
             Ok(response) if response.status == 200 => return status(addr, id),
             Ok(response) => return Err(format!("stream rejected ({})", response.status)),

@@ -11,9 +11,20 @@ use crate::fuzz::FuzzOptions;
 use crate::runner::RunRequest;
 use analysis::scenario::ScenarioSpec;
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
+
+/// Distinguishes daemon incarnations within and across processes.  Every event line
+/// carries it, so a watcher that reconnects to a *different* daemon (same address, same
+/// job id) can tell the new daemon's events apart from a replay of lines it already saw.
+static BOOTS: AtomicU64 = AtomicU64::new(0);
+
+fn next_boot_id() -> u64 {
+    // The process id separates daemons across restarts; the counter separates daemons
+    // started within one process (the tests bounce servers without forking).
+    ((std::process::id() as u64) << 20) | (BOOTS.fetch_add(1, Ordering::Relaxed) + 1)
+}
 
 /// What one job executes.
 #[derive(Clone, Debug)]
@@ -132,6 +143,8 @@ pub struct JobTable {
     /// Wakes watchers blocked in [`JobTable::wait_events`].
     watchers: Condvar,
     queue_cap: usize,
+    /// This daemon incarnation's id, stamped into every event line.
+    boot: u64,
 }
 
 impl JobTable {
@@ -142,11 +155,23 @@ impl JobTable {
             worker_wake: Condvar::new(),
             watchers: Condvar::new(),
             queue_cap: queue_cap.max(1),
+            boot: next_boot_id(),
         }
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, TableState> {
         self.state.lock().expect("unpoisoned job table")
+    }
+
+    /// Appends `line` to a job's event log, stamped with this daemon's boot id and the
+    /// line's position as a per-job sequence number.  Watchers dedup replayed lines on
+    /// the `(boot, seq)` key, so a reconnect — even one that lands on a different daemon
+    /// incarnation reusing the same job id — delivers each event exactly once.
+    fn append_event(&self, job: &mut Job, mut line: String) {
+        debug_assert!(line.ends_with('}'), "event lines are single JSON objects");
+        line.pop();
+        line.push_str(&format!(",\"boot\":{},\"seq\":{}}}", self.boot, job.events.len()));
+        job.events.push(line);
     }
 
     /// Enqueues a job, returning its id and cancel flag.
@@ -195,7 +220,8 @@ impl JobTable {
                     continue;
                 }
                 job.state = JobState::Running;
-                job.events.push(event_line("state", &[("state", EventValue::Str("running"))]));
+                let line = event_line("state", &[("state", EventValue::Str("running"))]);
+                self.append_event(job, line);
                 let claimed = (id, job.kind.clone(), Arc::clone(&job.cancel));
                 drop(state);
                 self.watchers.notify_all();
@@ -212,7 +238,7 @@ impl JobTable {
             // Bound the per-job replay buffer; the stride-based throttling in the sink
             // keeps normal jobs far below this.
             if job.events.len() < 100_000 {
-                job.events.push(line);
+                self.append_event(job, line);
             }
         }
         drop(state);
@@ -238,7 +264,8 @@ impl JobTable {
                 }
             }
             let label = job.state.label();
-            job.events.push(event_line("state", &[("state", EventValue::Str(label))]));
+            let line = event_line("state", &[("state", EventValue::Str(label))]);
+            self.append_event(job, line);
         }
         drop(state);
         self.watchers.notify_all();
@@ -253,7 +280,8 @@ impl JobTable {
         job.cancel.store(true, Ordering::Relaxed);
         if job.state == JobState::Queued {
             job.state = JobState::Cancelled;
-            job.events.push(event_line("state", &[("state", EventValue::Str("cancelled"))]));
+            let line = event_line("state", &[("state", EventValue::Str("cancelled"))]);
+            self.append_event(job, line);
         }
         let after = job.state;
         // A cancelled queued job must stop occupying queue capacity.
@@ -346,7 +374,8 @@ impl JobTable {
             job.cancel.store(true, Ordering::Relaxed);
             if job.state == JobState::Queued {
                 job.state = JobState::Cancelled;
-                job.events.push(event_line("state", &[("state", EventValue::Str("cancelled"))]));
+                let line = event_line("state", &[("state", EventValue::Str("cancelled"))]);
+                self.append_event(job, line);
             }
         }
         drop(state);
@@ -465,8 +494,18 @@ mod tests {
         assert_eq!(state, JobState::Running);
         table.finish(id, Err("boom".into()));
         let (more, state) = table.wait_events(id, 2, Duration::from_millis(10)).unwrap();
-        assert_eq!(more, vec![event_line("state", &[("state", EventValue::Str("failed"))])]);
+        assert_eq!(more.len(), 1);
+        assert!(more[0].starts_with("{\"event\":\"state\",\"state\":\"failed\""));
         assert_eq!(state, JobState::Failed);
         assert!(table.wait_events(99, 0, Duration::from_millis(1)).is_none());
+
+        // Every line carries the daemon's boot id and its index as a sequence number —
+        // the key `serve::client::watch` dedups replayed lines on.
+        let (all, _) = table.wait_events(id, 0, Duration::ZERO).unwrap();
+        let boot = format!(",\"boot\":{},", table.boot);
+        for (seq, line) in all.iter().enumerate() {
+            assert!(line.contains(&boot), "missing boot id: {line}");
+            assert!(line.ends_with(&format!(",\"seq\":{seq}}}")), "bad seq: {line}");
+        }
     }
 }

@@ -254,6 +254,8 @@ fn event_stride(phase: &str) -> u64 {
         // Fault-campaign epochs are few and each marks a measured re-convergence: every
         // one is worth a stream event.
         "epoch" => 1,
+        // Each completed consistent cut carries a safety verdict: stream them all.
+        "snapshot" => 1,
         _ => 1,
     }
 }

@@ -414,6 +414,10 @@ fn write_message(out: &mut Vec<u8>, msg: &Message) {
             out.push(5);
             out.extend_from_slice(&x.to_le_bytes());
         }
+        Message::Marker(s) => {
+            out.push(6);
+            out.extend_from_slice(&s.to_le_bytes());
+        }
     }
 }
 
@@ -437,6 +441,11 @@ fn read_message(cursor: &mut &[u8]) -> Message {
             let x = u16::from_le_bytes([cursor[0], cursor[1]]);
             *cursor = &cursor[2..];
             Message::Garbage(x)
+        }
+        6 => {
+            let s = u32::from_le_bytes([cursor[0], cursor[1], cursor[2], cursor[3]]);
+            *cursor = &cursor[4..];
+            Message::Marker(s)
         }
         other => panic!("corrupt packed configuration: message tag {other}"),
     }

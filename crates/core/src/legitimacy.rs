@@ -51,6 +51,9 @@ where
             Message::PrioT => census.priority += 1,
             Message::Ctrl { .. } => census.ctrl += 1,
             Message::Garbage(_) => census.garbage += 1,
+            // Snapshot markers are observability traffic, not tokens: they exist only while
+            // a cut is being assembled and never enter the census.
+            Message::Marker(_) => {}
         }
     }
     for node in net.nodes() {

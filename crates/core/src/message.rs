@@ -3,7 +3,7 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use treenet::{ArbitraryMessage, MessageKind};
+use treenet::{ArbitraryMessage, MessageKind, SnapshotMessage};
 
 /// A message of the k-out-of-ℓ exclusion protocol, `⟨type, value…⟩` in the paper's notation.
 ///
@@ -41,6 +41,10 @@ pub enum Message {
     },
     /// An arbitrary corrupted message (never produced by correct protocol code).
     Garbage(u16),
+    /// A Chandy–Lamport snapshot marker carrying its snapshot id.  Markers are consumed by
+    /// the snapshot layer ([`treenet::SnapshotRunner`]) before protocol code sees them and
+    /// are never counted as tokens — the token census of a cut ignores them entirely.
+    Marker(u32),
 }
 
 impl Message {
@@ -73,6 +77,20 @@ impl MessageKind for Message {
             Message::PrioT => "PrioT",
             Message::Ctrl { .. } => "ctrl",
             Message::Garbage(_) => "garbage",
+            Message::Marker(_) => "marker",
+        }
+    }
+}
+
+impl SnapshotMessage for Message {
+    fn marker(snap: u32) -> Self {
+        Message::Marker(snap)
+    }
+
+    fn as_marker(&self) -> Option<u32> {
+        match self {
+            Message::Marker(snap) => Some(*snap),
+            _ => None,
         }
     }
 }
@@ -80,7 +98,9 @@ impl MessageKind for Message {
 impl ArbitraryMessage for Message {
     fn arbitrary(rng: &mut StdRng) -> Self {
         // Faults can forge any message type, including plausible-looking tokens and
-        // controllers with arbitrary field values.
+        // controllers with arbitrary field values.  Markers are deliberately excluded: the
+        // range 0..5 is pinned by the fuzz corpus signatures, and forging markers would let
+        // fault injection confuse the snapshot layer rather than the protocol under test.
         match rng.gen_range(0..5) {
             0 => Message::ResT,
             1 => Message::PushT,
@@ -109,6 +129,7 @@ mod tests {
             Message::PrioT,
             Message::Ctrl { c: 0, r: false, pt: 0, ppr: 0 },
             Message::Garbage(9),
+            Message::Marker(0),
         ];
         let kinds: std::collections::BTreeSet<&str> = msgs.iter().map(|m| m.kind()).collect();
         assert_eq!(kinds.len(), msgs.len());
@@ -122,6 +143,15 @@ mod tests {
         assert!(Message::Ctrl { c: 1, r: true, pt: 2, ppr: 1 }.is_ctrl());
         assert!(!Message::Garbage(0).is_ctrl());
         assert!(!Message::ResT.is_pusher());
+    }
+
+    #[test]
+    fn marker_roundtrips_through_the_snapshot_trait() {
+        let m = <Message as SnapshotMessage>::marker(7);
+        assert_eq!(m, Message::Marker(7));
+        assert_eq!(m.as_marker(), Some(7));
+        assert_eq!(Message::ResT.as_marker(), None);
+        assert_eq!(m.kind(), "marker");
     }
 
     #[test]

@@ -518,6 +518,11 @@ impl Process for SsNode {
             Message::Garbage(_) => {
                 // Not a protocol message: consumed and discarded.
             }
+            Message::Marker(_) => {
+                // Snapshot markers are consumed by the snapshot layer before delivery; one
+                // reaching protocol code (e.g. snapshots disabled mid-flight) is treated
+                // like garbage: consumed and discarded.
+            }
         }
     }
 

@@ -15,6 +15,7 @@
 //! | `PrioT` | `0x03` | 1 byte |
 //! | `Ctrl { c, r, pt, ppr }` | `0x04, c: u64, r: u8, pt: u64, ppr: u8` | 19 bytes |
 //! | `Garbage(x)` | `0x05, x: u16` | 3 bytes |
+//! | `Marker(s)` | `0x06, s: u32` | 5 bytes |
 
 use crate::message::Message;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -29,6 +30,8 @@ const TAG_PRIO: u8 = 0x03;
 const TAG_CTRL: u8 = 0x04;
 /// Tag byte of a garbage frame.
 const TAG_GARBAGE: u8 = 0x05;
+/// Tag byte of a snapshot-marker frame.
+const TAG_MARKER: u8 = 0x06;
 
 /// Why a frame could not be decoded strictly.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -69,6 +72,7 @@ pub fn encoded_len(msg: &Message) -> usize {
         Message::ResT | Message::PushT | Message::PrioT => 1,
         Message::Ctrl { .. } => 19,
         Message::Garbage(_) => 3,
+        Message::Marker(_) => 5,
     }
 }
 
@@ -88,6 +92,10 @@ pub fn encode_into(msg: &Message, buf: &mut BytesMut) {
         Message::Garbage(x) => {
             buf.put_u8(TAG_GARBAGE);
             buf.put_u16_le(x);
+        }
+        Message::Marker(s) => {
+            buf.put_u8(TAG_MARKER);
+            buf.put_u32_le(s);
         }
     }
 }
@@ -110,6 +118,7 @@ pub fn decode(frame: &[u8]) -> Result<Message, WireError> {
         TAG_RES | TAG_PUSH | TAG_PRIO => 0,
         TAG_CTRL => 18,
         TAG_GARBAGE => 2,
+        TAG_MARKER => 4,
         other => return Err(WireError::UnknownTag(other)),
     };
     if buf.remaining() < needed {
@@ -127,6 +136,7 @@ pub fn decode(frame: &[u8]) -> Result<Message, WireError> {
             Message::Ctrl { c, r, pt, ppr }
         }
         TAG_GARBAGE => Message::Garbage(buf.get_u16_le()),
+        TAG_MARKER => Message::Marker(buf.get_u32_le()),
         _ => unreachable!("tag already validated"),
     };
     if buf.has_remaining() {
@@ -168,6 +178,7 @@ pub fn decode_stream(mut stream: &[u8]) -> Vec<Message> {
             TAG_RES | TAG_PUSH | TAG_PRIO => 1,
             TAG_CTRL => 19,
             TAG_GARBAGE => 3,
+            TAG_MARKER => 5,
             _ => stream.len(),
         };
         if len > stream.len() {
@@ -205,6 +216,8 @@ mod tests {
             Message::Ctrl { c: u64::MAX, r: true, pt: 42, ppr: 2 },
             Message::Garbage(0),
             Message::Garbage(u16::MAX),
+            Message::Marker(0),
+            Message::Marker(u32::MAX),
         ]
     }
 

@@ -1,0 +1,158 @@
+//! Optional Lamport logical-clock instrumentation for [`crate::Network`].
+//!
+//! When enabled (off by default, see [`crate::Network::enable_clocks`]) the network keeps
+//! one Lamport clock per node and one stamp queue per channel, parallel to the flat
+//! [`crate::slab::ChannelSlab`]:
+//!
+//! * a **tick** advances the activated node's clock by one;
+//! * a **send** advances the sender's clock by one and stamps the message (the stamp rides
+//!   the parallel queue of the destination channel, FIFO like the message itself);
+//! * a **delivery** pops the head stamp and merges it: `c ← max(c, stamp) + 1`.
+//!
+//! These are exactly Lamport's happened-before rules, so after any execution
+//! `clock(u) < clock(v)` holds whenever an event on `u` happened-before an event on `v` —
+//! the property the Chandy–Lamport snapshot tests use to certify that recorded cuts are
+//! consistent (no message is received in the cut before it was sent).
+//!
+//! # Out-of-band mutations
+//!
+//! Fault injection and scenario seeding mutate channels outside the send/deliver discipline
+//! (insert, remove, clear, [`crate::Network::inject_into`]).  The instrumentation stays
+//! *structurally* consistent by re-synchronizing the stamp queue with the channel length —
+//! truncating on loss, padding with stamp 0 on insertion.  Stamp 0 is the "unknown origin"
+//! stamp: a fault-injected message happened-before nothing, which is sound (it only weakens
+//! the order the clocks witness, never fabricates one).
+//!
+//! # Cost when off
+//!
+//! The network stores the instrumentation as `Option<Box<LamportClocks>>`; every hook site
+//! is a single pointer-null check when disabled, and no per-node or per-channel storage
+//! exists.  The engine-equivalence suite pins that enabling clocks does not change any
+//! activation, trace or metric — the instrumentation is observation only.
+
+use crate::NodeId;
+use std::collections::VecDeque;
+
+/// Per-node Lamport clocks plus per-channel stamp queues (parallel to the channel slab).
+#[derive(Clone, Debug)]
+pub struct LamportClocks {
+    /// One Lamport clock per node.
+    node: Vec<u64>,
+    /// One FIFO stamp queue per flat channel index, parallel to the message queue.
+    stamps: Vec<VecDeque<u64>>,
+}
+
+impl LamportClocks {
+    /// Zeroed clocks for `nodes` nodes and `channels` flat channels.
+    pub fn new(nodes: usize, channels: usize) -> Self {
+        LamportClocks { node: vec![0; nodes], stamps: vec![VecDeque::new(); channels] }
+    }
+
+    /// The current Lamport clock of `node`.
+    #[inline]
+    pub fn clock(&self, node: NodeId) -> u64 {
+        self.node[node]
+    }
+
+    /// All node clocks, in node order.
+    pub fn clocks(&self) -> &[u64] {
+        &self.node
+    }
+
+    /// A tick event on `node`.
+    #[inline]
+    pub(crate) fn on_tick(&mut self, node: NodeId) {
+        self.node[node] += 1;
+    }
+
+    /// A send by `node` landing on flat channel `dest_flat`: advances the sender's clock and
+    /// enqueues the stamp alongside the message.
+    #[inline]
+    pub(crate) fn on_send(&mut self, node: NodeId, dest_flat: usize) {
+        self.node[node] += 1;
+        let stamp = self.node[node];
+        self.stamps[dest_flat].push_back(stamp);
+    }
+
+    /// A message injected onto flat channel `dest_flat` from outside the send discipline
+    /// (fault injection, scenario seeding): stamp 0, the unknown-origin stamp.
+    #[inline]
+    pub(crate) fn on_inject(&mut self, dest_flat: usize) {
+        self.stamps[dest_flat].push_back(0);
+    }
+
+    /// A delivery to `node` from flat channel `flat`: pops the head stamp and merges it.
+    #[inline]
+    pub(crate) fn on_deliver(&mut self, node: NodeId, flat: usize) {
+        let stamp = self.stamps[flat].pop_front().unwrap_or(0);
+        self.node[node] = self.node[node].max(stamp) + 1;
+    }
+
+    /// Re-synchronizes the stamp queue of `flat` with a channel that was mutated out of
+    /// band: truncates to `len` on loss, pads with unknown-origin stamps on insertion.
+    pub(crate) fn resync(&mut self, flat: usize, len: usize) {
+        let queue = &mut self.stamps[flat];
+        queue.truncate(len);
+        while queue.len() < len {
+            queue.push_back(0);
+        }
+    }
+
+    /// Returns every clock and stamp queue to zero, retaining allocations.
+    pub(crate) fn reset(&mut self) {
+        self.node.fill(0);
+        for queue in &mut self.stamps {
+            queue.clear();
+        }
+    }
+
+    /// Re-shapes the instrumentation for a churned network (all history coarsened to zero:
+    /// churn is a transient fault, and unknown-origin stamps are the sound default).
+    pub(crate) fn reshape(&mut self, nodes: usize, channels: usize) {
+        self.node.clear();
+        self.node.resize(nodes, 0);
+        self.stamps.clear();
+        self.stamps.resize(channels, VecDeque::new());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_then_deliver_orders_the_clocks() {
+        let mut c = LamportClocks::new(2, 2);
+        // Node 0 ticks twice, then sends (stamp 3) onto flat channel 1.
+        c.on_tick(0);
+        c.on_tick(0);
+        c.on_send(0, 1);
+        assert_eq!(c.clock(0), 3);
+        // Node 1 has a slow clock; delivery merges past the sender.
+        c.on_deliver(1, 1);
+        assert_eq!(c.clock(1), 4);
+        assert!(c.clock(0) < c.clock(1), "happened-before is witnessed");
+    }
+
+    #[test]
+    fn injected_messages_carry_the_unknown_origin_stamp() {
+        let mut c = LamportClocks::new(2, 1);
+        c.on_inject(0);
+        c.on_tick(1);
+        c.on_deliver(1, 0);
+        // max(1, 0) + 1: the injection forced no ordering.
+        assert_eq!(c.clock(1), 2);
+    }
+
+    #[test]
+    fn resync_truncates_and_pads() {
+        let mut c = LamportClocks::new(1, 1);
+        c.on_send(0, 0);
+        c.on_send(0, 0);
+        c.resync(0, 1);
+        assert_eq!(c.stamps[0].len(), 1);
+        c.resync(0, 3);
+        assert_eq!(c.stamps[0].len(), 3);
+        assert_eq!(c.stamps[0][2], 0);
+    }
+}

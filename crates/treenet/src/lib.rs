@@ -50,6 +50,7 @@
 
 pub mod app;
 pub mod channel;
+pub mod clocks;
 pub mod engine;
 pub mod fault;
 pub mod metrics;
@@ -57,10 +58,13 @@ pub mod network;
 pub mod process;
 pub mod runner;
 pub mod scheduler;
+pub mod slab;
+pub mod snapshot;
 pub mod trace;
 
 pub use app::{AppDriver, CsState};
 pub use channel::Channel;
+pub use clocks::LamportClocks;
 pub use engine::{EnabledSet, EnabledShape, EventScheduler};
 pub use fault::{ArbitraryMessage, Corruptible, FaultInjector, FaultPlan, FaultReport, Restartable};
 pub use metrics::Metrics;
@@ -70,6 +74,11 @@ pub use runner::{run_for, run_until, run_until_quiescent, RunOutcome};
 pub use scheduler::{
     Activation, Adversarial, AdversarialDaemon, CentralDaemon, DistributedDaemon, RandomFair,
     RoundRobin, Scheduler, Synchronous, SynchronousDaemon,
+};
+pub use slab::ChannelSlab;
+pub use snapshot::{
+    run_until_with_snapshots, run_with_snapshots, InitiatorPolicy, SnapshotMessage,
+    SnapshotObserver, SnapshotPlan, SnapshotRunner,
 };
 pub use trace::{Trace, TracedEvent};
 

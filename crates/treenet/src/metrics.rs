@@ -4,8 +4,21 @@ use crate::NodeId;
 use serde::Serialize;
 use std::collections::BTreeMap;
 
+/// Above this many nodes, [`Metrics`] serializes `sent_by_node` as a summary (total, top
+/// senders, log₂ histogram) instead of the dense per-node vector: a 10^6-node network would
+/// otherwise emit multi-megabyte JSONL rows for every trial.
+pub const SENT_BY_NODE_INLINE_MAX: usize = 256;
+
+/// Number of top senders retained in the summarized `sent_by_node` encoding.
+const SUMMARY_TOP: usize = 8;
+
+/// Number of log₂ buckets in the summarized `sent_by_node` histogram: bucket 0 counts nodes
+/// that sent nothing, bucket `i` (1 ≤ i < 7) counts nodes with sends in `[2^(i−1), 2^i)`,
+/// and the last bucket collects everything above.
+const SUMMARY_BUCKETS: usize = 8;
+
 /// Counters accumulated by the simulator during a run.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Metrics {
     /// Total number of activations executed (message deliveries + ticks).
     pub activations: u64,
@@ -60,6 +73,76 @@ impl Metrics {
     }
 }
 
+impl Serialize for Metrics {
+    /// Hand-rolled so `sent_by_node` can switch representation by size: at or below
+    /// [`SENT_BY_NODE_INLINE_MAX`] nodes the output is byte-identical to the old derived
+    /// encoding (a dense array); above it, a summary object
+    /// `{"nodes":…,"total":…,"top":[[node,count],…],"histogram":[…]}` bounds the row size
+    /// regardless of n.  The field order matches the struct declaration, as the derive
+    /// would emit.
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str("{\"activations\":");
+        self.activations.serialize_json(out);
+        out.push_str(",\"deliveries\":");
+        self.deliveries.serialize_json(out);
+        out.push_str(",\"ticks\":");
+        self.ticks.serialize_json(out);
+        out.push_str(",\"messages_sent\":");
+        self.messages_sent.serialize_json(out);
+        out.push_str(",\"messages_by_kind\":");
+        self.messages_by_kind.serialize_json(out);
+        out.push_str(",\"sent_by_node\":");
+        if self.sent_by_node.len() <= SENT_BY_NODE_INLINE_MAX {
+            self.sent_by_node.serialize_json(out);
+        } else {
+            self.serialize_sent_summary(out);
+        }
+        out.push('}');
+    }
+}
+
+impl Metrics {
+    fn serialize_sent_summary(&self, out: &mut String) {
+        let total: u64 = self.sent_by_node.iter().sum();
+        let mut top: Vec<(u64, usize)> =
+            self.sent_by_node.iter().copied().enumerate().map(|(v, c)| (c, v)).collect();
+        // Highest count first; ties resolved by lowest node id for determinism.
+        top.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        top.truncate(SUMMARY_TOP);
+        let mut histogram = [0u64; SUMMARY_BUCKETS];
+        for &count in &self.sent_by_node {
+            let bucket = match count {
+                0 => 0,
+                c => (64 - c.leading_zeros() as usize).min(SUMMARY_BUCKETS - 1),
+            };
+            histogram[bucket] += 1;
+        }
+        out.push_str("{\"nodes\":");
+        self.sent_by_node.len().serialize_json(out);
+        out.push_str(",\"total\":");
+        total.serialize_json(out);
+        out.push_str(",\"top\":[");
+        for (i, (count, node)) in top.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            node.serialize_json(out);
+            out.push(',');
+            count.serialize_json(out);
+            out.push(']');
+        }
+        out.push_str("],\"histogram\":[");
+        for (i, bucket) in histogram.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            bucket.serialize_json(out);
+        }
+        out.push_str("]}");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,6 +180,61 @@ mod tests {
         m.remap_nodes(&[Some(0), Some(2), Some(3), None]);
         assert_eq!(m.sent_by_node, vec![1, 3, 4, 0]);
         assert_eq!(m.messages_sent, 10, "aggregates survive the remap");
+    }
+
+    #[test]
+    fn small_networks_serialize_the_dense_vector_byte_identically() {
+        // Pin: at or below the inline threshold the encoding is exactly what the serde
+        // derive produced before summarization existed — dense array, declaration order.
+        let mut m = Metrics::new(3);
+        m.activations = 5;
+        m.deliveries = 2;
+        m.ticks = 3;
+        m.record_send(1, "ResT");
+        m.record_send(1, "ctrl");
+        m.record_send(2, "ResT");
+        m.activations = 5; // record_send does not touch activations; keep the pinned value
+        let mut out = String::new();
+        m.serialize_json(&mut out);
+        assert_eq!(
+            out,
+            "{\"activations\":5,\"deliveries\":2,\"ticks\":3,\"messages_sent\":3,\
+             \"messages_by_kind\":{\"ResT\":2,\"ctrl\":1},\"sent_by_node\":[0,2,1]}"
+        );
+    }
+
+    #[test]
+    fn threshold_boundary_stays_dense() {
+        let m = Metrics::new(SENT_BY_NODE_INLINE_MAX);
+        let mut out = String::new();
+        m.serialize_json(&mut out);
+        assert!(out.contains("\"sent_by_node\":[0,"), "exactly-at-threshold stays dense");
+    }
+
+    #[test]
+    fn large_networks_serialize_a_bounded_summary() {
+        let n = SENT_BY_NODE_INLINE_MAX + 1;
+        let mut m = Metrics::new(n);
+        // Node 7 is the heaviest sender, node 40 second; 100 nodes sent exactly once.
+        for _ in 0..70 {
+            m.record_send(7, "ResT");
+        }
+        for _ in 0..9 {
+            m.record_send(40, "ResT");
+        }
+        for v in 100..200 {
+            m.record_send(v, "ResT");
+        }
+        let mut out = String::new();
+        m.serialize_json(&mut out);
+        assert!(!out.contains("\"sent_by_node\":["), "dense vector must not appear");
+        assert!(out.contains("\"sent_by_node\":{\"nodes\":257,\"total\":179,"));
+        assert!(out.contains("\"top\":[[7,70],[40,9],[100,1]"), "sorted by count, ties by id");
+        // Histogram: 155 zero-senders, 100 nodes in [1,2), node 40 in [8,16) → bucket 4,
+        // node 7 in [64,128) → bucket 7 (the overflow bucket).
+        assert!(out.contains("\"histogram\":[155,100,0,0,1,0,0,1]"), "got: {out}");
+        // The row stays small no matter how many nodes there are.
+        assert!(out.len() < 500, "summary must bound the row size, got {} bytes", out.len());
     }
 
     #[test]

@@ -6,10 +6,12 @@
 //! event-driven daemons can read "which guards are enabled" in O(1) instead of rescanning.
 
 use crate::channel::Channel;
+use crate::clocks::LamportClocks;
 use crate::engine::{EnabledSet, EnabledShape, EventScheduler};
 use crate::metrics::Metrics;
 use crate::process::{Context, MessageKind, Process};
 use crate::scheduler::{Activation, Scheduler};
+use crate::slab::ChannelSlab;
 use crate::trace::Trace;
 use crate::{ChannelLabel, NodeId};
 use topology::Topology;
@@ -93,8 +95,10 @@ pub trait EnabledView: NetworkView {
 pub struct ChannelMut<'a, M> {
     channel: &'a mut Channel<M>,
     enabled: &'a mut EnabledSet,
+    clocks: Option<&'a mut LamportClocks>,
     node: NodeId,
     label: ChannelLabel,
+    flat: usize,
 }
 
 impl<M> std::ops::Deref for ChannelMut<'_, M> {
@@ -113,6 +117,9 @@ impl<M> std::ops::DerefMut for ChannelMut<'_, M> {
 impl<M> Drop for ChannelMut<'_, M> {
     fn drop(&mut self) {
         self.enabled.note_len(self.node, self.label, self.channel.len());
+        if let Some(clocks) = self.clocks.as_deref_mut() {
+            clocks.resync(self.flat, self.channel.len());
+        }
     }
 }
 
@@ -198,13 +205,19 @@ impl<M: Clone> UndoSink<M> for StepUndo<M> {
 /// A simulated network: a topology, one process per node, and one FIFO channel per directed
 /// link.
 ///
-/// `channels[v][l]` is the *incoming* channel of node `v` with local label `l`; a message sent
-/// by `u` on its channel `i` is pushed onto `channels[q][j]` where `(q, j) = topo.endpoint(u, i)`.
+/// Channels live in a flat struct-of-arrays [`ChannelSlab`] (see [`crate::slab`] for the
+/// million-node memory model): `slab.get(v, l)` is the *incoming* channel of node `v` with
+/// local label `l`; a message sent by `u` on its channel `i` is pushed onto `slab.get(q, j)`
+/// where `(q, j) = slab.endpoint(u, i)` — the precomputed `topo.endpoint(u, i)`.
+///
+/// Optional Lamport-clock instrumentation ([`crate::clocks`]) hangs off `clocks`: a single
+/// null check per hook site when disabled, see [`Network::enable_clocks`].
 pub struct Network<P: Process, T: Topology> {
     topo: T,
     nodes: Vec<P>,
-    channels: Vec<Vec<Channel<P::Msg>>>,
+    slab: ChannelSlab<P::Msg>,
     enabled: EnabledSet,
+    clocks: Option<Box<LamportClocks>>,
     now: u64,
     trace: Trace,
     metrics: Metrics,
@@ -222,14 +235,14 @@ impl<P: Process, T: Topology> Network<P, T> {
         let n = topo.len();
         assert!(n > 0, "a network needs at least one process");
         let nodes: Vec<P> = (0..n).map(&mut make_node).collect();
-        let channels: Vec<Vec<Channel<P::Msg>>> =
-            (0..n).map(|v| (0..topo.degree(v)).map(|_| Channel::new()).collect()).collect();
+        let slab = ChannelSlab::new(&topo);
         let degrees: Vec<usize> = (0..n).map(|v| topo.degree(v)).collect();
         Network {
             topo,
             nodes,
-            channels,
+            slab,
             enabled: EnabledSet::new(&degrees),
+            clocks: None,
             now: 0,
             trace: Trace::new(),
             metrics: Metrics::new(n),
@@ -295,12 +308,7 @@ impl<P: Process, T: Topology> Network<P, T> {
 
     /// Iterates over every in-flight message as `(destination node, incoming label, message)`.
     pub fn iter_messages(&self) -> impl Iterator<Item = (NodeId, ChannelLabel, &P::Msg)> {
-        self.channels.iter().enumerate().flat_map(|(v, chans)| {
-            chans
-                .iter()
-                .enumerate()
-                .flat_map(move |(l, ch)| ch.iter().map(move |m| (v, l, m)))
-        })
+        self.slab.iter().flat_map(|(v, l, ch)| ch.iter().map(move |m| (v, l, m)))
     }
 
     /// Total number of in-flight messages, maintained in O(1) by the enabled set.
@@ -316,37 +324,112 @@ impl<P: Process, T: Topology> Network<P, T> {
 
     /// Direct access to one incoming channel (fault injection and tests).
     pub fn channel(&self, node: NodeId, label: ChannelLabel) -> &Channel<P::Msg> {
-        &self.channels[node][label]
+        self.slab.get(node, label)
     }
 
     /// Mutable access to one incoming channel (fault injection and tests).
     ///
-    /// The returned guard re-synchronizes the enabled set on drop, so arbitrary surgery
-    /// (clear, insert, remove) keeps the enabled-set invariant.
+    /// The returned guard re-synchronizes the enabled set (and, when enabled, the Lamport
+    /// stamp queues) on drop, so arbitrary surgery (clear, insert, remove) keeps the
+    /// enabled-set invariant.
     pub fn channel_mut(&mut self, node: NodeId, label: ChannelLabel) -> ChannelMut<'_, P::Msg> {
+        let flat = self.slab.flat(node, label);
         ChannelMut {
-            channel: &mut self.channels[node][label],
+            channel: self.slab.get_mut(node, label),
             enabled: &mut self.enabled,
+            clocks: self.clocks.as_deref_mut(),
             node,
             label,
+            flat,
         }
+    }
+
+    /// The flat slab index of `node`'s incoming channel `label` (see [`crate::slab`]).
+    #[inline]
+    pub fn flat_index(&self, node: NodeId, label: ChannelLabel) -> usize {
+        self.slab.flat(node, label)
+    }
+
+    /// Total number of directed channels in the network (2(n−1) on a tree).
+    #[inline]
+    pub fn num_flat_channels(&self) -> usize {
+        self.slab.num_channels()
+    }
+
+    /// Enables per-node Lamport-clock instrumentation (see [`crate::clocks`]).  Idempotent;
+    /// clocks start at zero and existing in-flight messages get unknown-origin stamps.
+    pub fn enable_clocks(&mut self) {
+        if self.clocks.is_none() {
+            let mut clocks =
+                Box::new(LamportClocks::new(self.nodes.len(), self.slab.num_channels()));
+            for (v, l, ch) in self.slab.iter() {
+                clocks.resync(self.slab.flat(v, l), ch.len());
+            }
+            self.clocks = Some(clocks);
+        }
+    }
+
+    /// The Lamport clocks, when instrumentation is enabled.
+    pub fn clocks(&self) -> Option<&LamportClocks> {
+        self.clocks.as_deref()
     }
 
     /// Enqueues `msg` as if `from_node` had sent it on its channel `label`; bypasses the
     /// process code.  Used to seed scenarios and by fault injection.
     pub fn inject_from(&mut self, from_node: NodeId, label: ChannelLabel, msg: P::Msg) {
-        let (dest, dest_label) = self.topo.endpoint(from_node, label);
+        let (dest, dest_label) = self.slab.endpoint(from_node, label);
         self.metrics.record_send(from_node, msg.kind());
-        let channel = &mut self.channels[dest][dest_label];
+        if let Some(clocks) = self.clocks.as_deref_mut() {
+            clocks.on_send(from_node, self.slab.flat(dest, dest_label));
+        }
+        let channel = self.slab.get_mut(dest, dest_label);
         channel.push(msg);
-        self.enabled.note_len(dest, dest_label, channel.len());
+        let len = channel.len();
+        self.enabled.note_len(dest, dest_label, len);
     }
 
     /// Enqueues `msg` directly onto `node`'s incoming channel `label` (fault injection).
     pub fn inject_into(&mut self, node: NodeId, label: ChannelLabel, msg: P::Msg) {
-        let channel = &mut self.channels[node][label];
+        if let Some(clocks) = self.clocks.as_deref_mut() {
+            clocks.on_inject(self.slab.flat(node, label));
+        }
+        let channel = self.slab.get_mut(node, label);
         channel.push(msg);
-        self.enabled.note_len(node, label, channel.len());
+        let len = channel.len();
+        self.enabled.note_len(node, label, len);
+    }
+
+    /// Sends one copy of `msg` on **every** outgoing channel of `node`, bypassing process
+    /// code — the marker broadcast of the Chandy–Lamport snapshot layer.  Returns the number
+    /// of copies sent (the node's degree).
+    pub fn broadcast_from(&mut self, node: NodeId, msg: P::Msg) -> usize {
+        let degree = self.topo.degree(node);
+        for label in 0..degree {
+            self.inject_from(node, label, msg.clone());
+        }
+        degree
+    }
+
+    /// Consumes the head message of `node`'s incoming channel `label` **without** delivering
+    /// it to the process — the marker-consumption step of the snapshot layer.  Counts as one
+    /// activation (a delivery) on the logical clock and in the metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel is empty (the snapshot runner only consumes a peeked head).
+    pub fn consume_marker(&mut self, node: NodeId, label: ChannelLabel) -> P::Msg {
+        self.now += 1;
+        self.metrics.activations += 1;
+        self.metrics.deliveries += 1;
+        let flat = self.slab.flat(node, label);
+        let channel = self.slab.get_mut(node, label);
+        let msg = channel.pop().expect("consume_marker requires a non-empty channel");
+        let len = channel.len();
+        self.enabled.note_len(node, label, len);
+        if let Some(clocks) = self.clocks.as_deref_mut() {
+            clocks.on_deliver(node, flat);
+        }
+        msg
     }
 
     /// Executes one activation chosen by `scheduler`. Returns the activation executed.
@@ -415,16 +498,24 @@ impl<P: Process, T: Topology> Network<P, T> {
     /// checker-style `restore` paths leave untouched).
     pub fn revert(&mut self, undo: &mut StepUndo<P::Msg>) {
         for &(node, label) in undo.sent.iter().rev() {
-            let channel = &mut self.channels[node][label];
+            let channel = self.slab.get_mut(node, label);
             let popped = channel.unpush();
             debug_assert!(popped.is_some(), "recorded push must still be on the channel");
-            self.enabled.note_len(node, label, channel.len());
+            let len = channel.len();
+            self.enabled.note_len(node, label, len);
+            if let Some(clocks) = self.clocks.as_deref_mut() {
+                clocks.resync(self.slab.flat(node, label), len);
+            }
         }
         undo.sent.clear();
         if let Some((node, label, msg)) = undo.delivered.take() {
-            let channel = &mut self.channels[node][label];
+            let channel = self.slab.get_mut(node, label);
             channel.unpop(msg);
-            self.enabled.note_len(node, label, channel.len());
+            let len = channel.len();
+            self.enabled.note_len(node, label, len);
+            if let Some(clocks) = self.clocks.as_deref_mut() {
+                clocks.resync(self.slab.flat(node, label), len);
+            }
         }
     }
 
@@ -433,11 +524,15 @@ impl<P: Process, T: Topology> Network<P, T> {
         self.metrics.activations += 1;
         match activation {
             Activation::Deliver { node, channel } => {
-                let msg = self.channels[node][channel].pop();
+                let msg = self.slab.get_mut(node, channel).pop();
                 match msg {
                     Some(msg) => {
-                        self.enabled.note_len(node, channel, self.channels[node][channel].len());
+                        let len = self.slab.get(node, channel).len();
+                        self.enabled.note_len(node, channel, len);
                         self.metrics.deliveries += 1;
+                        if let Some(clocks) = self.clocks.as_deref_mut() {
+                            clocks.on_deliver(node, self.slab.flat(node, channel));
+                        }
                         undo.record_delivered(node, channel, &msg);
                         self.run_node(node, Some((channel, msg)), undo);
                     }
@@ -445,12 +540,18 @@ impl<P: Process, T: Topology> Network<P, T> {
                         // The scheduler raced an empty channel; treat it as a tick so time
                         // still advances and fairness is preserved.
                         self.metrics.ticks += 1;
+                        if let Some(clocks) = self.clocks.as_deref_mut() {
+                            clocks.on_tick(node);
+                        }
                         self.run_node(node, None, undo);
                     }
                 }
             }
             Activation::Tick { node } => {
                 self.metrics.ticks += 1;
+                if let Some(clocks) = self.clocks.as_deref_mut() {
+                    clocks.on_tick(node);
+                }
                 self.run_node(node, None, undo);
             }
         }
@@ -484,11 +585,15 @@ impl<P: Process, T: Topology> Network<P, T> {
         if !self.outbox.is_empty() {
             let mut outbox = std::mem::take(&mut self.outbox);
             for (label, msg) in outbox.drain(..) {
-                let (dest, dest_label) = self.topo.endpoint(node, label);
+                let (dest, dest_label) = self.slab.endpoint(node, label);
                 self.metrics.record_send(node, msg.kind());
-                let channel = &mut self.channels[dest][dest_label];
+                if let Some(clocks) = self.clocks.as_deref_mut() {
+                    clocks.on_send(node, self.slab.flat(dest, dest_label));
+                }
+                let channel = self.slab.get_mut(dest, dest_label);
                 channel.push(msg);
-                self.enabled.note_len(dest, dest_label, channel.len());
+                let len = channel.len();
+                self.enabled.note_len(dest, dest_label, len);
                 if let Some(journal) = undo.journal() {
                     journal.push((dest, dest_label));
                 }
@@ -545,18 +650,23 @@ impl<P: Process, T: Topology> Network<P, T> {
         );
         self.nodes.clone_from(&template.nodes);
         self.reset_runtime();
-        for (v, per_node) in template.channels.iter().enumerate() {
+        for v in 0..self.nodes.len() {
             assert_eq!(
-                per_node.len(),
-                self.channels[v].len(),
+                template.slab.degree(v),
+                self.slab.degree(v),
                 "reset_from requires identical degrees (node {v})"
             );
-            for (l, src) in per_node.iter().enumerate() {
-                let dst = &mut self.channels[v][l];
+            for l in 0..self.slab.degree(v) {
+                let src = template.slab.get(v, l);
+                let dst = self.slab.get_mut(v, l);
                 for msg in src.iter() {
                     dst.push(msg.clone());
                 }
-                self.enabled.note_len(v, l, dst.len());
+                let len = dst.len();
+                self.enabled.note_len(v, l, len);
+                if let Some(clocks) = self.clocks.as_deref_mut() {
+                    clocks.resync(self.slab.flat(v, l), len);
+                }
             }
         }
         self.now = template.now;
@@ -593,7 +703,7 @@ impl<P: Process, T: Topology> Network<P, T> {
     ///
     /// Panics if `old_of_new` does not have one entry per donor node, names an
     /// out-of-range old node, or maps two new ids to the same old node.
-    pub fn rebuild_from(&mut self, donor: Network<P, T>, old_of_new: &[Option<NodeId>]) {
+    pub fn rebuild_from(&mut self, mut donor: Network<P, T>, old_of_new: &[Option<NodeId>]) {
         let old_n = self.nodes.len();
         let new_n = donor.nodes.len();
         assert_eq!(old_of_new.len(), new_n, "old_of_new must cover every donor node");
@@ -605,15 +715,13 @@ impl<P: Process, T: Topology> Network<P, T> {
         }
 
         let mut old_nodes: Vec<Option<P>> = self.nodes.drain(..).map(Some).collect();
-        let mut old_channels: Vec<Vec<Option<Channel<P::Msg>>>> = self
-            .channels
-            .drain(..)
-            .map(|row| row.into_iter().map(Some).collect())
-            .collect();
+        // The flat slab drains into a per-node matrix for the claim-by-endpoint walk — this
+        // is the cold path of topology churn, not the stepping path.
+        let mut old_channels: Vec<Vec<Option<Channel<P::Msg>>>> = self.slab.take_rows();
 
         let new_topo = donor.topo;
         let mut nodes = donor.nodes;
-        let mut channels = donor.channels;
+        let mut channels: Vec<Vec<Option<Channel<P::Msg>>>> = donor.slab.take_rows();
         let old_topo = &self.topo;
 
         for v in 0..new_n {
@@ -634,23 +742,31 @@ impl<P: Process, T: Topology> Network<P, T> {
                     .find(|&ol| old_topo.endpoint(ov, ol).0 == old_peer);
                 if let Some(ol) = survived {
                     channels[v][l] =
-                        old_channels[ov][ol].take().expect("each old channel is claimed once");
+                        Some(old_channels[ov][ol].take().expect("each old channel is claimed once"));
                 }
             }
         }
 
+        let slab = ChannelSlab::from_rows(&new_topo, channels);
         let degrees: Vec<usize> = (0..new_n).map(|v| new_topo.degree(v)).collect();
         let mut enabled = EnabledSet::new(&degrees);
-        for (v, row) in channels.iter().enumerate() {
-            for (l, channel) in row.iter().enumerate() {
-                enabled.note_len(v, l, channel.len());
-            }
+        for (v, l, channel) in slab.iter() {
+            enabled.note_len(v, l, channel.len());
         }
 
         self.topo = new_topo;
         self.nodes = nodes;
-        self.channels = channels;
+        self.slab = slab;
         self.enabled = enabled;
+        if let Some(clocks) = self.clocks.as_deref_mut() {
+            // Churn is a transient fault: clock history is coarsened to zero and every
+            // carried message gets the unknown-origin stamp, which is sound (see
+            // `crate::clocks`).
+            clocks.reshape(new_n, self.slab.num_channels());
+            for (v, l, ch) in self.slab.iter() {
+                clocks.resync(self.slab.flat(v, l), ch.len());
+            }
+        }
         self.metrics.remap_nodes(old_of_new);
         // Per-step scratch never survives an activation; clear it anyway so a rebuild
         // mid-surgery can't smuggle stale labels across topologies.
@@ -661,12 +777,11 @@ impl<P: Process, T: Topology> Network<P, T> {
     /// Zeroes every run-time accumulator in place (channels, enabled set, clock, trace,
     /// metrics), keeping all allocations.  Process state is untouched.
     fn reset_runtime(&mut self) {
-        for per_node in &mut self.channels {
-            for channel in per_node {
-                channel.reset();
-            }
-        }
+        self.slab.reset();
         self.enabled.reset();
+        if let Some(clocks) = self.clocks.as_deref_mut() {
+            clocks.reset();
+        }
         self.now = 0;
         self.trace.clear();
         self.metrics.reset();
@@ -683,7 +798,7 @@ impl<P: Process, T: Topology> NetworkView for Network<P, T> {
     }
 
     fn channel_len(&self, node: NodeId, label: ChannelLabel) -> usize {
-        self.channels[node][label].len()
+        self.slab.get(node, label).len()
     }
 
     fn now(&self) -> u64 {

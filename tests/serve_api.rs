@@ -145,6 +145,156 @@ fn running_jobs_cancel_mid_flight() {
 }
 
 #[test]
+fn snapshot_jobs_stream_per_cut_events_and_verdict_metrics() {
+    use analysis::scenario::{InitiatorSpec, SnapshotSpec};
+
+    let (server, addr) = start(1);
+    // A spec with a snapshot block: the stream must carry per-cut progress events and
+    // the result rows must report the cut census verdicts as metrics.
+    let mut spec = preset("quickstart").expect("preset");
+    spec.snapshots = Some(SnapshotSpec { interval: 512, initiator: InitiatorSpec::Rotate });
+    let body = format!("{{\"spec\": {}, \"backend\": \"sim\"}}", spec.to_json());
+    let id = client::submit(&addr, &body).expect("submit");
+    let mut lines = Vec::new();
+    let doc = client::watch(&addr, id, &mut |line: &str| lines.push(line.to_string()))
+        .expect("watch");
+    assert_eq!(doc.get("state").and_then(Value::as_str), Some("done"));
+    assert!(
+        lines.iter().any(|l| l.contains("\"phase\":\"snapshot\"")),
+        "no per-snapshot progress event in the stream: {lines:?}"
+    );
+    let row = lines.iter().find(|l| l.contains("snapshots_taken")).expect("result row");
+    let row: Value = serde_json::from_str(row).expect("result row is JSON");
+    let metric = |name: &str| {
+        row.get("metrics").and_then(|m| m.get(name)).and_then(Value::as_f64).unwrap_or(-1.0)
+    };
+    assert!(metric("snapshots_taken") >= 1.0, "at least one cut completed");
+    assert_eq!(
+        metric("snapshots_clean"),
+        metric("snapshots_taken"),
+        "every cut of a legitimate execution is clean"
+    );
+
+    client::shutdown(&addr).expect("shutdown");
+    server.wait();
+}
+
+/// What one scripted connection of the fake daemon does (see
+/// [`watch_survives_a_daemon_bounce_without_dropping_or_duplicating_events`]).
+enum Script {
+    /// Serve `GET /jobs/<id>/stream` as chunked JSONL; `complete` decides between a clean
+    /// terminating chunk and an abrupt mid-stream connection drop.
+    Stream { lines: Vec<String>, complete: bool },
+    /// Serve `GET /jobs/<id>` with the given job state.
+    Status { state: &'static str },
+}
+
+/// Runs a scripted daemon: each accepted connection consumes the next [`Script`] entry.
+fn scripted_daemon(
+    listener: std::net::TcpListener,
+    script: Vec<Script>,
+) -> std::thread::JoinHandle<()> {
+    use std::io::{BufRead, BufReader, Write};
+    std::thread::spawn(move || {
+        for action in script {
+            let (mut stream, _) = listener.accept().expect("accept");
+            // Drain the request head so the client's write never sees a reset.
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            loop {
+                let mut line = String::new();
+                if reader.read_line(&mut line).unwrap_or(0) == 0 || line.trim_end().is_empty() {
+                    break;
+                }
+            }
+            match action {
+                Script::Stream { lines, complete } => {
+                    write!(
+                        stream,
+                        "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n\
+                         Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+                    )
+                    .expect("stream head");
+                    for line in lines {
+                        let data = format!("{line}\n");
+                        write!(stream, "{:x}\r\n{data}\r\n", data.len()).expect("chunk");
+                    }
+                    if complete {
+                        write!(stream, "0\r\n\r\n").expect("final chunk");
+                    }
+                    // Dropping the stream without the zero chunk is the "bounce": the
+                    // client sees the connection die mid-stream.
+                }
+                Script::Status { state } => {
+                    let body = format!("{{\"id\": 1, \"state\": \"{state}\"}}");
+                    write!(
+                        stream,
+                        "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\
+                         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                        body.len()
+                    )
+                    .expect("status response");
+                }
+            }
+        }
+    })
+}
+
+fn stamped(boot: u64, seq: u64) -> String {
+    format!("{{\"event\":\"progress\",\"phase\":\"trials\",\"done\":{seq},\"total\":0,\"boot\":{boot},\"seq\":{seq}}}")
+}
+
+#[test]
+fn watch_survives_a_daemon_bounce_without_dropping_or_duplicating_events() {
+    // The reconnect-dedup contract: `client::watch` keys replay suppression on the
+    // `(boot, seq)` stamp of each event line, not on how many lines were delivered.  A
+    // scripted daemon drives the exact failure the count-based cursor had: after a
+    // bounce, a *new daemon incarnation* replays its own buffer from seq 0 under a fresh
+    // boot id — every one of those lines is new information, but a count cursor would
+    // silently swallow the first `delivered` of them.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let old_boot = 11u64;
+    let new_boot = 22u64;
+    let daemon = scripted_daemon(
+        listener,
+        vec![
+            // Incarnation A streams five events, then dies mid-stream.
+            Script::Stream { lines: (0..5).map(|s| stamped(old_boot, s)).collect(), complete: false },
+            Script::Status { state: "running" }, // the watcher's terminal-drop check
+            // Still incarnation A: full replay plus two new events, then dies again.
+            Script::Stream { lines: (0..7).map(|s| stamped(old_boot, s)).collect(), complete: false },
+            Script::Status { state: "running" },
+            // Incarnation B — the bounced daemon: same job id, fresh buffer, fresh boot
+            // id, seq numbers overlapping A's, then the unstamped result row.
+            Script::Stream {
+                lines: (0..3)
+                    .map(|s| stamped(new_boot, s))
+                    .chain(std::iter::once("{\"label\":\"row\",\"metrics\":{}}".to_string()))
+                    .collect(),
+                complete: true,
+            },
+            Script::Status { state: "done" }, // the final status fetch
+        ],
+    );
+
+    let mut lines = Vec::new();
+    let doc = client::watch(&addr, 1, &mut |line: &str| lines.push(line.to_string()))
+        .expect("watch across two bounces");
+    daemon.join().expect("scripted daemon");
+    assert_eq!(doc.get("state").and_then(Value::as_str), Some("done"));
+
+    // Exactly once, in order: A's seven events (five + the two that arrived after the
+    // first drop), B's three, then the result row.  No duplicates from the replays, no
+    // swallowed lines from the bounce.
+    let expected: Vec<String> = (0..7)
+        .map(|s| stamped(old_boot, s))
+        .chain((0..3).map(|s| stamped(new_boot, s)))
+        .chain(std::iter::once("{\"label\":\"row\",\"metrics\":{}}".to_string()))
+        .collect();
+    assert_eq!(lines, expected);
+}
+
+#[test]
 fn malformed_and_oversized_submissions_get_a_400_json_error() {
     use std::io::{Read, Write};
 
